@@ -1,0 +1,63 @@
+/**
+ * @file
+ * E9 / Section 3.2: the "update the table slowly" policy. The paper
+ * reports that letting 64 branches pass between a prediction and its
+ * PHT update moves the 256KB-budget mean misprediction from 4.03% to
+ * 4.07%, with under 1% IPC cost — i.e. slow non-speculative update
+ * is essentially free, which is what makes the pipelined PHT
+ * practical.
+ *
+ * This bench sweeps the update-delay depth at the 256KB budget and
+ * reports mean misprediction and harmonic-mean IPC per depth.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/bitutil.hh"
+#include "predictors/gshare_fast.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(800000);
+    benchHeader("Section 3.2 ablation",
+                "gshare.fast (256KB) accuracy/IPC vs PHT update delay",
+                ops);
+    SuiteTraces suite(ops);
+    CoreConfig cfg;
+
+    const std::size_t budget = 256 * 1024;
+    const std::size_t entries = budget * 4;
+    const unsigned row_lag = 6; // ~the 256KB access latency - 1
+
+    std::printf("%-12s %-18s %-18s\n", "updateDelay",
+                "mean misp (%)", "harmonic IPC");
+
+    for (unsigned delay : {0u, 4u, 16u, 64u, 256u, 1024u}) {
+        auto make = [&] {
+            return std::make_unique<GshareFastPredictor>(
+                entries, row_lag, delay);
+        };
+        double mean = 0;
+        suiteAccuracy(suite, make, &mean);
+
+        double hm = 0;
+        suiteTiming(
+            suite, cfg,
+            [&] {
+                return std::make_unique<SingleCycleFetchPredictor>(
+                    make());
+            },
+            &hm);
+        std::printf("%-12u %-18.3f %-18.3f\n", delay, mean, hm);
+    }
+
+    std::printf("\nPaper reference: delay 64 moves 4.03%% -> 4.07%% "
+                "misprediction, <1%% IPC loss.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper:
+ * it prints the same rows/series the paper reports, over the same
+ * sweep axes. Absolute values differ from the paper (our substrate
+ * is a synthetic-workload simulator, see DESIGN.md §4); the shapes
+ * are the reproduction target and EXPERIMENTS.md records both.
+ *
+ * Trace length per workload defaults to a laptop-friendly value and
+ * scales with the BPSIM_OPS_PER_WORKLOAD environment variable for
+ * paper-scale runs.
+ */
+
+#ifndef BPSIM_BENCH_BENCH_UTIL_HH
+#define BPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/factory.hh"
+#include "core/runner.hh"
+
+namespace bpsim {
+
+/** Print a standard bench header naming the reproduced artifact. */
+inline void
+benchHeader(const std::string &artifact, const std::string &what,
+            Counter ops)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+    std::printf("workloads: SPECint2000 stand-ins, %llu ops each "
+                "(BPSIM_OPS_PER_WORKLOAD to scale)\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("==============================================================\n");
+}
+
+/** "16K", "512K" style budget label. */
+inline std::string
+budgetLabel(std::size_t bytes)
+{
+    return std::to_string(bytes / 1024) + "K";
+}
+
+/** Short (7-char) benchmark label: "gzip", "twolf", ... */
+inline std::string
+shortName(const std::string &spec_name)
+{
+    const auto dot = spec_name.find('.');
+    return dot == std::string::npos ? spec_name
+                                    : spec_name.substr(dot + 1);
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_BENCH_BENCH_UTIL_HH

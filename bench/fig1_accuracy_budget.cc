@@ -1,0 +1,52 @@
+/**
+ * @file
+ * E1 / Figure 1: arithmetic-mean SPECint misprediction rates of
+ * gshare, bi-mode, the multi-component hybrid and the perceptron,
+ * swept over hardware budgets from 2KB to 512KB.
+ *
+ * Paper reading: all predictors improve with budget; the perceptron
+ * and multi-component hybrid are the most accurate at every point;
+ * bi-mode beats gshare.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(1200000);
+    benchHeader("Figure 1",
+                "arithmetic-mean misprediction (%) vs hardware budget",
+                ops);
+    SuiteTraces suite(ops);
+
+    const std::vector<PredictorKind> kinds = {
+        PredictorKind::Gshare,
+        PredictorKind::BiMode,
+        PredictorKind::MultiComponent,
+        PredictorKind::Perceptron,
+    };
+
+    std::printf("%-16s", "budget");
+    for (auto k : kinds)
+        std::printf("%16s", kindName(k).c_str());
+    std::printf("\n");
+
+    for (std::size_t budget : figure1BudgetsBytes()) {
+        std::printf("%-16s", budgetLabel(budget).c_str());
+        for (auto k : kinds) {
+            double mean = 0;
+            suiteAccuracy(
+                suite, [&] { return makePredictor(k, budget); },
+                &mean);
+            std::printf("%16.2f", mean);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

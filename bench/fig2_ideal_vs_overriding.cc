@@ -1,0 +1,70 @@
+/**
+ * @file
+ * E2 / Figure 2: harmonic-mean IPC of the perceptron and
+ * multi-component predictors with (a) ideal zero-delay access and
+ * (b) realistic overriding (quick 2K gshare in front, disagreement
+ * bubbles equal to the slow predictor's latency), over 16KB-512KB.
+ *
+ * Paper reading: ideal IPC rises with budget; realistic IPC peaks at
+ * a moderate budget and *declines* at large ones — the 512KB
+ * perceptron loses ~11% IPC against its 32KB version. This is the
+ * paper's motivating result.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(800000);
+    benchHeader("Figure 2",
+                "harmonic-mean IPC: zero-delay vs overriding", ops);
+    SuiteTraces suite(ops);
+    CoreConfig cfg;
+
+    const std::vector<PredictorKind> kinds = {
+        PredictorKind::Perceptron,
+        PredictorKind::MultiComponent,
+    };
+
+    std::printf("%-8s", "budget");
+    for (auto k : kinds) {
+        std::printf(" %21s", (kindName(k) + " (ideal)").c_str());
+        std::printf(" %21s", (kindName(k) + " (overr.)").c_str());
+        std::printf(" %5s", "lat");
+    }
+    std::printf("\n");
+
+    for (std::size_t budget : largeBudgetsBytes()) {
+        std::printf("%-8s", budgetLabel(budget).c_str());
+        for (auto k : kinds) {
+            double ideal = 0, over = 0;
+            suiteTiming(
+                suite, cfg,
+                [&] {
+                    return makeFetchPredictor(k, budget,
+                                              DelayMode::Ideal);
+                },
+                &ideal);
+            suiteTiming(
+                suite, cfg,
+                [&] {
+                    return makeFetchPredictor(k, budget,
+                                              DelayMode::Overriding);
+                },
+                &over);
+            std::printf(" %21.3f %21.3f %5u", ideal, over,
+                        predictorLatencyCycles(k, budget));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(\"lat\" = modelled access latency in cycles; the "
+                "overriding penalty per disagreement)\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * E5 / Figure 5: arithmetic-mean misprediction rates of the four
+ * large predictors (multi-component, 2Bc-gskew, perceptron,
+ * gshare.fast) at 16KB-512KB budgets.
+ *
+ * Paper reading: the complex predictors hold a modest accuracy edge
+ * over gshare.fast at every budget (about one percentage point at
+ * 64KB: perceptron 3.6% vs gshare.fast 4.4% in the paper), and the
+ * ordering perceptron < multi-component < 2Bc-gskew < gshare.fast
+ * is stable.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(1200000);
+    benchHeader("Figure 5",
+                "arithmetic-mean misprediction (%) of the four large "
+                "predictors",
+                ops);
+    SuiteTraces suite(ops);
+
+    std::printf("%-8s", "budget");
+    for (auto k : largePredictorKinds())
+        std::printf("%16s", kindName(k).c_str());
+    std::printf("\n");
+
+    for (std::size_t budget : largeBudgetsBytes()) {
+        std::printf("%-8s", budgetLabel(budget).c_str());
+        for (auto k : largePredictorKinds()) {
+            double mean = 0;
+            suiteAccuracy(
+                suite, [&] { return makePredictor(k, budget); },
+                &mean);
+            std::printf("%16.2f", mean);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

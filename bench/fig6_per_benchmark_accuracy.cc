@@ -1,0 +1,58 @@
+/**
+ * @file
+ * E6 / Figure 6: per-benchmark misprediction rates of the complex
+ * predictors and gshare.fast at the ~64KB budget point (the paper
+ * uses the multi-component's 53KB configuration and 64KB for the
+ * others), plus the arithmetic mean.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(1200000);
+    benchHeader("Figure 6",
+                "per-benchmark misprediction (%) at the 64KB budget",
+                ops);
+    SuiteTraces suite(ops);
+
+    const std::vector<std::pair<PredictorKind, std::size_t>> configs = {
+        {PredictorKind::MultiComponent, 53 * 1024},
+        {PredictorKind::Gskew, 64 * 1024},
+        {PredictorKind::Perceptron, 64 * 1024},
+        {PredictorKind::GshareFast, 64 * 1024},
+    };
+
+    std::printf("%-12s", "benchmark");
+    for (const auto &[k, b] : configs)
+        std::printf("%16s", kindName(k).c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> per_kind(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto res = suiteAccuracy(suite, [&] {
+            return makePredictor(configs[c].first, configs[c].second);
+        });
+        for (const auto &r : res)
+            per_kind[c].push_back(r.percent());
+    }
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::printf("%-12s", shortName(suite.name(i)).c_str());
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            std::printf("%16.2f", per_kind[c][i]);
+        std::printf("\n");
+    }
+    std::printf("%-12s", "arith.mean");
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        std::printf("%16.2f", arithmeticMean(per_kind[c]));
+    std::printf("\n");
+    return 0;
+}

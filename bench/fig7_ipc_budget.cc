@@ -1,0 +1,62 @@
+/**
+ * @file
+ * E7 / Figure 7: harmonic-mean IPC of the four large predictors over
+ * 16KB-512KB budgets, left graph (ideal single-cycle prediction for
+ * everyone) and right graph (overriding for the complex predictors;
+ * gshare.fast is pipelined and needs no delay hiding).
+ *
+ * Paper reading (the headline result): with ideal access the complex
+ * predictors win slightly; with realistic overriding their advantage
+ * vanishes and turns into a loss at large budgets, while
+ * gshare.fast's IPC is identical in both graphs because pipelining
+ * hides its delay completely.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+
+namespace {
+
+void
+sweep(const SuiteTraces &suite, const CoreConfig &cfg, DelayMode mode,
+      const char *title)
+{
+    std::printf("\n-- %s --\n", title);
+    std::printf("%-8s", "budget");
+    for (auto k : largePredictorKinds())
+        std::printf("%16s", kindName(k).c_str());
+    std::printf("\n");
+    for (std::size_t budget : largeBudgetsBytes()) {
+        std::printf("%-8s", budgetLabel(budget).c_str());
+        for (auto k : largePredictorKinds()) {
+            double hm = 0;
+            suiteTiming(
+                suite, cfg,
+                [&] { return makeFetchPredictor(k, budget, mode); },
+                &hm);
+            std::printf("%16.3f", hm);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(800000);
+    benchHeader("Figure 7", "harmonic-mean IPC vs hardware budget",
+                ops);
+    SuiteTraces suite(ops);
+    CoreConfig cfg;
+
+    sweep(suite, cfg, DelayMode::Ideal,
+          "left graph: 1-cycle (ideal) prediction");
+    sweep(suite, cfg, DelayMode::Overriding,
+          "right graph: overriding prediction (gshare.fast pipelined)");
+    return 0;
+}

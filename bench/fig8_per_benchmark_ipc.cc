@@ -1,0 +1,68 @@
+/**
+ * @file
+ * E8 / Figure 8: per-benchmark IPC at the ~53KB/64KB budget point
+ * with realistic (overriding) implementations, plus harmonic and
+ * arithmetic means.
+ *
+ * Paper reading: gshare.fast's harmonic-mean IPC edges out the
+ * complex predictors (1.71-ish vs paper's perceptron/multicomponent
+ * slightly below); some benchmarks favour the complex predictors
+ * slightly, others favour gshare.fast.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(800000);
+    benchHeader("Figure 8",
+                "per-benchmark IPC at the 53KB/64KB budget "
+                "(overriding implementations)",
+                ops);
+    SuiteTraces suite(ops);
+    CoreConfig cfg;
+
+    const std::vector<std::pair<PredictorKind, std::size_t>> configs = {
+        {PredictorKind::MultiComponent, 53 * 1024},
+        {PredictorKind::Gskew, 64 * 1024},
+        {PredictorKind::Perceptron, 64 * 1024},
+        {PredictorKind::GshareFast, 64 * 1024},
+    };
+
+    std::vector<std::vector<double>> ipc(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto res = suiteTiming(suite, cfg, [&] {
+            return makeFetchPredictor(configs[c].first,
+                                      configs[c].second,
+                                      DelayMode::Overriding);
+        });
+        for (const auto &r : res)
+            ipc[c].push_back(r.ipc());
+    }
+
+    std::printf("%-12s", "benchmark");
+    for (const auto &[k, b] : configs)
+        std::printf("%16s", kindName(k).c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::printf("%-12s", shortName(suite.name(i)).c_str());
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            std::printf("%16.3f", ipc[c][i]);
+        std::printf("\n");
+    }
+    std::printf("%-12s", "harm.mean");
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        std::printf("%16.3f", harmonicMean(ipc[c]));
+    std::printf("\n%-12s", "arith.mean");
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        std::printf("%16.3f", arithmeticMean(ipc[c]));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths:
+ * predictor predict+update throughput, trace generation, and the
+ * timing simulator itself. These are engineering benchmarks (how
+ * fast is the simulator), not paper reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/factory.hh"
+#include "core/runner.hh"
+#include "workloads/registry.hh"
+
+namespace bpsim {
+namespace {
+
+const TraceBuffer &
+sharedTrace()
+{
+    static const TraceBuffer trace = [] {
+        const auto w = makeWorkload("176.gcc");
+        return generateTrace(*w, 200000, 42);
+    }();
+    return trace;
+}
+
+void
+BM_PredictorThroughput(benchmark::State &state)
+{
+    const auto kind = static_cast<PredictorKind>(state.range(0));
+    const auto &trace = sharedTrace();
+    auto pred = makePredictor(kind, 64 * 1024);
+    Counter branches = 0;
+    for (auto _ : state) {
+        for (const MicroOp &op : trace) {
+            if (op.cls != InstClass::CondBranch)
+                continue;
+            benchmark::DoNotOptimize(pred->predict(op.pc));
+            pred->update(op.pc, op.taken);
+            ++branches;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+    state.SetLabel(kindName(kind));
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto w = makeWorkload("164.gzip");
+    Counter ops = 0;
+    for (auto _ : state) {
+        const auto t = generateTrace(*w, 100000, 1);
+        benchmark::DoNotOptimize(t.size());
+        ops += t.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+void
+BM_TimingSimulator(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    CoreConfig cfg;
+    Counter insts = 0;
+    for (auto _ : state) {
+        auto fp = makeFetchPredictor(PredictorKind::GshareFast,
+                                     64 * 1024, DelayMode::Pipelined);
+        const auto r = runTiming(cfg, *fp, trace);
+        benchmark::DoNotOptimize(r.cycles);
+        insts += r.instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+
+void
+BM_AccuracyRunner(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    Counter branches = 0;
+    for (auto _ : state) {
+        auto pred =
+            makePredictor(PredictorKind::GshareFast, 64 * 1024);
+        const auto r = runAccuracy(*pred, trace);
+        benchmark::DoNotOptimize(r.mispredictions);
+        branches += r.branches;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+
+} // namespace
+} // namespace bpsim
+
+BENCHMARK(bpsim::BM_PredictorThroughput)
+    ->DenseRange(0, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_TimingSimulator)->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_AccuracyRunner)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Context-switch study. Evers' multi-component hybrid — one of the
+ * paper's two "most accurate" predictors — originally came out of
+ * research on prediction in the presence of context switches
+ * (Evers/Chang/Patt, ISCA-23): multi-scheme predictors re-warm
+ * faster because some component recovers quickly. This bench
+ * interleaves two workloads in fixed quanta (simulating kernel
+ * scheduling) and reports how much each predictor loses relative to
+ * running the workloads back to back.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workloads/registry.hh"
+
+using namespace bpsim;
+
+namespace {
+
+/** Interleave two traces in quanta of @p quantum instructions. */
+TraceBuffer
+interleave(const TraceBuffer &a, const TraceBuffer &b,
+           std::size_t quantum)
+{
+    TraceBuffer out;
+    out.reserve(a.size() + b.size());
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.size() || ib < b.size()) {
+        for (std::size_t k = 0; k < quantum && ia < a.size(); ++k)
+            out.push(a[ia++]);
+        for (std::size_t k = 0; k < quantum && ib < b.size(); ++k)
+            out.push(b[ib++]);
+    }
+    return out;
+}
+
+double
+mispOn(const TraceBuffer &t, PredictorKind kind)
+{
+    auto p = makePredictor(kind, 64 * 1024);
+    return runAccuracy(*p, t).percent();
+}
+
+} // namespace
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(400000);
+    std::printf("==============================================================\n");
+    std::printf("Context-switch study — interleaved gcc+crafty at 64KB\n");
+    std::printf("(the workload regime Evers' multi-component design "
+                "targets)\n");
+    std::printf("==============================================================\n");
+
+    const auto gcc = makeWorkload("176.gcc");
+    const auto crafty = makeWorkload("186.crafty");
+    const TraceBuffer ta = generateTrace(*gcc, ops, 42);
+    const TraceBuffer tb = generateTrace(*crafty, ops, 42);
+    const TraceBuffer back_to_back = interleave(ta, tb, ta.size());
+
+    const std::vector<PredictorKind> kinds = {
+        PredictorKind::Gshare,
+        PredictorKind::Gskew,
+        PredictorKind::Perceptron,
+        PredictorKind::MultiComponent,
+        PredictorKind::GshareFast,
+    };
+
+    std::printf("%-16s %16s", "quantum (insts)", "back-to-back");
+    for (std::size_t q : {100000u, 20000u, 4000u})
+        std::printf("%16zu", q);
+    std::printf("\n");
+
+    for (auto kind : kinds) {
+        std::printf("%-16s %16.2f", kindName(kind).c_str(),
+                    mispOn(back_to_back, kind));
+        for (std::size_t q : {100000u, 20000u, 4000u}) {
+            const TraceBuffer mixed = interleave(ta, tb, q);
+            std::printf("%16.2f", mispOn(mixed, kind));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(mean misprediction %%; smaller quanta = more "
+                "frequent context switches)\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pipeline-depth sensitivity study (the paper's premise, Section 1:
+ * "the techniques used to hide the latency of a large and complex
+ * branch predictor do not scale well and will be unable to sustain
+ * IPC for deeper pipelines").
+ *
+ * Sweeps the front-end depth of the core and reports the IPC of the
+ * 512KB perceptron under ideal access and under overriding, plus
+ * gshare.fast — the deeper the pipe, the more each misprediction
+ * costs, and the bigger the relative toll of overriding bubbles on
+ * the fetch stream the back end is trying to stay fed from.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    const Counter ops = benchOpsPerWorkload(600000);
+    benchHeader("Pipeline-depth study",
+                "512KB predictors vs front-end depth", ops);
+    SuiteTraces suite(ops);
+
+    std::printf("%-12s %18s %18s %16s %12s\n", "front-end",
+                "perceptron ideal", "perceptron overr.",
+                "gshare.fast", "overr. loss");
+
+    for (unsigned depth : {6u, 10u, 15u, 20u, 25u}) {
+        CoreConfig cfg;
+        cfg.frontEndDepth = depth;
+
+        double ideal = 0, over = 0, fast = 0;
+        suiteTiming(
+            suite, cfg,
+            [] {
+                return makeFetchPredictor(PredictorKind::Perceptron,
+                                          512 * 1024, DelayMode::Ideal);
+            },
+            &ideal);
+        suiteTiming(
+            suite, cfg,
+            [] {
+                return makeFetchPredictor(PredictorKind::Perceptron,
+                                          512 * 1024,
+                                          DelayMode::Overriding);
+            },
+            &over);
+        suiteTiming(
+            suite, cfg,
+            [] {
+                return makeFetchPredictor(PredictorKind::GshareFast,
+                                          512 * 1024,
+                                          DelayMode::Pipelined);
+            },
+            &fast);
+
+        std::printf("%-12u %18.3f %18.3f %16.3f %11.1f%%\n", depth,
+                    ideal, over, fast,
+                    100.0 * (ideal - over) / ideal);
+    }
+
+    std::printf("\n(overr. loss = IPC the perceptron loses to "
+                "overriding bubbles at that depth)\n");
+    return 0;
+}

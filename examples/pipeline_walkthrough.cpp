@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Pipeline walkthrough: step the cycle-level gshare.fast engine by
+ * hand and watch Figure 4 of the paper happen — one PHT row read
+ * launching per cycle, single-cycle selects from the PHT buffer,
+ * speculative history running ahead of resolution, and checkpointed
+ * recovery after a misprediction.
+ */
+
+#include <cstdio>
+
+#include "pipeline/gshare_fast_engine.hh"
+
+using namespace bpsim;
+
+namespace {
+
+void
+show(const GshareFastEngine &e, const char *event)
+{
+    std::printf("  cycle %-4llu outstanding %-2zu | %s\n",
+                static_cast<unsigned long long>(e.cycle()),
+                e.outstanding(), event);
+}
+
+} // namespace
+
+int
+main()
+{
+    GshareFastEngine::Config cfg;
+    cfg.entries = 1 << 14;  // 4KB PHT
+    cfg.phtLatency = 3;     // the paper's running example
+    cfg.branchesPerCycle = 1;
+    GshareFastEngine engine(cfg);
+
+    std::printf("gshare.fast engine: %zu-entry PHT, latency %u, "
+                "select %u bits, buffer %zu entries\n\n",
+                static_cast<std::size_t>(cfg.entries), cfg.phtLatency,
+                engine.selectBits(), engine.bufferEntries());
+
+    std::printf("A loop branch (taken 3x, then exits) predicted "
+                "every cycle:\n");
+    // Warm up: teach the engine the pattern T T T N.
+    for (int iter = 0; iter < 300; ++iter) {
+        for (int k = 0; k < 4; ++k) {
+            engine.predictBranch(0x4000);
+            if (!engine.resolve(k != 3))
+                engine.recover();
+        }
+    }
+
+    // Now watch one loop execution in detail.
+    for (int k = 0; k < 4; ++k) {
+        const bool actual = k != 3;
+        const bool pred = engine.predictBranch(0x4000);
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "predict %-9s (actual %-9s) %s",
+                      pred ? "taken" : "not-taken",
+                      actual ? "taken" : "not-taken",
+                      pred == actual ? "- hit" : "- MISPREDICT");
+        show(engine, line);
+        if (!engine.resolve(actual)) {
+            engine.recover();
+            show(engine,
+                 "recovery: speculative history overwritten from "
+                 "non-speculative; buffer refilled from checkpoints");
+        }
+    }
+
+    std::printf("\nIdle cycles still launch a row read per cycle "
+                "(the pipeline never blocks):\n");
+    for (int i = 0; i < 3; ++i) {
+        engine.tickIdle();
+        show(engine, "idle - new row prefetch launched");
+    }
+
+    std::printf("\nDeep speculation: predict 6 branches with no "
+                "resolution, then a misprediction squashes them "
+                "all:\n");
+    for (int i = 0; i < 6; ++i) {
+        engine.predictBranch(0x8000 + i * 16);
+    }
+    show(engine, "6 unresolved speculative branches in flight");
+    engine.resolve(false); // oldest resolves, assume it was wrong
+    engine.recover();
+    show(engine, "misprediction: younger speculation discarded");
+
+    std::printf("\nThe key property (tested exhaustively in "
+                "tests/test_engine.cc): this engine's\nprediction "
+                "stream is bit-identical to the functional "
+                "GshareFastPredictor model.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Predictor shootout: compare every predictor in the library on a
+ * chosen workload and budget.
+ *
+ * Usage: predictor_shootout [workload] [budget_kb] [ops]
+ *   workload   SPECint name (default 300.twolf — the hardest)
+ *   budget_kb  hardware budget in KB (default 64)
+ *   ops        trace length (default 500000)
+ *
+ * Prints accuracy, modelled access latency, and delivered IPC under
+ * the realistic delay-hiding scheme each predictor would need.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/factory.hh"
+#include "core/runner.hh"
+#include "workloads/registry.hh"
+
+using namespace bpsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "300.twolf";
+    const std::size_t budget_kb =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 64;
+    const Counter ops =
+        argc > 3 ? static_cast<Counter>(std::atoll(argv[3])) : 500000;
+
+    const auto workload = makeWorkload(name);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s'; choices:\n",
+                     name.c_str());
+        for (const auto &n : specint2000Names())
+            std::fprintf(stderr, "  %s\n", n.c_str());
+        return 1;
+    }
+
+    std::printf("shootout on %s at %zuKB (%llu ops)\n",
+                name.c_str(), budget_kb,
+                static_cast<unsigned long long>(ops));
+    const TraceBuffer trace = generateTrace(*workload, ops, 42);
+    CoreConfig cfg;
+
+    std::printf("%-16s %10s %8s %18s %10s\n", "predictor", "misp(%)",
+                "latency", "delay handling", "IPC");
+    for (auto kind : allKinds()) {
+        auto pred = makePredictor(kind, budget_kb * 1024);
+        const auto acc = runAccuracy(*pred, trace);
+        const unsigned lat =
+            predictorLatencyCycles(kind, budget_kb * 1024);
+
+        // gshare.fast pipelines; everything else over 1 cycle needs
+        // an overriding organization.
+        const DelayMode mode = kind == PredictorKind::GshareFast
+                                   ? DelayMode::Pipelined
+                                   : DelayMode::Overriding;
+        auto fp = makeFetchPredictor(kind, budget_kb * 1024, mode);
+        const auto r = runTiming(cfg, *fp, trace);
+
+        std::printf("%-16s %10.2f %8u %18s %10.3f\n",
+                    kindName(kind).c_str(), acc.percent(), lat,
+                    kind == PredictorKind::GshareFast ? "pipelined"
+                    : lat > 1                         ? "overriding"
+                                                      : "single-cycle",
+                    r.ipc());
+    }
+    return 0;
+}

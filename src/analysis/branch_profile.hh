@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Branch-stream characterization.
+ *
+ * The paper explains its performance results through branch-stream
+ * properties: which branches are biased, which are history-
+ * predictable, and where mispredictions concentrate (Section 4.5).
+ * This module computes those properties for any trace, and is what
+ * the workload kernels were validated against.
+ */
+
+#ifndef BPSIM_ANALYSIS_BRANCH_PROFILE_HH
+#define BPSIM_ANALYSIS_BRANCH_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+
+/** Aggregate statistics for one static branch site. */
+struct SiteStats
+{
+    Addr pc = 0;
+    Counter executions = 0;
+    Counter taken = 0;
+
+    double
+    takenRate() const
+    {
+        return executions ? static_cast<double>(taken) /
+                                static_cast<double>(executions)
+                          : 0.0;
+    }
+
+    /** Bias: how far from 50/50 this site is, in [0, 1]. */
+    double
+    bias() const
+    {
+        const double t = takenRate();
+        return t > 0.5 ? 2.0 * (t - 0.5) : 2.0 * (0.5 - t);
+    }
+
+    /** Bernoulli entropy of the outcome (bits); 0 = fully biased. */
+    double entropyBits() const;
+};
+
+/** Whole-stream branch profile. */
+class BranchProfile
+{
+  public:
+    /** Observe one dynamic conditional branch. */
+    void observe(Addr pc, bool taken);
+
+    Counter dynamicBranches() const { return dynamic_; }
+    std::size_t staticSites() const { return sites_.size(); }
+
+    /** Fraction of dynamic branches that were taken. */
+    double takenFraction() const;
+
+    /**
+     * Execution-weighted mean per-site entropy in bits: an upper
+     * bound proxy for how well a per-branch (bimodal) predictor can
+     * do. 0 = every site fully biased.
+     */
+    double meanSiteEntropyBits() const;
+
+    /** Fraction of dynamic branches from sites with bias >= @p b. */
+    double biasedFraction(double b = 0.9) const;
+
+    /** The @p n most-executed sites, descending. */
+    std::vector<SiteStats> hottestSites(std::size_t n) const;
+
+    /** Per-site stats lookup (zeros if never seen). */
+    SiteStats site(Addr pc) const;
+
+  private:
+    std::unordered_map<Addr, SiteStats> sites_;
+    Counter dynamic_ = 0;
+    Counter taken_ = 0;
+};
+
+/** Build a profile from every conditional branch in @p trace. */
+BranchProfile profileTrace(const TraceBuffer &trace);
+
+/**
+ * Misprediction attribution: which sites a given predictor gets
+ * wrong. Feed it (pc, mispredicted) pairs while running any
+ * predictor, then ask for the top offenders — the methodology behind
+ * per-benchmark explanations like the paper's twolf discussion.
+ */
+class MispredictProfile
+{
+  public:
+    void observe(Addr pc, bool mispredicted);
+
+    Counter branches() const { return branches_; }
+    Counter mispredictions() const { return mispredicts_; }
+    double percent() const;
+
+    struct SiteMisses
+    {
+        Addr pc = 0;
+        Counter executions = 0;
+        Counter misses = 0;
+        /** Share of all mispredictions from this site, in [0,1]. */
+        double shareOfAllMisses = 0.0;
+        double localRate() const
+        {
+            return executions ? static_cast<double>(misses) /
+                                    static_cast<double>(executions)
+                              : 0.0;
+        }
+    };
+
+    /** The @p n sites contributing the most mispredictions. */
+    std::vector<SiteMisses> topOffenders(std::size_t n) const;
+
+  private:
+    struct Cell
+    {
+        Counter executions = 0;
+        Counter misses = 0;
+    };
+    std::unordered_map<Addr, Cell> cells_;
+    Counter branches_ = 0;
+    Counter mispredicts_ = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_ANALYSIS_BRANCH_PROFILE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by predictors, caches and the
+ * delay model. All functions are constexpr and branch-free where
+ * possible since they sit on the simulator's hot paths.
+ */
+
+#ifndef BPSIM_COMMON_BITUTIL_HH
+#define BPSIM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace bpsim {
+
+/** Return a mask with the low @p bits bits set. @p bits may be 0..64. */
+constexpr std::uint64_t
+loMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p v, right-justified. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & loMask(hi - lo + 1);
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2(@p v); @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round @p v up to the next power of two (returns @p v if already). */
+constexpr std::uint64_t
+nextPowerOfTwo(std::uint64_t v)
+{
+    return v <= 1 ? 1 : std::uint64_t{1} << ceilLog2(v);
+}
+
+/**
+ * Fold (XOR-reduce) a wide value down to @p out_bits bits.
+ *
+ * Used for hashing long histories into table indices, e.g. by the
+ * bi-mode and gskew predictors when the history register is longer
+ * than the index width.
+ */
+constexpr std::uint64_t
+foldBits(std::uint64_t v, unsigned out_bits)
+{
+    if (out_bits == 0)
+        return 0;
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & loMask(out_bits);
+        v >>= out_bits;
+    }
+    return r;
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_BITUTIL_HH

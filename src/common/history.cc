@@ -1,0 +1,4 @@
+// HistoryRegister is header-only; this translation unit exists so the
+// common library always has at least one object file per module and
+// to hold any future out-of-line definitions.
+#include "common/history.hh"

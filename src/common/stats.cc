@@ -1,0 +1,90 @@
+#include "common/stats.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace bpsim {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++n_;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ == 0)
+        return 0.0;
+    const double m = mean();
+    return sumSq_ / static_cast<double>(n_) - m * m;
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0 && "harmonic mean requires positive samples");
+        s += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / s;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0 && "geometric mean requires positive samples");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+void
+Histogram::add(std::size_t bucket)
+{
+    if (bucket >= counts_.size())
+        bucket = counts_.size() - 1;
+    ++counts_[bucket];
+    ++total_;
+}
+
+double
+Histogram::cdf(std::size_t bucket) const
+{
+    if (total_ == 0)
+        return 0.0;
+    Counter acc = 0;
+    for (std::size_t i = 0; i <= bucket && i < counts_.size(); ++i)
+        acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+} // namespace bpsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Statistics accumulators used by predictors, the timing simulator
+ * and the experiment drivers.
+ *
+ * The paper reports arithmetic-mean misprediction rates (Figures 1,
+ * 5, 6) and harmonic-mean IPCs (Figures 7, 8); both reductions live
+ * here so every bench computes them identically.
+ */
+
+#ifndef BPSIM_COMMON_STATS_HH
+#define BPSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bpsim {
+
+/** Running scalar statistic: count, mean, min, max, variance. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    Counter count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double sum() const { return sum_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double variance() const;
+
+  private:
+    Counter n_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A ratio statistic (e.g. mispredictions / branches). */
+class RateStat
+{
+  public:
+    void event(bool hit) { ++total_; hits_ += hit ? 1 : 0; }
+    void addEvents(Counter hits, Counter total) { hits_ += hits; total_ += total; }
+
+    Counter hits() const { return hits_; }
+    Counter total() const { return total_; }
+    double rate() const
+    {
+        return total_ ? static_cast<double>(hits_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+    /** Rate expressed in percent, as the paper's figures report. */
+    double percent() const { return 100.0 * rate(); }
+
+  private:
+    Counter hits_ = 0;
+    Counter total_ = 0;
+};
+
+/** Arithmetic mean of a sample vector. */
+double arithmeticMean(const std::vector<double> &xs);
+
+/** Harmonic mean of a sample vector (all entries must be > 0). */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Geometric mean of a sample vector (all entries must be > 0). */
+double geometricMean(const std::vector<double> &xs);
+
+/**
+ * A fixed-bucket histogram over [0, buckets); out-of-range samples
+ * clamp into the last bucket. Used for run-length and dependence
+ * distance diagnostics of synthesized workloads.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+    void add(std::size_t bucket);
+
+    Counter count(std::size_t bucket) const { return counts_.at(bucket); }
+    std::size_t buckets() const { return counts_.size(); }
+    Counter total() const { return total_; }
+
+    /** Fraction of samples at or below @p bucket. */
+    double cdf(std::size_t bucket) const;
+
+  private:
+    std::vector<Counter> counts_;
+    Counter total_ = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_STATS_HH

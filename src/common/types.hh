@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the simulator.
+ *
+ * These mirror the conventions of execution-driven architecture
+ * simulators: addresses are 64-bit, cycle counts are unsigned 64-bit,
+ * and instruction sequence numbers are monotonically increasing.
+ */
+
+#ifndef BPSIM_COMMON_TYPES_HH
+#define BPSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bpsim {
+
+/** A virtual address (branch PC, load/store effective address). */
+using Addr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A dynamic instruction sequence number (fetch order). */
+using InstSeqNum = std::uint64_t;
+
+/** A count of things (instructions, branches, events). */
+using Counter = std::uint64_t;
+
+} // namespace bpsim
+
+#endif // BPSIM_COMMON_TYPES_HH

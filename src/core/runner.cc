@@ -1,0 +1,90 @@
+#include "core/runner.hh"
+
+#include <cstdlib>
+
+#include "common/stats.hh"
+#include "workloads/registry.hh"
+
+namespace bpsim {
+
+AccuracyResult
+runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace)
+{
+    AccuracyResult r;
+    for (const MicroOp &op : trace) {
+        if (op.cls != InstClass::CondBranch)
+            continue;
+        const bool predicted = pred.predict(op.pc);
+        pred.update(op.pc, op.taken);
+        ++r.branches;
+        if (predicted != op.taken)
+            ++r.mispredictions;
+    }
+    return r;
+}
+
+SimResult
+runTiming(const CoreConfig &cfg, FetchPredictor &pred,
+          const TraceBuffer &trace)
+{
+    OooCore core(cfg, pred);
+    return core.run(trace);
+}
+
+SuiteTraces::SuiteTraces(Counter ops_per_workload, std::uint64_t seed)
+{
+    for (const auto &name : specint2000Names()) {
+        const auto w = makeWorkload(name);
+        names_.push_back(name);
+        traces_.push_back(generateTrace(*w, ops_per_workload, seed));
+    }
+}
+
+std::vector<AccuracyResult>
+suiteAccuracy(const SuiteTraces &suite,
+              const std::function<std::unique_ptr<DirectionPredictor>()>
+                  &make,
+              double *mean_percent)
+{
+    std::vector<AccuracyResult> results;
+    std::vector<double> percents;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        auto pred = make();
+        results.push_back(runAccuracy(*pred, suite.trace(i)));
+        percents.push_back(results.back().percent());
+    }
+    if (mean_percent)
+        *mean_percent = arithmeticMean(percents);
+    return results;
+}
+
+std::vector<SimResult>
+suiteTiming(const SuiteTraces &suite, const CoreConfig &cfg,
+            const std::function<std::unique_ptr<FetchPredictor>()>
+                &make,
+            double *harmonic_mean_ipc)
+{
+    std::vector<SimResult> results;
+    std::vector<double> ipcs;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        auto pred = make();
+        results.push_back(runTiming(cfg, *pred, suite.trace(i)));
+        ipcs.push_back(results.back().ipc());
+    }
+    if (harmonic_mean_ipc)
+        *harmonic_mean_ipc = harmonicMean(ipcs);
+    return results;
+}
+
+Counter
+benchOpsPerWorkload(Counter fallback)
+{
+    if (const char *env = std::getenv("BPSIM_OPS_PER_WORKLOAD")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<Counter>(v);
+    }
+    return fallback;
+}
+
+} // namespace bpsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Experiment runners: accuracy-only simulation (Figures 1, 5, 6) and
+ * full timing simulation (Figures 2, 7, 8), plus suite-level
+ * orchestration over the twelve SPECint stand-ins with the paper's
+ * reductions (arithmetic-mean misprediction, harmonic-mean IPC).
+ */
+
+#ifndef BPSIM_CORE_RUNNER_HH
+#define BPSIM_CORE_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "pipeline/fetch_predictor.hh"
+#include "predictors/predictor.hh"
+#include "sim/core_config.hh"
+#include "sim/ooo_core.hh"
+#include "trace/trace_buffer.hh"
+#include "workloads/workload.hh"
+
+namespace bpsim {
+
+/** Result of an accuracy-only run. */
+struct AccuracyResult
+{
+    Counter branches = 0;
+    Counter mispredictions = 0;
+
+    double
+    percent() const
+    {
+        return branches ? 100.0 * static_cast<double>(mispredictions) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+};
+
+/** Replay every conditional branch of @p trace through @p pred. */
+AccuracyResult runAccuracy(DirectionPredictor &pred,
+                           const TraceBuffer &trace);
+
+/** Run the timing simulator over @p trace with @p pred. */
+SimResult runTiming(const CoreConfig &cfg, FetchPredictor &pred,
+                    const TraceBuffer &trace);
+
+/**
+ * Generates and caches one trace per SPECint workload so that every
+ * predictor configuration in an experiment sees the same streams
+ * (the paper's methodology). Trace length and seed are fixed at
+ * construction.
+ */
+class SuiteTraces
+{
+  public:
+    /**
+     * @param ops_per_workload Dynamic instructions per workload.
+     * @param seed Generation seed.
+     */
+    explicit SuiteTraces(Counter ops_per_workload,
+                         std::uint64_t seed = 42);
+
+    std::size_t size() const { return traces_.size(); }
+    const std::string &name(std::size_t i) const { return names_[i]; }
+    const TraceBuffer &trace(std::size_t i) const { return traces_[i]; }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<TraceBuffer> traces_;
+};
+
+/**
+ * Convenience: per-workload accuracy for a predictor built fresh per
+ * workload by @p make. Returns one entry per suite workload plus
+ * fills @p mean_percent with the arithmetic mean (the paper's
+ * Figure 1/5/6 reduction).
+ */
+std::vector<AccuracyResult>
+suiteAccuracy(const SuiteTraces &suite,
+              const std::function<std::unique_ptr<DirectionPredictor>()>
+                  &make,
+              double *mean_percent = nullptr);
+
+/**
+ * Per-workload timing runs for a fetch predictor built fresh per
+ * workload by @p make. Fills @p harmonic_mean_ipc with the paper's
+ * Figure 7/8 reduction.
+ */
+std::vector<SimResult>
+suiteTiming(const SuiteTraces &suite, const CoreConfig &cfg,
+            const std::function<std::unique_ptr<FetchPredictor>()>
+                &make,
+            double *harmonic_mean_ipc = nullptr);
+
+/**
+ * Default trace length for benches; reads BPSIM_OPS_PER_WORKLOAD
+ * from the environment (so the sweeps can be scaled up to
+ * paper-length runs) and falls back to @p fallback.
+ */
+Counter benchOpsPerWorkload(Counter fallback = 400000);
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_RUNNER_HH

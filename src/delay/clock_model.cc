@@ -1,0 +1,29 @@
+#include "delay/clock_model.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace bpsim {
+
+ClockModel::ClockModel(double technology_nm, double period_fo4)
+    : periodFo4_(period_fo4)
+{
+    assert(technology_nm > 0.0 && period_fo4 >= 1.0);
+    // The standard rule of thumb: one FO4 delay is about 360 ps per
+    // micron of drawn gate length (Ho/Mai/Horowitz). At 100 nm this
+    // gives 36 ps, so an 8 FO4 period is 288 ps ~= 3.5 GHz, matching
+    // the paper's Section 4.1.2 assumption.
+    fo4Ps_ = 360.0 * (technology_nm / 1000.0);
+}
+
+unsigned
+ClockModel::cyclesForFo4(double fo4) const
+{
+    if (fo4 <= 0.0)
+        return 1;
+    const double cycles = fo4 / periodFo4_;
+    const unsigned whole = static_cast<unsigned>(std::ceil(cycles));
+    return whole == 0 ? 1 : whole;
+}
+
+} // namespace bpsim

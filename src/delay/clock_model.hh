@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Technology and clock model.
+ *
+ * The paper assumes an aggressive clock period of 8 fan-out-of-four
+ * (FO4) inverter delays — the optimum found by Hrishikesh et al.
+ * (ISCA 2002): 6 FO4 of useful work plus 2 FO4 of latch overhead per
+ * stage — which yields roughly 3.5 GHz in 100 nm technology. All
+ * structure access times in this library are expressed in FO4 so
+ * they scale across process generations, then converted to cycles
+ * through this model.
+ */
+
+#ifndef BPSIM_DELAY_CLOCK_MODEL_HH
+#define BPSIM_DELAY_CLOCK_MODEL_HH
+
+namespace bpsim {
+
+/** Clock/technology parameters expressed in FO4 delays. */
+class ClockModel
+{
+  public:
+    /**
+     * @param technology_nm Drawn gate length in nanometres.
+     * @param period_fo4 Clock period in FO4 delays (paper: 8).
+     */
+    explicit ClockModel(double technology_nm = 100.0,
+                        double period_fo4 = 8.0);
+
+    /** One FO4 inverter delay in picoseconds for this technology. */
+    double fo4Ps() const { return fo4Ps_; }
+
+    /** Clock period in picoseconds. */
+    double periodPs() const { return periodFo4_ * fo4Ps_; }
+
+    /** Clock period in FO4 delays. */
+    double periodFo4() const { return periodFo4_; }
+
+    /** Clock frequency in GHz. */
+    double frequencyGHz() const { return 1000.0 / periodPs(); }
+
+    /** Convert a delay in FO4 units to whole clock cycles (ceiling,
+     *  minimum 1: every access occupies at least one cycle). */
+    unsigned cyclesForFo4(double fo4) const;
+
+  private:
+    double fo4Ps_;
+    double periodFo4_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_DELAY_CLOCK_MODEL_HH

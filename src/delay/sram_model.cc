@@ -1,0 +1,66 @@
+#include "delay/sram_model.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+SramModel::SramModel()
+    : SramModel(0.5, 0.65, 0.5, 0.8, 0.5)
+{
+}
+
+SramModel::SramModel(double fixed, double decode_per_level, double wire,
+                     double wire_exponent, double port_area_factor)
+    : fixed_(fixed),
+      decodePerLevel_(decode_per_level),
+      wire_(wire),
+      wireExponent_(wire_exponent),
+      portAreaFactor_(port_area_factor)
+{
+}
+
+double
+SramModel::accessFo4(const SramGeometry &geom) const
+{
+    assert(geom.entries > 0 && geom.bitsPerEntry > 0 && geom.ports > 0);
+    const double levels =
+        static_cast<double>(ceilLog2(geom.entries));
+    const double kb =
+        static_cast<double>(geom.totalBits()) / (8.0 * 1024.0);
+    // Each extra port roughly doubles cell area, lengthening word
+    // and bit lines; model as a multiplicative area factor inside
+    // the wire term.
+    const double area_kb =
+        kb * (1.0 + portAreaFactor_ * (geom.ports - 1));
+    return fixed_ + decodePerLevel_ * levels +
+           wire_ * std::pow(area_kb, wireExponent_);
+}
+
+unsigned
+SramModel::accessCycles(const SramGeometry &geom,
+                        const ClockModel &clock) const
+{
+    return clock.cyclesForFo4(accessFo4(geom));
+}
+
+std::uint64_t
+SramModel::maxEntriesForCycles(unsigned bits_per_entry, unsigned cycles,
+                               const ClockModel &clock) const
+{
+    std::uint64_t best = 0;
+    for (unsigned lg = 1; lg <= 32; ++lg) {
+        SramGeometry g;
+        g.entries = std::uint64_t{1} << lg;
+        g.bitsPerEntry = bits_per_entry;
+        if (accessCycles(g, clock) <= cycles)
+            best = g.entries;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace bpsim

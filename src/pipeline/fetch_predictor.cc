@@ -1,0 +1,2 @@
+// FetchPredictor wrappers are header-only; see fetch_predictor.hh.
+#include "pipeline/fetch_predictor.hh"

@@ -1,0 +1,136 @@
+#include "pipeline/gshare_fast_engine.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+GshareFastEngine::GshareFastEngine(const Config &cfg)
+    : cfg_(cfg),
+      pht_(cfg.entries),
+      historyBits_(floorLog2(cfg.entries)),
+      // Buffer >= 2^latency entries (Section 3.3.1) so every new
+      // speculative history bit lands in the select, never the row.
+      selBits_(std::min(std::max(9u, cfg.phtLatency - 1),
+                        floorLog2(cfg.entries)))
+{
+    assert(isPowerOfTwo(cfg.entries));
+    assert(cfg.phtLatency >= 1);
+    assert(cfg.branchesPerCycle >= 1);
+    // Row reads in flight: one per read stage minus the one that has
+    // already arrived into the buffer.
+    inflightRows_.assign(cfg.phtLatency - 1, 0);
+    bufferRow_ = 0;
+    nonspecPast_.assign(cfg.phtLatency - 1, 0);
+}
+
+std::uint64_t
+GshareFastEngine::rowFromHistory(std::uint64_t hist) const
+{
+    // Launch-time history is (phtLatency - 1) branches older than
+    // the history the select will use, so the row shift is reduced
+    // accordingly; see GshareFastPredictor::indexFor.
+    const unsigned lag = std::min(cfg_.phtLatency - 1, selBits_);
+    return (hist >> (selBits_ - lag)) &
+           loMask(historyBits_ - selBits_);
+}
+
+void
+GshareFastEngine::advance()
+{
+    // A new row read launches every cycle using the current
+    // speculative history; the oldest in-flight read completes and
+    // becomes the PHT buffer.
+    inflightRows_.push_back(rowFromHistory(specHistory_));
+    bufferRow_ = inflightRows_.front();
+    inflightRows_.pop_front();
+    ++cycle_;
+    branchesThisCycle_ = 0;
+}
+
+void
+GshareFastEngine::tickIdle()
+{
+    advance();
+}
+
+bool
+GshareFastEngine::predictBranch(Addr pc)
+{
+    if (branchesThisCycle_ >= cfg_.branchesPerCycle)
+        advance();
+    ++branchesThisCycle_;
+
+    // Single-cycle select: low PC bits XOR the newest speculative
+    // history bits choose within the buffered row (Figure 4 stage 4).
+    const std::uint64_t col =
+        ((pc >> 4) ^ specHistory_) & loMask(selBits_);
+    const std::size_t index =
+        static_cast<std::size_t>((bufferRow_ << selBits_) | col);
+    const bool prediction = pht_[index].taken();
+
+    outstanding_.push_back({index, prediction});
+    // Speculative history update with the *predicted* direction
+    // (Section 3.2, "speculative update of the global history").
+    specHistory_ = ((specHistory_ << 1) | (prediction ? 1 : 0)) &
+                   loMask(historyBits_);
+    return prediction;
+}
+
+bool
+GshareFastEngine::resolve(bool taken)
+{
+    assert(!outstanding_.empty());
+    const Outstanding o = outstanding_.front();
+    outstanding_.pop_front();
+
+    // Non-speculative PHT update, applied slowly when configured.
+    pendingUpdates_.emplace_back(o.index, taken);
+    while (pendingUpdates_.size() > cfg_.updateDelay) {
+        const auto [idx, dir] = pendingUpdates_.front();
+        pendingUpdates_.pop_front();
+        pht_[idx].update(dir);
+    }
+
+    // Advance the non-speculative history, remembering the past
+    // values the recovery checkpoints would hold.
+    if (!nonspecPast_.empty()) {
+        nonspecPast_.push_back(nonspecHistory_);
+        nonspecPast_.pop_front();
+    }
+    nonspecHistory_ = ((nonspecHistory_ << 1) | (taken ? 1 : 0)) &
+                      loMask(historyBits_);
+    return o.predicted == taken;
+}
+
+void
+GshareFastEngine::recover()
+{
+    // Squash wrong-path predictions and overwrite the speculative
+    // history with the non-speculative one (Section 3.2).
+    outstanding_.clear();
+    specHistory_ = nonspecHistory_;
+    // The PHT buffer copies checkpointed alongside the pipeline
+    // stages refill the row pipeline with exactly the rows the
+    // non-speculative history would have fetched, so recovery costs
+    // no extra predictor cycles.
+    inflightRows_.clear();
+    for (const std::uint64_t h : nonspecPast_)
+        inflightRows_.push_back(rowFromHistory(h));
+    // Force the next prediction to begin a fresh cycle.
+    branchesThisCycle_ = cfg_.branchesPerCycle;
+}
+
+std::size_t
+GshareFastEngine::bufferEntries() const
+{
+    // Section 3.3.1: with B predictions per block and latency L, the
+    // buffer must hold each candidate combination reachable after L
+    // cycles: B * 2^L entries for the running design (and our row
+    // organization provisions a full row per fetch block).
+    std::size_t per_block = std::size_t{1} << cfg_.phtLatency;
+    return cfg_.branchesPerCycle * per_block;
+}
+
+} // namespace bpsim

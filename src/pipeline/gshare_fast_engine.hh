@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cycle-level model of the gshare.fast predictor pipeline
+ * (Section 3.1 / Figure 4 of the paper).
+ *
+ * The engine models the predictor's own little pipeline, which runs
+ * beside the fetch engine:
+ *
+ *   stage 1 .. L   : a PHT row (line of 2^selectBits counters) is
+ *                    being read; each stage carries Branch Present
+ *                    and New History Bit latches that accumulate the
+ *                    speculative history generated while the read is
+ *                    in flight;
+ *   stage L+1      : the arrived row sits in the PHT buffer; the low
+ *                    branch-PC bits XOR the newest speculative
+ *                    history bits select one counter — a single-cycle
+ *                    operation.
+ *
+ * One row read is launched every cycle (the PHT is pipelined), so a
+ * prediction is available every cycle regardless of the PHT's
+ * latency: delay is hidden completely, which is the paper's central
+ * claim. On a misprediction, the speculative history is overwritten
+ * from the non-speculative history, and the checkpointed PHT-buffer
+ * copies associated with older pipeline stages refill the buffer, so
+ * recovery adds no predictor-specific penalty (Section 3.2).
+ *
+ * The engine is validated against GshareFastPredictor (the
+ * functional model): driven at one branch per cycle with immediate
+ * resolution, the two produce identical prediction streams (property
+ * test E12).
+ */
+
+#ifndef BPSIM_PIPELINE_GSHARE_FAST_ENGINE_HH
+#define BPSIM_PIPELINE_GSHARE_FAST_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace bpsim {
+
+/** Cycle-accurate gshare.fast pipeline. */
+class GshareFastEngine
+{
+  public:
+    struct Config
+    {
+        /** PHT entries (power of two). */
+        std::size_t entries = 1 << 16;
+        /** PHT access latency in cycles (the number of read stages). */
+        unsigned phtLatency = 3;
+        /** Maximum branch predictions per cycle (B in Section 3.3.1). */
+        unsigned branchesPerCycle = 1;
+        /** Branches between prediction and PHT counter update. */
+        unsigned updateDelay = 0;
+    };
+
+    explicit GshareFastEngine(const Config &cfg);
+
+    /**
+     * Advance one cycle in which no branch is fetched. A new row
+     * read is still launched (the pipeline never idles).
+     */
+    void tickIdle();
+
+    /**
+     * Fetch and predict one branch this cycle, then advance the
+     * cycle. Returns the (single-cycle) prediction. The speculative
+     * history is updated with the prediction.
+     */
+    bool predictBranch(Addr pc);
+
+    /**
+     * Resolve the oldest outstanding predicted branch with its
+     * actual direction. Trains the PHT (subject to updateDelay) and
+     * advances the non-speculative history.
+     *
+     * @return true if the prediction had been correct.
+     */
+    bool resolve(bool taken);
+
+    /**
+     * Misprediction recovery: overwrite the speculative history with
+     * the non-speculative one and restore the PHT buffer pipeline
+     * from the checkpoints (modelled as an exact refill — the paper
+     * argues the checkpointed copies provide precisely these rows).
+     * Discards all unresolved predictions younger than the
+     * mispredicted branch.
+     */
+    void recover();
+
+    /** Required PHT buffer entries: B * 2^selectBits rows' worth of
+     *  candidate counters in flight (Section 3.3.1 sizing). */
+    std::size_t bufferEntries() const;
+
+    /** Number of predictions outstanding (predicted, unresolved). */
+    std::size_t outstanding() const { return outstanding_.size(); }
+
+    /** Within-row select width. */
+    unsigned selectBits() const { return selBits_; }
+    /** Current cycle number. */
+    Cycle cycle() const { return cycle_; }
+    /** Predictor storage in bits (PHT + history), as budgeted. */
+    std::size_t storageBits() const
+    {
+        return pht_.size() * 2 + historyBits_;
+    }
+
+  private:
+    /** Compute the row index the prefetch launched this cycle uses. */
+    std::uint64_t rowFromHistory(std::uint64_t hist) const;
+
+    /** Advance the row-read pipeline by one cycle. */
+    void advance();
+
+    Config cfg_;
+    std::vector<TwoBitCounter> pht_;
+    unsigned historyBits_;
+    unsigned selBits_;
+
+    /** Speculative global history (bit 0 newest). */
+    std::uint64_t specHistory_ = 0;
+    /** Non-speculative history, advanced at resolve. */
+    std::uint64_t nonspecHistory_ = 0;
+
+    /** Rows in flight, youngest last; front arrives next cycle. */
+    std::deque<std::uint64_t> inflightRows_;
+    /** The arrived row backing this cycle's PHT buffer. */
+    std::uint64_t bufferRow_ = 0;
+
+    /** Outstanding predictions: PHT index and predicted direction. */
+    struct Outstanding
+    {
+        std::size_t index;
+        bool predicted;
+    };
+    std::deque<Outstanding> outstanding_;
+
+    /** Delayed PHT updates (index, direction). */
+    std::deque<std::pair<std::size_t, bool>> pendingUpdates_;
+
+    /**
+     * The last (phtLatency - 1) non-speculative history values —
+     * what the per-stage checkpoint buffers of Section 3.2 would
+     * reconstruct the row pipeline from after a misprediction.
+     */
+    std::deque<std::uint64_t> nonspecPast_;
+
+    Cycle cycle_ = 0;
+    unsigned branchesThisCycle_ = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PIPELINE_GSHARE_FAST_ENGINE_HH

@@ -1,0 +1,33 @@
+#include "predictors/bimodal.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : pht_(entries), mask_(entries - 1)
+{
+    assert(isPowerOfTwo(entries));
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return static_cast<std::size_t>(indexPc(pc)) & mask_;
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return pht_[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    pht_[index(pc)].update(taken);
+}
+
+} // namespace bpsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bimodal predictor (Smith): a PC-indexed table of two-bit counters.
+ *
+ * The simplest dynamic predictor; serves as a baseline, as the
+ * bias component of the 2Bc-gskew predictor, and as a component of
+ * the multi-component hybrid.
+ */
+
+#ifndef BPSIM_PREDICTORS_BIMODAL_HH
+#define BPSIM_PREDICTORS_BIMODAL_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** PC-indexed two-bit-counter predictor. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param entries PHT entry count; must be a power of two. */
+    explicit BimodalPredictor(std::size_t entries);
+
+    std::string name() const override { return "bimodal"; }
+    std::size_t storageBits() const override { return pht_.size() * 2; }
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** Direct table peek for composite predictors and tests. */
+    const TwoBitCounter &counterAt(std::size_t i) const { return pht_[i]; }
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<TwoBitCounter> pht_;
+    std::size_t mask_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_BIMODAL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bi-Mode predictor (Lee, Chen and Mudge, MICRO-30): splits the PHT
+ * into a taken-biased and a not-taken-biased bank, with a PC-indexed
+ * choice PHT selecting between them. This removes most destructive
+ * aliasing between oppositely-biased branches, which is why it beats
+ * plain gshare in Figure 1 of the paper.
+ */
+
+#ifndef BPSIM_PREDICTORS_BIMODE_HH
+#define BPSIM_PREDICTORS_BIMODE_HH
+
+#include <vector>
+
+#include "common/history.hh"
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** Bi-Mode two-bank predictor with a choice PHT. */
+class BiModePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param direction_entries Entries in *each* direction bank
+     *        (power of two).
+     * @param choice_entries Entries in the choice PHT (power of two);
+     *        0 means same as @p direction_entries.
+     */
+    explicit BiModePredictor(std::size_t direction_entries,
+                             std::size_t choice_entries = 0);
+
+    std::string name() const override { return "bimode"; }
+    std::size_t storageBits() const override
+    {
+        return (takenBank_.size() + notTakenBank_.size() +
+                choice_.size()) * 2 + history_.length();
+    }
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t directionIndex(Addr pc) const;
+    std::size_t choiceIndex(Addr pc) const;
+
+    std::vector<TwoBitCounter> takenBank_;
+    std::vector<TwoBitCounter> notTakenBank_;
+    std::vector<TwoBitCounter> choice_;
+    std::size_t dirMask_;
+    std::size_t choiceMask_;
+    unsigned dirIndexBits_;
+    HistoryRegister history_;
+
+    // predict() -> update() carried state
+    bool lastChoiceTaken_ = false;
+    bool lastPrediction_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_BIMODE_HH

@@ -1,0 +1,43 @@
+#include "predictors/gshare.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits)
+    : pht_(entries),
+      mask_(entries - 1),
+      indexBits_(floorLog2(entries)),
+      history_(history_bits == 0 ? floorLog2(entries) : history_bits)
+{
+    assert(isPowerOfTwo(entries));
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    // When the history is longer than the index, fold it down so all
+    // bits still participate.
+    const std::uint64_t h = history_.length() > indexBits_
+                                ? history_.fold(indexBits_)
+                                : history_.low64();
+    return static_cast<std::size_t>((indexPc(pc) ^ h) & mask_);
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    return pht_[index(pc)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    pht_[index(pc)].update(taken);
+    history_.shiftIn(taken);
+}
+
+} // namespace bpsim

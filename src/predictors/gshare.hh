@@ -1,0 +1,55 @@
+/**
+ * @file
+ * gshare predictor (McFarling, WRL TN-36): a PHT of two-bit counters
+ * indexed by the XOR of the branch PC with the global history.
+ *
+ * Following the paper, history length equals log2(PHT entries) —
+ * "the maximum history length possible" (Section 4.1.4). A 2K-entry
+ * gshare is also the quick component of the overriding predictors.
+ */
+
+#ifndef BPSIM_PREDICTORS_GSHARE_HH
+#define BPSIM_PREDICTORS_GSHARE_HH
+
+#include <vector>
+
+#include "common/history.hh"
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** Global-history XOR-indexed two-bit-counter predictor. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries PHT entry count (power of two).
+     * @param history_bits History length; 0 means log2(entries).
+     */
+    explicit GsharePredictor(std::size_t entries,
+                             unsigned history_bits = 0);
+
+    std::string name() const override { return "gshare"; }
+    std::size_t storageBits() const override
+    {
+        return pht_.size() * 2 + history_.length();
+    }
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** Current global history (tests and composite predictors). */
+    const HistoryRegister &history() const { return history_; }
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<TwoBitCounter> pht_;
+    std::size_t mask_;
+    unsigned indexBits_;
+    HistoryRegister history_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_GSHARE_HH

@@ -1,0 +1,94 @@
+#include "predictors/gshare_fast.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+namespace {
+
+/**
+ * Within-row select width: the PHT buffer (and hence the select)
+ * must cover every speculative history bit that can appear while a
+ * row read is in flight — at least 2^latency entries (Section
+ * 3.3.1) — and at least the paper's 9-bit PC select, clamped to the
+ * index width of small tables.
+ */
+unsigned
+selectWidthFor(std::size_t entries, unsigned row_lag)
+{
+    return std::min(std::max(GshareFastPredictor::selectBits, row_lag),
+                    floorLog2(entries));
+}
+
+} // namespace
+
+GshareFastPredictor::GshareFastPredictor(std::size_t entries,
+                                         unsigned row_lag,
+                                         unsigned update_delay)
+    : pht_(entries),
+      historyBits_(floorLog2(entries)),
+      selBits_(selectWidthFor(entries, row_lag)),
+      // Staleness can never exceed the select width (tiny tables
+      // with huge lags clamp), or row bits would be skipped.
+      rowLag_(std::min(row_lag, selectWidthFor(entries, row_lag))),
+      updateDelay_(update_delay),
+      historyRing_(rowLag_ + 1, 0)
+{
+    assert(isPowerOfTwo(entries));
+    assert(historyBits_ <= 64 &&
+           "gshare.fast functional model holds history in one word");
+}
+
+std::size_t
+GshareFastPredictor::indexFor(Addr pc) const
+{
+    // Row from *stale* history (the prefetch began rowLag branches
+    // ago), column from the freshest speculative history XOR the low
+    // PC bits. The fetch-time bit that sits at select-boundary
+    // position selBits at prediction time was at position
+    // (selBits - rowLag) when the row address was formed, so the row
+    // shift is selBits - rowLag: together the column and row then
+    // observe a contiguous history window, which is why the buffer
+    // must hold at least 2^latency entries (Section 3.3.1). With
+    // rowLag == 0 the row uses current history and the only
+    // difference from gshare is that PC bits stop at bit selBits.
+    const std::uint64_t lagged =
+        historyRing_[(ringPos_ + historyRing_.size() - rowLag_) %
+                     historyRing_.size()];
+    const std::uint64_t row =
+        (lagged >> (selBits_ - rowLag_)) &
+        loMask(historyBits_ - selBits_);
+    const std::uint64_t col =
+        (indexPc(pc) ^ history_) & loMask(selBits_);
+    return static_cast<std::size_t>((row << selBits_) | col);
+}
+
+bool
+GshareFastPredictor::predict(Addr pc)
+{
+    return pht_[indexFor(pc)].taken();
+}
+
+void
+GshareFastPredictor::update(Addr pc, bool taken)
+{
+    // Non-speculative PHT update, possibly applied slowly: enqueue
+    // now, retire once updateDelay_ younger branches have passed.
+    pending_.emplace_back(indexFor(pc), taken);
+    while (pending_.size() > updateDelay_) {
+        const auto [idx, dir] = pending_.front();
+        pending_.pop_front();
+        pht_[idx].update(dir);
+    }
+
+    // Speculative history update with perfect recovery == shift in
+    // the actual outcome (see predictor.hh).
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               loMask(historyBits_);
+    ringPos_ = (ringPos_ + 1) % historyRing_.size();
+    historyRing_[ringPos_] = history_;
+}
+
+} // namespace bpsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * gshare.fast — the paper's contribution (Section 3), functional
+ * model.
+ *
+ * gshare.fast reorganizes gshare's index so the predictor can be
+ * pipelined: the *older* history bits (positions >= 9) select a wide
+ * PHT row, which is prefetched over several cycles into a PHT
+ * buffer; at prediction time the lower nine branch-PC bits XOR the
+ * newest (speculative) history bits to select one counter within the
+ * buffered row in a single cycle (Figure 3/4 of the paper). Because
+ * the branch address only ever touches the low 9 index bits, there
+ * is no dependence between the address and the prefetch, which is
+ * the property that makes pipelining possible.
+ *
+ * This class is the *functional* model: it computes the predictions
+ * such a predictor makes, including the two fidelity knobs that
+ * distinguish it from plain gshare —
+ *  - rowLag: the row index is computed from history as it stood a
+ *    few branches ago (the prefetch started rowLag cycles before the
+ *    prediction; worst case one branch per cycle);
+ *  - updateDelay: non-speculative PHT updates are applied up to N
+ *    branches late (Section 3.2's "update the table slowly" policy).
+ * The cycle-accurate pipeline (src/pipeline/gshare_fast_engine) is
+ * validated against this model.
+ */
+
+#ifndef BPSIM_PREDICTORS_GSHARE_FAST_HH
+#define BPSIM_PREDICTORS_GSHARE_FAST_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** Functional model of the pipelined gshare.fast predictor. */
+class GshareFastPredictor : public DirectionPredictor
+{
+  public:
+    /** Width of the within-row select (paper: lower 9 PC bits). */
+    static constexpr unsigned selectBits = 9;
+
+    /**
+     * @param entries PHT entry count (power of two).
+     * @param row_lag Branches of staleness in the row-select history
+     *        (the PHT access latency; paper's running example is 3).
+     * @param update_delay Branches between a prediction and its PHT
+     *        counter update (0 = immediate; Section 3.2 studies 64).
+     */
+    explicit GshareFastPredictor(std::size_t entries,
+                                 unsigned row_lag = 3,
+                                 unsigned update_delay = 0);
+
+    std::string name() const override { return "gshare.fast"; }
+    std::size_t storageBits() const override
+    {
+        return pht_.size() * 2 + historyBits_;
+    }
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** History length (== log2 entries, as for gshare). */
+    unsigned historyBits() const { return historyBits_; }
+    /** Within-row select width for this geometry. */
+    unsigned rowSelectBits() const { return selBits_; }
+    /** Row (line) count in the PHT. */
+    std::size_t rows() const
+    {
+        return pht_.size() >> selBits_;
+    }
+
+    /** Index the full PHT for a (pc, current-history) pair — used by
+     *  the pipelined engine's equivalence tests. */
+    std::size_t indexFor(Addr pc) const;
+
+  private:
+    std::vector<TwoBitCounter> pht_;
+    unsigned historyBits_;
+    unsigned selBits_;
+    unsigned rowLag_;
+    unsigned updateDelay_;
+
+    std::uint64_t history_ = 0;
+    /** Ring of past history values; [0] is current. */
+    std::vector<std::uint64_t> historyRing_;
+    std::size_t ringPos_ = 0;
+
+    /** Pending delayed PHT updates: (index, taken). */
+    std::deque<std::pair<std::size_t, bool>> pending_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_GSHARE_FAST_HH

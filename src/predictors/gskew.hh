@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 2Bc-gskew predictor (Michaud/Seznec/Uhlig ISCA-24; Seznec et al.,
+ * "Design Tradeoffs for the Alpha EV8 Conditional Branch Predictor",
+ * ISCA-29).
+ *
+ * Four banks of two-bit counters: BIM (a bimodal bias table), two
+ * skewed global-history banks G0/G1, and a META chooser. The e-gskew
+ * side predicts by majority vote of {BIM, G0, G1} with each bank
+ * indexed through a different skewing hash so that an address/history
+ * pair that conflicts in one bank rarely conflicts in the others;
+ * META selects between the bimodal side and the e-gskew side.
+ * Partial update keeps the banks from being polluted by branches the
+ * other side already predicts well. This is the paper's stand-in for
+ * a practical, industrial-strength complex predictor.
+ */
+
+#ifndef BPSIM_PREDICTORS_GSKEW_HH
+#define BPSIM_PREDICTORS_GSKEW_HH
+
+#include <vector>
+
+#include "common/history.hh"
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** EV8-style 2Bc-gskew hybrid. */
+class GskewPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param bank_entries Entries per bank (power of two); the total
+     *        budget is 4 banks x entries x 2 bits.
+     * @param history_bits Global history length; 0 picks the EV8-ish
+     *        default of 1.5x the bank index width.
+     */
+    explicit GskewPredictor(std::size_t bank_entries,
+                            unsigned history_bits = 0);
+
+    std::string name() const override { return "2bc-gskew"; }
+    std::size_t storageBits() const override
+    {
+        return (bim_.size() + g0_.size() + g1_.size() + meta_.size()) *
+                   2 +
+               history_.length();
+    }
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    struct Indices
+    {
+        std::size_t bim, g0, g1, meta;
+    };
+    Indices indices(Addr pc) const;
+
+    std::vector<TwoBitCounter> bim_;
+    std::vector<TwoBitCounter> g0_;
+    std::vector<TwoBitCounter> g1_;
+    std::vector<TwoBitCounter> meta_;
+    std::size_t mask_;
+    unsigned indexBits_;
+    HistoryRegister history_;
+
+    // predict() -> update() carried state
+    bool pBim_ = false, pG0_ = false, pG1_ = false;
+    bool pEgskew_ = false, pMetaGskew_ = false, pFinal_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_GSKEW_HH

@@ -1,0 +1,62 @@
+#include "predictors/local.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+LocalPredictor::LocalPredictor(std::size_t history_entries,
+                               unsigned history_bits,
+                               std::size_t pht_entries,
+                               unsigned counter_bits)
+    : histories_(history_entries, 0),
+      pht_(pht_entries == 0 ? (std::size_t{1} << history_bits)
+                            : pht_entries,
+           SatCounter(counter_bits,
+                      static_cast<std::uint8_t>(
+                          (1u << counter_bits) / 2 - 1))),
+      historyBits_(history_bits),
+      counterBits_(counter_bits),
+      histMask_(history_entries - 1),
+      phtMask_(pht_.size() - 1)
+{
+    assert(isPowerOfTwo(history_entries));
+    assert(isPowerOfTwo(pht_.size()));
+    assert(history_bits >= 1 && history_bits <= 64);
+}
+
+std::size_t
+LocalPredictor::historyIndex(Addr pc) const
+{
+    return static_cast<std::size_t>(indexPc(pc)) & histMask_;
+}
+
+std::size_t
+LocalPredictor::phtIndex(Addr pc) const
+{
+    return static_cast<std::size_t>(histories_[historyIndex(pc)]) &
+           phtMask_;
+}
+
+std::uint64_t
+LocalPredictor::localHistory(Addr pc) const
+{
+    return histories_[historyIndex(pc)];
+}
+
+bool
+LocalPredictor::predict(Addr pc)
+{
+    return pht_[phtIndex(pc)].taken();
+}
+
+void
+LocalPredictor::update(Addr pc, bool taken)
+{
+    pht_[phtIndex(pc)].update(taken);
+    auto &h = histories_[historyIndex(pc)];
+    h = ((h << 1) | (taken ? 1 : 0)) & loMask(historyBits_);
+}
+
+} // namespace bpsim

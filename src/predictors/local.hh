@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Local two-level predictor (Yeh and Patt, MICRO-24): a PC-indexed
+ * table of per-branch history registers selects into a pattern
+ * history table. This is the local component of the Alpha EV6
+ * tournament predictor (Section 2.1 of the paper) and supplies the
+ * local-history inputs of the global+local perceptron.
+ */
+
+#ifndef BPSIM_PREDICTORS_LOCAL_HH
+#define BPSIM_PREDICTORS_LOCAL_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** PAg-style local-history two-level predictor. */
+class LocalPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param history_entries Per-branch history table entries
+     *        (power of two; EV6: 1024).
+     * @param history_bits Local history length (EV6: 10).
+     * @param pht_entries Second-level PHT entries (power of two;
+     *        0 means 2^history_bits).
+     * @param counter_bits Width of the PHT counters (EV6 uses 3).
+     */
+    LocalPredictor(std::size_t history_entries, unsigned history_bits,
+                   std::size_t pht_entries = 0,
+                   unsigned counter_bits = 2);
+
+    std::string name() const override { return "local"; }
+    std::size_t storageBits() const override
+    {
+        return histories_.size() * historyBits_ +
+               pht_.size() * counterBits_;
+    }
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** Raw local history of @p pc's entry (for the perceptron). */
+    std::uint64_t localHistory(Addr pc) const;
+
+  private:
+    std::size_t historyIndex(Addr pc) const;
+    std::size_t phtIndex(Addr pc) const;
+
+    std::vector<std::uint64_t> histories_;
+    std::vector<SatCounter> pht_;
+    unsigned historyBits_;
+    unsigned counterBits_;
+    std::size_t histMask_;
+    std::size_t phtMask_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_LOCAL_HH

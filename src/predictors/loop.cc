@@ -1,0 +1,78 @@
+#include "predictors/loop.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+LoopPredictor::LoopPredictor(std::size_t entries, unsigned count_bits)
+    : table_(entries), mask_(entries - 1), countBits_(count_bits)
+{
+    assert(isPowerOfTwo(entries));
+    assert(count_bits >= 2 && count_bits <= 16);
+}
+
+std::size_t
+LoopPredictor::storageBits() const
+{
+    // Two count fields plus the confidence counter per entry.
+    return table_.size() * (2 * countBits_ + 2);
+}
+
+std::size_t
+LoopPredictor::index(Addr pc) const
+{
+    return static_cast<std::size_t>(indexPc(pc)) & mask_;
+}
+
+bool
+LoopPredictor::confident(Addr pc) const
+{
+    const Entry &e = table_[index(pc)];
+    return e.confidence.value() == e.confidence.maxValue() &&
+           e.tripCount > 0;
+}
+
+bool
+LoopPredictor::predict(Addr pc)
+{
+    const Entry &e = table_[index(pc)];
+    if (!confident(pc))
+        return true; // loop branches are taken by default
+    // Predict not-taken exactly at the learned exit.
+    return e.current != e.tripCount;
+}
+
+void
+LoopPredictor::update(Addr pc, bool taken)
+{
+    Entry &e = table_[index(pc)];
+    const std::uint16_t cap =
+        static_cast<std::uint16_t>(loMask(countBits_));
+
+    if (taken) {
+        if (e.current < cap) {
+            ++e.current;
+        } else {
+            // Trip count exceeds the field: this is not a loop this
+            // table can learn.
+            e.confidence.set(0);
+            e.tripCount = 0;
+            e.current = 0;
+        }
+        return;
+    }
+
+    // Loop exit: compare this execution's trip count with the
+    // learned one.
+    if (e.current == e.tripCount && e.tripCount > 0) {
+        e.confidence.increment();
+    } else {
+        e.tripCount = e.current;
+        e.confidence.set(e.tripCount > 0 ? 1 : 0);
+    }
+    e.current = 0;
+}
+
+} // namespace bpsim

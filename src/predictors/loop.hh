@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Loop predictor: per-branch trip-count tracking.
+ *
+ * One of the component types Evers' multi-component work drew on:
+ * a counted loop's backward branch is taken exactly N times then
+ * falls through, a pattern that global- and local-history schemes
+ * capture only when the history window exceeds N. This table learns
+ * N directly and predicts the exit, at any trip count that fits the
+ * count field — complementing the history components rather than
+ * competing with them.
+ */
+
+#ifndef BPSIM_PREDICTORS_LOOP_HH
+#define BPSIM_PREDICTORS_LOOP_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** Trip-count loop predictor. */
+class LoopPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries Loop table entries (power of two).
+     * @param count_bits Width of the trip counters (max learnable
+     *        trip count is 2^count_bits - 1).
+     */
+    explicit LoopPredictor(std::size_t entries,
+                           unsigned count_bits = 10);
+
+    std::string name() const override { return "loop"; }
+    std::size_t storageBits() const override;
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** Whether @p pc currently holds a confident trip count (tests
+     *  and hybrid choosers use this as a filter). */
+    bool confident(Addr pc) const;
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tripCount = 0; ///< learned iterations
+        std::uint16_t current = 0;   ///< position in this execution
+        SatCounter confidence{2, 0}; ///< same count seen repeatedly
+    };
+
+    std::size_t index(Addr pc) const;
+
+    std::vector<Entry> table_;
+    std::size_t mask_;
+    unsigned countBits_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_LOOP_HH

@@ -1,0 +1,100 @@
+#include "predictors/multicomponent.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+#include "predictors/local.hh"
+
+namespace bpsim {
+
+MultiComponentPredictor::MultiComponentPredictor(
+    std::vector<ComponentSpec> global_specs,
+    std::size_t selector_entries, std::size_t local_entries,
+    std::size_t bimodal_entries)
+    : selectorMask_(selector_entries - 1)
+{
+    assert(isPowerOfTwo(selector_entries));
+    assert(!global_specs.empty());
+
+    // The bimodal component covers biased branches cheaply.
+    components_.push_back(std::make_unique<BimodalPredictor>(
+        std::max<std::size_t>(bimodal_entries, 64)));
+    // A local-history two-level component catches self-correlated
+    // branches no global-history component sees.
+    if (local_entries > 0)
+        components_.push_back(std::make_unique<LocalPredictor>(
+            local_entries, 10, 1024, 3));
+    for (const ComponentSpec &spec : global_specs)
+        components_.push_back(std::make_unique<GsharePredictor>(
+            spec.entries, spec.historyBits));
+
+    // Start fully confident so cold branches use the longest-history
+    // component only once it proves itself; ties resolve toward the
+    // *later* (longer-history) component below.
+    selector_.assign(selector_entries * components_.size(),
+                     SatCounter(2, 3));
+    componentPreds_.resize(components_.size());
+}
+
+std::size_t
+MultiComponentPredictor::storageBits() const
+{
+    std::size_t bits = selector_.size() * 2;
+    for (const auto &c : components_)
+        bits += c->storageBits();
+    return bits;
+}
+
+std::size_t
+MultiComponentPredictor::selectorIndex(Addr pc) const
+{
+    return (static_cast<std::size_t>(indexPc(pc)) & selectorMask_) *
+           components_.size();
+}
+
+bool
+MultiComponentPredictor::predict(Addr pc)
+{
+    const std::size_t base = selectorIndex(pc);
+    std::size_t best = 0;
+    std::uint8_t best_conf = 0;
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+        componentPreds_[c] = components_[c]->predict(pc);
+        const std::uint8_t conf = selector_[base + c].value();
+        // >= so that ties pick the longest-history component, which
+        // Evers found captures the most correlation when confident.
+        if (conf >= best_conf) {
+            best_conf = conf;
+            best = c;
+        }
+    }
+    chosen_ = best;
+    lastPrediction_ = componentPreds_[chosen_];
+    return lastPrediction_;
+}
+
+void
+MultiComponentPredictor::update(Addr pc, bool taken)
+{
+    const std::size_t base = selectorIndex(pc);
+    const bool hybrid_correct = lastPrediction_ == taken;
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+        const bool correct = componentPreds_[c] == taken;
+        if (!hybrid_correct) {
+            // The selection failed: re-rank every component so a
+            // component that handles this branch takes over.
+            if (correct)
+                selector_[base + c].increment();
+            else
+                selector_[base + c].decrement();
+        } else if (c == chosen_) {
+            // Reinforce a working choice; leave the others alone
+            // (Evers' rule — demoting them on every success makes
+            // the selector thrash on noisy branches).
+            selector_[base + c].increment();
+        }
+        components_[c]->update(pc, taken);
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-component hybrid predictor (Evers, "Improving Branch
+ * Prediction by Understanding Branch Behavior", PhD thesis,
+ * University of Michigan, 2000) — the second of the paper's two
+ * "most accurate known" predictors.
+ *
+ * Several two-level components observe the same branch stream
+ * through different *global* history lengths, so each captures
+ * correlation at a different distance; a *local*-history two-level
+ * component covers self-correlated (loop/periodic) branches and a
+ * bimodal component covers biased branches. A PC-indexed selector
+ * holds one two-bit confidence counter per component and predicts
+ * with the most-confident component (ties go to the longer
+ * history). Confidence adapts per branch: on a hybrid
+ * misprediction, components that were right gain confidence and
+ * components that were wrong lose it.
+ *
+ * This organization is exactly what Section 2.2 of the paper calls
+ * complex: multiple large tables plus selection logic between them,
+ * all on the prediction critical path.
+ */
+
+#ifndef BPSIM_PREDICTORS_MULTICOMPONENT_HH
+#define BPSIM_PREDICTORS_MULTICOMPONENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/gshare.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** Evers-style multi-component hybrid with confidence selection. */
+class MultiComponentPredictor : public DirectionPredictor
+{
+  public:
+    /** One global two-level component: table size and history. */
+    struct ComponentSpec
+    {
+        std::size_t entries;
+        unsigned historyBits;
+    };
+
+    /**
+     * @param global_specs Table size and global history length for
+     *        each two-level component, ascending history (bimodal
+     *        and local-history components are always added first).
+     * @param selector_entries Selector table entries (power of two).
+     * @param local_entries Local-history table entries (power of
+     *        two); 0 omits the local component.
+     * @param bimodal_entries Bimodal component entries.
+     */
+    MultiComponentPredictor(std::vector<ComponentSpec> global_specs,
+                            std::size_t selector_entries,
+                            std::size_t local_entries = 1024,
+                            std::size_t bimodal_entries = 1024);
+
+    std::string name() const override { return "multicomponent"; }
+    std::size_t storageBits() const override;
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** Number of components including the bimodal one. */
+    std::size_t numComponents() const { return components_.size(); }
+
+  private:
+    std::size_t selectorIndex(Addr pc) const;
+
+    std::vector<std::unique_ptr<DirectionPredictor>> components_;
+    /** selector_[entry * numComponents + c] */
+    std::vector<SatCounter> selector_;
+    std::size_t selectorMask_;
+
+    // predict() -> update() carried state
+    std::vector<bool> componentPreds_;
+    std::size_t chosen_ = 0;
+    bool lastPrediction_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_MULTICOMPONENT_HH

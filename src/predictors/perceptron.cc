@@ -1,0 +1,105 @@
+#include "predictors/perceptron.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+PerceptronPredictor::PerceptronPredictor(std::size_t num_perceptrons,
+                                         unsigned global_bits,
+                                         unsigned local_bits,
+                                         std::size_t local_entries,
+                                         unsigned weight_bits)
+    : globalBits_(global_bits),
+      localBits_(local_bits),
+      weightBits_(weight_bits),
+      numRows_(num_perceptrons),
+      localMask_(local_entries - 1),
+      threshold_(static_cast<int>(1.93 * (global_bits + local_bits)) +
+                 14),
+      rowStride_(1 + global_bits + local_bits),
+      globalHistory_(global_bits),
+      localHistories_(local_bits > 0 ? local_entries : 0, 0)
+{
+    assert(num_perceptrons >= 1);
+    assert(local_bits == 0 || isPowerOfTwo(local_entries));
+    weights_.assign(num_perceptrons * rowStride_,
+                    SignedWeight(weight_bits, 0));
+}
+
+std::size_t
+PerceptronPredictor::storageBits() const
+{
+    return weights_.size() * weightBits_ +
+           localHistories_.size() * localBits_ +
+           globalHistory_.length();
+}
+
+std::size_t
+PerceptronPredictor::rowIndex(Addr pc) const
+{
+    // The row count need not be a power of two (the weight table is
+    // indexed by a small modulo, as in the TOCS design), which lets
+    // configurations use their full hardware budget.
+    return static_cast<std::size_t>(indexPc(pc)) % numRows_;
+}
+
+std::size_t
+PerceptronPredictor::localIndex(Addr pc) const
+{
+    return static_cast<std::size_t>(indexPc(pc)) & localMask_;
+}
+
+bool
+PerceptronPredictor::predict(Addr pc)
+{
+    const SignedWeight *row = &weights_[rowIndex(pc) * rowStride_];
+    int y = row[0].value(); // bias weight (input fixed at 1)
+    for (unsigned i = 0; i < globalBits_; ++i) {
+        const int x = globalHistory_.bit(i) ? 1 : -1;
+        y += x * row[1 + i].value();
+    }
+    if (localBits_ > 0) {
+        const std::uint64_t lh = localHistories_[localIndex(pc)];
+        for (unsigned i = 0; i < localBits_; ++i) {
+            const int x = ((lh >> i) & 1) ? 1 : -1;
+            y += x * row[1 + globalBits_ + i].value();
+        }
+    }
+    lastOutput_ = y;
+    return y >= 0;
+}
+
+void
+PerceptronPredictor::update(Addr pc, bool taken)
+{
+    const bool predicted = lastOutput_ >= 0;
+    const int magnitude =
+        lastOutput_ >= 0 ? lastOutput_ : -lastOutput_;
+    // Train on mispredictions and on low-confidence correct
+    // predictions (|y| <= theta), per the TOCS training rule.
+    if (predicted != taken || magnitude <= threshold_) {
+        SignedWeight *row = &weights_[rowIndex(pc) * rowStride_];
+        row[0].train(taken);
+        for (unsigned i = 0; i < globalBits_; ++i) {
+            const bool x = globalHistory_.bit(i);
+            row[1 + i].train(x == taken);
+        }
+        if (localBits_ > 0) {
+            const std::uint64_t lh = localHistories_[localIndex(pc)];
+            for (unsigned i = 0; i < localBits_; ++i) {
+                const bool x = (lh >> i) & 1;
+                row[1 + globalBits_ + i].train(x == taken);
+            }
+        }
+    }
+
+    globalHistory_.shiftIn(taken);
+    if (localBits_ > 0) {
+        auto &lh = localHistories_[localIndex(pc)];
+        lh = ((lh << 1) | (taken ? 1 : 0)) & loMask(localBits_);
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The branch direction predictor interface.
+ *
+ * The paper (and this reproduction) is concerned only with
+ * *direction* prediction — taken vs. not-taken for conditional
+ * branches (Section 3.3.3); target prediction is the BTB's job in
+ * src/sim.
+ *
+ * Contract: the driver calls predict(pc), then update(pc, taken)
+ * for the same branch before the next predict(). Predictors may
+ * cache per-prediction state between the two calls. History
+ * registers are updated inside update() with the *actual* outcome,
+ * which implements the paper's optimistic "speculative update with
+ * zero-latency misprediction recovery" assumption (Section 4.1.2):
+ * in a trace-driven run the recovered speculative history is exactly
+ * the actual outcome history.
+ */
+
+#ifndef BPSIM_PREDICTORS_PREDICTOR_HH
+#define BPSIM_PREDICTORS_PREDICTOR_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace bpsim {
+
+/** Abstract conditional-branch direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Short name for reports, e.g. "gshare". */
+    virtual std::string name() const = 0;
+
+    /** Total predictor state in bits (the paper's hardware budget). */
+    virtual std::size_t storageBits() const = 0;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /**
+     * Train on the resolved outcome of the branch last passed to
+     * predict(). @p taken is the actual direction.
+     */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Hardware budget in bytes (rounded up). */
+    std::size_t storageBytes() const { return (storageBits() + 7) / 8; }
+
+  protected:
+    /**
+     * Branch PCs in this simulator sit at 16-byte-aligned static
+     * slots (see Tracer), so predictors drop the constant low bits —
+     * the analogue of real predictors dropping the instruction
+     * alignment bits.
+     */
+    static Addr indexPc(Addr pc) { return pc >> 4; }
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_PREDICTOR_HH

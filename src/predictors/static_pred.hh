@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trivial static predictors, used as baselines and in tests.
+ */
+
+#ifndef BPSIM_PREDICTORS_STATIC_PRED_HH
+#define BPSIM_PREDICTORS_STATIC_PRED_HH
+
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** Predicts a fixed direction for every branch. */
+class StaticPredictor : public DirectionPredictor
+{
+  public:
+    explicit StaticPredictor(bool taken = true) : taken_(taken) {}
+
+    std::string name() const override
+    {
+        return taken_ ? "always-taken" : "always-not-taken";
+    }
+    std::size_t storageBits() const override { return 0; }
+    bool predict(Addr) override { return taken_; }
+    void update(Addr, bool) override {}
+
+  private:
+    bool taken_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_STATIC_PRED_HH

@@ -1,0 +1,65 @@
+#include "predictors/tournament.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace bpsim {
+
+TournamentPredictor::TournamentPredictor(std::size_t global_entries,
+                                         std::size_t local_entries,
+                                         unsigned local_history_bits,
+                                         std::size_t chooser_entries)
+    : globalPht_(global_entries),
+      local_(local_entries, local_history_bits,
+             std::size_t{1} << local_history_bits, 3),
+      chooser_(chooser_entries),
+      globalMask_(global_entries - 1),
+      chooserMask_(chooser_entries - 1),
+      history_(floorLog2(global_entries))
+{
+    assert(isPowerOfTwo(global_entries));
+    assert(isPowerOfTwo(chooser_entries));
+}
+
+std::size_t
+TournamentPredictor::storageBits() const
+{
+    return globalPht_.size() * 2 + local_.storageBits() +
+           chooser_.size() * 2 + history_.length();
+}
+
+std::size_t
+TournamentPredictor::globalIndex() const
+{
+    // EV6 indexes the global PHT purely by global history.
+    return static_cast<std::size_t>(history_.low64()) & globalMask_;
+}
+
+std::size_t
+TournamentPredictor::chooserIndex() const
+{
+    return static_cast<std::size_t>(history_.low64()) & chooserMask_;
+}
+
+bool
+TournamentPredictor::predict(Addr pc)
+{
+    pGlobal_ = globalPht_[globalIndex()].taken();
+    pLocal_ = local_.predict(pc);
+    pChoseGlobal_ = chooser_[chooserIndex()].taken();
+    return pChoseGlobal_ ? pGlobal_ : pLocal_;
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken)
+{
+    // Chooser trains only when the components disagree.
+    if (pGlobal_ != pLocal_)
+        chooser_[chooserIndex()].update(pGlobal_ == taken);
+    globalPht_[globalIndex()].update(taken);
+    local_.update(pc, taken);
+    history_.shiftIn(taken);
+}
+
+} // namespace bpsim

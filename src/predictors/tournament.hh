@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Alpha EV6 (21264) tournament predictor (Kessler, IEEE Micro 1999),
+ * as described in Section 2.1 of the paper: a 4K-entry global
+ * two-level predictor and a 1K x 10-bit local two-level predictor,
+ * arbitrated by a 4K-entry chooser indexed by global history.
+ */
+
+#ifndef BPSIM_PREDICTORS_TOURNAMENT_HH
+#define BPSIM_PREDICTORS_TOURNAMENT_HH
+
+#include <vector>
+
+#include "common/history.hh"
+#include "common/sat_counter.hh"
+#include "predictors/local.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** EV6-style global/local tournament hybrid. */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * Defaults reproduce the EV6 configuration; all table sizes are
+     * powers of two. The scale parameter multiplies every structure
+     * for budget sweeps.
+     */
+    explicit TournamentPredictor(std::size_t global_entries = 4096,
+                                 std::size_t local_entries = 1024,
+                                 unsigned local_history_bits = 10,
+                                 std::size_t chooser_entries = 4096);
+
+    std::string name() const override { return "ev6-tournament"; }
+    std::size_t storageBits() const override;
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t globalIndex() const;
+    std::size_t chooserIndex() const;
+
+    std::vector<TwoBitCounter> globalPht_;
+    LocalPredictor local_;
+    std::vector<TwoBitCounter> chooser_;
+    std::size_t globalMask_;
+    std::size_t chooserMask_;
+    HistoryRegister history_;
+
+    bool pGlobal_ = false, pLocal_ = false, pChoseGlobal_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_TOURNAMENT_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * YAGS — "Yet Another Global Scheme" (Eden and Mudge, MICRO-31).
+ *
+ * A refinement of the Bi-Mode idea: a PC-indexed choice PHT supplies
+ * the bias, and two small *tagged* direction caches (taken-cache and
+ * not-taken-cache) store only the exceptions — instances where the
+ * outcome disagrees with the bias. Tags eliminate most destructive
+ * aliasing at a fraction of Bi-Mode's direction-bank storage. It
+ * belongs to the same "cleverer indexing, more logic levels" family
+ * the paper weighs against pipelinable simplicity.
+ */
+
+#ifndef BPSIM_PREDICTORS_YAGS_HH
+#define BPSIM_PREDICTORS_YAGS_HH
+
+#include <vector>
+
+#include "common/history.hh"
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim {
+
+/** YAGS: choice PHT + tagged exception caches. */
+class YagsPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param choice_entries Choice PHT entries (power of two).
+     * @param cache_entries Entries in *each* exception cache
+     *        (power of two).
+     * @param tag_bits Partial tag width (6-8 in the paper).
+     */
+    YagsPredictor(std::size_t choice_entries,
+                  std::size_t cache_entries, unsigned tag_bits = 8);
+
+    std::string name() const override { return "yags"; }
+    std::size_t storageBits() const override;
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    struct CacheEntry
+    {
+        std::uint16_t tag = 0;
+        TwoBitCounter counter;
+        bool valid = false;
+    };
+
+    std::size_t choiceIndex(Addr pc) const;
+    std::size_t cacheIndex(Addr pc) const;
+    std::uint16_t tagOf(Addr pc) const;
+
+    std::vector<TwoBitCounter> choice_;
+    std::vector<CacheEntry> takenCache_;    ///< exceptions when bias=T
+    std::vector<CacheEntry> notTakenCache_; ///< exceptions when bias=NT
+    std::size_t choiceMask_;
+    std::size_t cacheMask_;
+    unsigned cacheIndexBits_;
+    unsigned tagBits_;
+    HistoryRegister history_;
+
+    // predict() -> update() carried state
+    bool lastBiasTaken_ = false;
+    bool lastFromCache_ = false;
+    bool lastPrediction_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_YAGS_HH

@@ -1,0 +1,308 @@
+#include "sim/ooo_core.hh"
+
+#include <cassert>
+
+namespace bpsim {
+
+OooCore::OooCore(const CoreConfig &cfg, FetchPredictor &predictor)
+    : cfg_(cfg),
+      predictor_(predictor),
+      l1i_(cfg.l1iSizeBytes, cfg.l1iLineBytes, cfg.l1iAssoc, "l1i"),
+      l1d_(cfg.l1dSizeBytes, cfg.l1dLineBytes, cfg.l1dAssoc, "l1d"),
+      l2_(cfg.l2SizeBytes, cfg.l2LineBytes, cfg.l2Assoc, "l2"),
+      btb_(cfg.btbEntries, cfg.btbAssoc),
+      rob_(cfg.robEntries),
+      regProducer_(64)
+{
+}
+
+OooCore::Producer
+OooCore::producerOf(std::uint8_t reg) const
+{
+    if (reg == 0)
+        return {};
+    return regProducer_[reg];
+}
+
+bool
+OooCore::producerDone(const Producer &p) const
+{
+    if (p.robSlot < 0)
+        return true;
+    const RobEntry &e = rob_[static_cast<std::size_t>(p.robSlot)];
+    // The producing entry may have retired and its slot been reused;
+    // the sequence number disambiguates.
+    if (!e.valid || e.seq != p.seq)
+        return true;
+    return e.done && e.completeCycle <= cycle_;
+}
+
+unsigned
+OooCore::loadLatency(Addr addr)
+{
+    if (l1d_.access(addr))
+        return cfg_.l1dHitCycles;
+    if (l2_.access(addr))
+        return cfg_.l1dHitCycles + cfg_.l2HitCycles;
+    return cfg_.l1dHitCycles + cfg_.l2HitCycles + cfg_.memoryCycles;
+}
+
+void
+OooCore::fetchStage(const TraceBuffer &trace)
+{
+    if (fetchBlocked_) {
+        ++result_.mispredictWaitCycles;
+        return;
+    }
+    if (cycle_ < fetchStallUntil_) {
+        if (stallReason_ == StallReason::Icache)
+            ++result_.icacheStallCycles;
+        else if (stallReason_ == StallReason::FrontEnd)
+            ++result_.frontEndStallCycles;
+        else if (stallReason_ == StallReason::Redirect)
+            ++result_.mispredictWaitCycles;
+        return;
+    }
+    stallReason_ = StallReason::None;
+
+    for (unsigned n = 0; n < cfg_.issueWidth; ++n) {
+        if (fetchIndex_ >= trace.size() ||
+            fetchBuffer_.size() >= cfg_.fetchBufferEntries)
+            return;
+
+        const MicroOp &op = trace[fetchIndex_];
+
+        // Instruction cache: one access per new line.
+        const Addr line = op.pc / cfg_.l1iLineBytes;
+        if (line != lastFetchLine_) {
+            lastFetchLine_ = line;
+            if (!l1i_.access(op.pc)) {
+                const unsigned stall = l2_.access(op.pc)
+                                           ? cfg_.ifetchL2Cycles
+                                           : cfg_.ifetchMemoryCycles;
+                fetchStallUntil_ = cycle_ + stall;
+                stallReason_ = StallReason::Icache;
+                return; // refetch this op after the miss resolves
+            }
+        }
+
+        bool mispredicted = false;
+        bool ends_fetch_block = false;
+
+        if (op.cls == InstClass::CondBranch) {
+            const FetchPrediction fp = predictor_.predict(op.pc);
+            predictor_.update(op.pc, op.taken);
+            ++result_.condBranches;
+            if (fp.bubbleCycles > 0) {
+                // Overriding disagreement (or stall-style delay):
+                // the fetches behind this branch are squashed.
+                fetchStallUntil_ = cycle_ + 1 + fp.bubbleCycles;
+                stallReason_ = StallReason::FrontEnd;
+                result_.overridingBubbleCycles += fp.bubbleCycles;
+                ends_fetch_block = true;
+            }
+            if (fp.taken != op.taken) {
+                ++result_.mispredictions;
+                mispredicted = true;
+                fetchBlocked_ = true;
+                ends_fetch_block = true;
+            } else if (fp.taken) {
+                // Correctly predicted taken: need the target.
+                const auto target = btb_.lookup(op.pc);
+                if (!target || *target != op.extra) {
+                    fetchStallUntil_ =
+                        cycle_ + 1 + cfg_.btbMissPenalty;
+                    stallReason_ = StallReason::FrontEnd;
+                    result_.btbMissPenaltyCycles +=
+                        cfg_.btbMissPenalty;
+                }
+                btb_.update(op.pc, op.extra);
+                ends_fetch_block = true; // discontinuous fetch
+            }
+        } else if (op.cls == InstClass::UncondBranch) {
+            const auto target = btb_.lookup(op.pc);
+            if (!target || *target != op.extra) {
+                fetchStallUntil_ = cycle_ + 1 + cfg_.btbMissPenalty;
+                stallReason_ = StallReason::FrontEnd;
+                result_.btbMissPenaltyCycles += cfg_.btbMissPenalty;
+            }
+            btb_.update(op.pc, op.extra);
+            ends_fetch_block = true;
+        }
+
+        fetchBuffer_.push_back(
+            {static_cast<std::uint32_t>(fetchIndex_),
+             cycle_ + cfg_.frontEndDepth, mispredicted});
+        ++fetchIndex_;
+
+        if (ends_fetch_block)
+            return;
+    }
+}
+
+void
+OooCore::dispatchStage(const TraceBuffer &trace)
+{
+    for (unsigned n = 0; n < cfg_.issueWidth; ++n) {
+        if (fetchBuffer_.empty() || robCount_ >= rob_.size())
+            return;
+        const FetchedInst &fi = fetchBuffer_.front();
+        if (fi.dispatchReady > cycle_)
+            return;
+
+        RobEntry &e = rob_[robTail_];
+        e.seq = nextSeq_++;
+        e.traceIndex = fi.traceIndex;
+        e.completeCycle = 0;
+        e.issued = false;
+        e.done = false;
+        e.mispredictedBranch = fi.mispredictedBranch;
+        e.valid = true;
+
+        const MicroOp &op = trace[fi.traceIndex];
+        // Capture the operand producers *now*: dispatch order is
+        // program order, so regProducer_ still names the youngest
+        // older writer of each source register.
+        e.prodA = producerOf(op.srcA);
+        e.prodB = producerOf(op.srcB);
+        if (op.dst != 0)
+            regProducer_[op.dst] = {static_cast<std::int32_t>(robTail_),
+                                    e.seq};
+
+        robTail_ = (robTail_ + 1) % rob_.size();
+        ++robCount_;
+        ++unissuedCount_;
+        fetchBuffer_.pop_front();
+    }
+}
+
+void
+OooCore::issueStage(const TraceBuffer &trace)
+{
+    // Oldest-first issue of ready instructions, bounded by issue
+    // width. Scanning the whole ROB every cycle would be slow and
+    // unrealistic; a bounded window over unissued entries
+    // approximates a real issue queue.
+    if (unissuedCount_ == 0)
+        return;
+    unsigned issued = 0;
+    unsigned scanned = 0;
+    const unsigned scan_limit = cfg_.issueWidth * 8;
+    std::size_t slot = robHead_;
+    for (std::size_t k = 0; k < robCount_ && issued < cfg_.issueWidth &&
+                            scanned < scan_limit;
+         ++k, slot = (slot + 1) % rob_.size()) {
+        RobEntry &e = rob_[slot];
+        if (e.issued)
+            continue;
+        ++scanned;
+        if (!producerDone(e.prodA) || !producerDone(e.prodB))
+            continue;
+        const MicroOp &op = trace[e.traceIndex];
+
+        unsigned latency = 1;
+        switch (op.cls) {
+          case InstClass::IntMul:
+            latency = cfg_.mulCycles;
+            break;
+          case InstClass::Load:
+            latency = loadLatency(op.extra);
+            break;
+          case InstClass::Store:
+            latency = 1; // address generation; data written at commit
+            break;
+          default:
+            latency = 1;
+            break;
+        }
+        e.issued = true;
+        e.completeCycle = cycle_ + latency;
+        ++issued;
+        ++issuedNotDone_;
+        --unissuedCount_;
+        if (issuedNotDone_ == 1 || e.completeCycle < nextCompleteCycle_)
+            nextCompleteCycle_ = e.completeCycle;
+    }
+}
+
+void
+OooCore::completeStage()
+{
+    if (issuedNotDone_ == 0 || cycle_ < nextCompleteCycle_)
+        return;
+    Cycle next_min = ~Cycle{0};
+    std::size_t slot = robHead_;
+    for (std::size_t k = 0; k < robCount_;
+         ++k, slot = (slot + 1) % rob_.size()) {
+        RobEntry &e = rob_[slot];
+        if (e.issued && !e.done && e.completeCycle > cycle_ &&
+            e.completeCycle < next_min)
+            next_min = e.completeCycle;
+        if (e.issued && !e.done && e.completeCycle <= cycle_) {
+            e.done = true;
+            --issuedNotDone_;
+            if (e.mispredictedBranch) {
+                // Branch resolution redirects fetch next cycle; the
+                // redirect gap is part of the misprediction cost.
+                fetchBlocked_ = false;
+                if (fetchStallUntil_ <= cycle_)
+                    fetchStallUntil_ = cycle_ + 1;
+                stallReason_ = StallReason::Redirect;
+                // The refetched path starts a new cache line.
+                lastFetchLine_ = ~Addr{0};
+            }
+        }
+    }
+    nextCompleteCycle_ = next_min;
+}
+
+void
+OooCore::commitStage(const TraceBuffer &trace)
+{
+    for (unsigned n = 0; n < cfg_.issueWidth; ++n) {
+        if (robCount_ == 0)
+            return;
+        RobEntry &e = rob_[robHead_];
+        if (!e.done || e.completeCycle > cycle_)
+            return;
+        const MicroOp &op = trace[e.traceIndex];
+        if (op.cls == InstClass::Store) {
+            // Stores write the memory system at commit.
+            if (!l1d_.access(op.extra))
+                l2_.access(op.extra);
+        }
+        ++result_.instructions;
+        e.valid = false;
+        robHead_ = (robHead_ + 1) % rob_.size();
+        --robCount_;
+    }
+}
+
+SimResult
+OooCore::run(const TraceBuffer &trace)
+{
+    result_ = SimResult{};
+    // Guard against a livelocked configuration ever looping forever.
+    const Cycle max_cycles =
+        static_cast<Cycle>(trace.size()) * 64 + 100000;
+
+    while ((fetchIndex_ < trace.size() || robCount_ > 0 ||
+            !fetchBuffer_.empty()) &&
+           cycle_ < max_cycles) {
+        commitStage(trace);
+        completeStage();
+        issueStage(trace);
+        dispatchStage(trace);
+        fetchStage(trace);
+        ++cycle_;
+    }
+
+    result_.cycles = cycle_;
+    result_.l1iMissRate = l1i_.missRate();
+    result_.l1dMissRate = l1d_.missRate();
+    result_.l2MissRate = l2_.missRate();
+    result_.btbHitRate = btb_.hitRate();
+    return result_;
+}
+
+} // namespace bpsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The dynamic instruction record consumed by predictors and the
+ * timing simulator.
+ *
+ * Traces are execution-driven: workload kernels (src/workloads) run
+ * real algorithms and emit one MicroOp per dynamic instruction
+ * through a Tracer. Predictor-accuracy runs look only at conditional
+ * branches; the timing simulator consumes every record.
+ */
+
+#ifndef BPSIM_TRACE_MICRO_OP_HH
+#define BPSIM_TRACE_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bpsim {
+
+/** Dynamic instruction classes (SPECint-flavoured integer mix). */
+enum class InstClass : std::uint8_t {
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< multi-cycle integer multiply/divide
+    Load,       ///< memory read
+    Store,      ///< memory write
+    CondBranch, ///< conditional direct branch (the predictor's prey)
+    UncondBranch, ///< unconditional jump/call/return
+};
+
+/** True for either branch class. */
+constexpr bool
+isBranch(InstClass c)
+{
+    return c == InstClass::CondBranch || c == InstClass::UncondBranch;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemory(InstClass c)
+{
+    return c == InstClass::Load || c == InstClass::Store;
+}
+
+/**
+ * One dynamic instruction.
+ *
+ * Register identifiers are synthetic architectural registers in
+ * [1, 63]; 0 means "no register". @c extra carries the effective
+ * address for memory ops and the (taken-path) target for branches.
+ */
+struct MicroOp
+{
+    Addr pc = 0;
+    Addr extra = 0;
+    InstClass cls = InstClass::IntAlu;
+    bool taken = false;   ///< branch outcome (conditional branches)
+    std::uint8_t dst = 0;
+    std::uint8_t srcA = 0;
+    std::uint8_t srcB = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_MICRO_OP_HH

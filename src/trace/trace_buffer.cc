@@ -1,0 +1,2 @@
+// TraceBuffer is header-only; see trace_buffer.hh.
+#include "trace/trace_buffer.hh"

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * In-memory dynamic trace storage and iteration.
+ *
+ * A trace is generated once per (workload, seed, length) and then
+ * replayed against many predictor configurations, mirroring the
+ * paper's methodology where every predictor sees the same SPECint
+ * instruction stream.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_BUFFER_HH
+#define BPSIM_TRACE_TRACE_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/micro_op.hh"
+
+namespace bpsim {
+
+/** A replayable buffer of dynamic instructions. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+
+    /** Reserve capacity for @p ops instructions up front. */
+    void reserve(std::size_t ops) { ops_.reserve(ops); }
+
+    /** Append one instruction. */
+    void
+    push(const MicroOp &op)
+    {
+        ops_.push_back(op);
+        if (op.cls == InstClass::CondBranch)
+            ++condBranches_;
+    }
+
+    /** Number of dynamic instructions. */
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    /** Number of dynamic conditional branches. */
+    Counter condBranches() const { return condBranches_; }
+
+    /** Dynamic conditional-branch density (branches / instruction). */
+    double
+    branchDensity() const
+    {
+        return ops_.empty() ? 0.0
+                            : static_cast<double>(condBranches_) /
+                                  static_cast<double>(ops_.size());
+    }
+
+    const MicroOp &operator[](std::size_t i) const { return ops_[i]; }
+
+    auto begin() const { return ops_.begin(); }
+    auto end() const { return ops_.end(); }
+
+    /** Drop all contents (keeps capacity). */
+    void
+    clear()
+    {
+        ops_.clear();
+        condBranches_ = 0;
+    }
+
+  private:
+    std::vector<MicroOp> ops_;
+    Counter condBranches_ = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_BUFFER_HH

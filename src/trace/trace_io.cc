@@ -1,0 +1,158 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace bpsim {
+
+namespace {
+
+constexpr char magic[8] = {'B', 'P', 'S', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t version = 1;
+constexpr std::size_t recordBytes = 20;
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(const TraceBuffer &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        throw TraceIoError("cannot open '" + path + "' for writing");
+
+    std::uint8_t header[24];
+    std::memcpy(header, magic, 8);
+    putU32(header + 8, version);
+    putU32(header + 12, 0);
+    putU64(header + 16, trace.size());
+    if (std::fwrite(header, 1, sizeof(header), f.get()) !=
+        sizeof(header))
+        throw TraceIoError("short write on header");
+
+    // Buffered record writes, 4K records at a time.
+    std::vector<std::uint8_t> buf;
+    buf.reserve(4096 * recordBytes);
+    auto flush = [&] {
+        if (buf.empty())
+            return;
+        if (std::fwrite(buf.data(), 1, buf.size(), f.get()) !=
+            buf.size())
+            throw TraceIoError("short write on records");
+        buf.clear();
+    };
+
+    for (const MicroOp &op : trace) {
+        std::uint8_t rec[recordBytes];
+        putU64(rec, op.pc);
+        putU64(rec + 8, op.extra);
+        rec[16] = static_cast<std::uint8_t>(op.cls);
+        rec[17] = op.taken ? 1 : 0;
+        rec[18] = op.dst;
+        // srcA/srcB are 6-bit register ids: pack both in one byte
+        // plus the low bits of 17.
+        rec[19] = static_cast<std::uint8_t>(op.srcA & 0x3f);
+        rec[17] |= static_cast<std::uint8_t>((op.srcB & 0x3f) << 1);
+        rec[19] |= static_cast<std::uint8_t>((op.srcB & 0x40) << 1);
+        buf.insert(buf.end(), rec, rec + recordBytes);
+        if (buf.size() >= 4096 * recordBytes)
+            flush();
+    }
+    flush();
+}
+
+TraceBuffer
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        throw TraceIoError("cannot open '" + path + "' for reading");
+
+    std::uint8_t header[24];
+    if (std::fread(header, 1, sizeof(header), f.get()) !=
+        sizeof(header))
+        throw TraceIoError("truncated header in '" + path + "'");
+    if (std::memcmp(header, magic, 8) != 0)
+        throw TraceIoError("'" + path + "' is not a bpsim trace");
+    if (getU32(header + 8) != version)
+        throw TraceIoError("unsupported trace version in '" + path +
+                           "'");
+    const std::uint64_t count = getU64(header + 16);
+
+    TraceBuffer trace;
+    trace.reserve(count);
+    std::vector<std::uint8_t> buf(4096 * recordBytes);
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, 4096));
+        const std::size_t got = std::fread(
+            buf.data(), recordBytes, want, f.get());
+        if (got == 0)
+            throw TraceIoError("truncated records in '" + path + "'");
+        for (std::size_t r = 0; r < got; ++r) {
+            const std::uint8_t *rec = buf.data() + r * recordBytes;
+            MicroOp op;
+            op.pc = getU64(rec);
+            op.extra = getU64(rec + 8);
+            op.cls = static_cast<InstClass>(rec[16]);
+            if (rec[16] > static_cast<std::uint8_t>(
+                              InstClass::UncondBranch))
+                throw TraceIoError("corrupt record in '" + path + "'");
+            op.taken = rec[17] & 1;
+            op.dst = rec[18];
+            op.srcA = rec[19] & 0x3f;
+            op.srcB = static_cast<std::uint8_t>(
+                ((rec[17] >> 1) & 0x3f) | ((rec[19] >> 1) & 0x40));
+            trace.push(op);
+        }
+        remaining -= got;
+    }
+    return trace;
+}
+
+} // namespace bpsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Traces can be expensive to generate at paper scale, and external
+ * traces (e.g. converted ChampSim/SimpleScalar traces) are the other
+ * way to feed this simulator. The format is a fixed little-endian
+ * record stream with a small header:
+ *
+ *   offset  size  field
+ *   0       8     magic "BPSTRACE"
+ *   8       4     version (currently 1)
+ *   12      4     reserved (0)
+ *   16      8     record count
+ *   24      ...   records, 20 bytes each:
+ *                   pc (8), extra (8), class (1),
+ *                   flags (1: bit0 = taken, bits1-6 = srcB low),
+ *                   dst (1), srcA low 6 bits + srcB bit6 (1)
+ *
+ * Register ids are 6 bits (0..63), so the two sources pack into the
+ * spare flag bits.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_IO_HH
+#define BPSIM_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+
+/** Thrown on malformed trace files or I/O failures. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Write @p trace to @p path; throws TraceIoError on failure. */
+void writeTrace(const TraceBuffer &trace, const std::string &path);
+
+/** Read a trace written by writeTrace; throws TraceIoError. */
+TraceBuffer readTrace(const std::string &path);
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_IO_HH

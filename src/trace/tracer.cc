@@ -1,0 +1,161 @@
+#include "trace/tracer.hh"
+
+namespace bpsim {
+
+namespace {
+
+/** Bytes per static branch-site slot in the synthetic code layout. */
+constexpr Addr slotBytes = 16;
+
+} // namespace
+
+Tracer::Tracer(TraceBuffer &buf, Addr code_base, Addr data_base,
+               Counter max_ops, std::uint64_t seed)
+    : buf_(buf),
+      codeBase_(code_base),
+      dataBase_(data_base),
+      maxOps_(max_ops),
+      rng_(seed),
+      curSlotPc_(code_base)
+{
+}
+
+Addr
+Tracer::sitePc(std::uint32_t site) const
+{
+    return codeBase_ + static_cast<Addr>(site) * slotBytes;
+}
+
+std::uint32_t
+Tracer::siteOf(const std::source_location &loc)
+{
+    // Line and column uniquely identify a call site within a kernel
+    // source file; they are stable across runs of the same build.
+    return loc.line() * 8u + (loc.column() & 7u);
+}
+
+void
+Tracer::emit(MicroOp op)
+{
+    if (ops_ >= maxOps_)
+        throw TraceLimit{};
+    buf_.push(op);
+    ++ops_;
+}
+
+std::uint8_t
+Tracer::nextDst()
+{
+    // Cycle through registers 1..63; 0 is reserved for "none".
+    regCursor_ = static_cast<std::uint8_t>(regCursor_ % 63 + 1);
+    prevDst_ = lastDst_;
+    lastDst_ = regCursor_;
+    return regCursor_;
+}
+
+bool
+Tracer::condBranch(bool cond, BranchHint hint, std::source_location loc)
+{
+    return condBranchAt(siteOf(loc), cond, hint);
+}
+
+bool
+Tracer::condBranchAt(std::uint32_t site, bool cond, BranchHint hint)
+{
+    MicroOp op;
+    op.pc = sitePc(site);
+    op.cls = InstClass::CondBranch;
+    op.taken = cond;
+    // Loop branches jump backward, if/else branches forward; the
+    // distance only matters to the BTB and I-cache models.
+    op.extra = hint == BranchHint::Backward
+                   ? (op.pc >= 16 * slotBytes ? op.pc - 16 * slotBytes
+                                              : codeBase_)
+                   : op.pc + 8 * slotBytes;
+    // The branch consumes the most recent results, so in the timing
+    // model its resolution naturally waits on the load or ALU chain
+    // that computed the condition.
+    op.srcA = lastDst_;
+    op.srcB = lastLoadDst_;
+    curSlotPc_ = op.pc;
+    slotOffset_ = 0;
+    emit(op);
+    return cond;
+}
+
+void
+Tracer::jump(std::uint32_t site)
+{
+    MicroOp op;
+    op.pc = curSlotPc_ + 4 * ((slotOffset_++ % 3) + 1);
+    op.cls = InstClass::UncondBranch;
+    op.taken = true;
+    op.extra = sitePc(site);
+    curSlotPc_ = op.extra;
+    slotOffset_ = 0;
+    emit(op);
+}
+
+void
+Tracer::alu(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        MicroOp op;
+        op.pc = curSlotPc_ + 4 * ((slotOffset_++ % 3) + 1);
+        op.cls = InstClass::IntAlu;
+        // Mix short dependence chains with independent ops so the
+        // OoO core sees realistic ILP (~3-4 independent chains in
+        // flight, like compiled integer code).
+        const unsigned shape = static_cast<unsigned>(rng_.nextRange(10));
+        if (shape < 4)
+            op.srcA = lastDst_;
+        else if (shape < 7)
+            op.srcA = prevDst_;
+        else
+            op.srcA = 0; // immediate/loop-invariant operand
+        op.srcB = rng_.nextBool(0.2) ? lastLoadDst_ : 0;
+        op.dst = nextDst();
+        emit(op);
+    }
+}
+
+void
+Tracer::mul()
+{
+    MicroOp op;
+    op.pc = curSlotPc_ + 4 * ((slotOffset_++ % 3) + 1);
+    op.cls = InstClass::IntMul;
+    op.srcA = lastDst_;
+    op.srcB = prevDst_;
+    op.dst = nextDst();
+    emit(op);
+}
+
+void
+Tracer::load(Addr addr)
+{
+    MicroOp op;
+    op.pc = curSlotPc_ + 4 * ((slotOffset_++ % 3) + 1);
+    op.cls = InstClass::Load;
+    op.extra = dataBase_ + addr;
+    // Addresses usually come from an induction variable or base
+    // register rather than the immediately preceding result.
+    op.srcA = rng_.nextBool(0.35) ? lastDst_ : 0;
+    op.dst = nextDst();
+    lastLoadDst_ = op.dst;
+    emit(op);
+}
+
+void
+Tracer::store(Addr addr)
+{
+    MicroOp op;
+    op.pc = curSlotPc_ + 4 * ((slotOffset_++ % 3) + 1);
+    op.cls = InstClass::Store;
+    op.extra = dataBase_ + addr;
+    op.srcA = lastDst_;
+    op.srcB = lastLoadDst_;
+    emit(op);
+}
+
+} // namespace bpsim

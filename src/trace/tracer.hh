@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tracer: the instrumentation interface workload kernels use to emit
+ * dynamic instructions.
+ *
+ * A kernel is ordinary C++ that runs a real algorithm; every
+ * conditional branch the algorithm makes goes through condBranch(),
+ * which (a) assigns the branch a stable synthetic PC derived from
+ * the call site, (b) records the outcome into the trace, and (c)
+ * returns the condition so the kernel's own control flow follows it.
+ * This keeps the generated outcome stream genuinely data-dependent —
+ * the same property SPEC traces have — instead of being sampled from
+ * a statistical model.
+ *
+ * PC model: each static branch site occupies a 16-byte slot at
+ * kernel_code_base + site * 16; non-branch instructions are placed
+ * in the slot of the most recent site. The static-site working set
+ * therefore determines the I-cache footprint, which kernels shape by
+ * how many distinct sites they touch.
+ */
+
+#ifndef BPSIM_TRACE_TRACER_HH
+#define BPSIM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <source_location>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+
+/**
+ * Thrown by the Tracer when the requested trace length is reached;
+ * unwinds the kernel so generation stops cleanly mid-algorithm.
+ */
+struct TraceLimit
+{
+};
+
+/** Direction hint for synthesizing a conditional branch's target. */
+enum class BranchHint : std::uint8_t {
+    Forward,  ///< if/else-style branch: taken target is ahead
+    Backward, ///< loop-style branch: taken target is behind
+};
+
+/** Instrumentation front-end that kernels emit instructions through. */
+class Tracer
+{
+  public:
+    /**
+     * @param buf Destination trace.
+     * @param code_base Base PC of this kernel's synthetic code region.
+     * @param data_base Base address of its synthetic data region.
+     * @param max_ops Generation stops (via TraceLimit) at this many ops.
+     * @param seed Seed for register/dependence synthesis.
+     */
+    Tracer(TraceBuffer &buf, Addr code_base, Addr data_base,
+           Counter max_ops, std::uint64_t seed);
+
+    /**
+     * Emit a conditional branch at the current call site and return
+     * @p cond so the kernel can branch on it.
+     */
+    bool condBranch(bool cond, BranchHint hint = BranchHint::Forward,
+                    std::source_location loc =
+                        std::source_location::current());
+
+    /**
+     * Emit a conditional branch at an explicitly numbered site.
+     * Used when one source line stands for many static branches
+     * (e.g. the arms of a generated switch).
+     */
+    bool condBranchAt(std::uint32_t site, bool cond,
+                      BranchHint hint = BranchHint::Forward);
+
+    /** Emit an unconditional branch to the slot of @p site. */
+    void jump(std::uint32_t site);
+
+    /** Emit @p n single-cycle ALU instructions. */
+    void alu(unsigned n = 1);
+
+    /** Emit one multi-cycle multiply. */
+    void mul();
+
+    /** Emit a load of synthetic data address @p addr. */
+    void load(Addr addr);
+
+    /** Emit a store to synthetic data address @p addr. */
+    void store(Addr addr);
+
+    /** Instructions emitted so far. */
+    Counter ops() const { return ops_; }
+
+    /** True once the op budget is exhausted. */
+    bool done() const { return ops_ >= maxOps_; }
+
+    /** Base PC of the kernel's code region. */
+    Addr codeBase() const { return codeBase_; }
+
+    /** Base address of the kernel's data region. */
+    Addr dataBase() const { return dataBase_; }
+
+  private:
+    /** PC of the 16-byte slot for static site @p site. */
+    Addr sitePc(std::uint32_t site) const;
+
+    /** Derive a stable site number from a source location. */
+    static std::uint32_t siteOf(const std::source_location &loc);
+
+    /** Append @p op, bumping counters; throws TraceLimit when full. */
+    void emit(MicroOp op);
+
+    /** Allocate the next destination register. */
+    std::uint8_t nextDst();
+
+    TraceBuffer &buf_;
+    Addr codeBase_;
+    Addr dataBase_;
+    Counter maxOps_;
+    Counter ops_ = 0;
+    Rng rng_;
+
+    Addr curSlotPc_;
+    unsigned slotOffset_ = 0;
+    std::uint8_t regCursor_ = 0;
+    std::uint8_t lastDst_ = 0;
+    std::uint8_t prevDst_ = 0;
+    std::uint8_t lastLoadDst_ = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACER_HH

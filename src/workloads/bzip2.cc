@@ -1,0 +1,204 @@
+/**
+ * @file
+ * 256.bzip2 stand-in: block-sorting compression.
+ *
+ * bzip2's time goes into Burrows-Wheeler block sorting (quicksort
+ * over rotations, with byte-comparison inner loops whose outcomes
+ * depend on the data), then move-to-front and run-length coding.
+ * Comparison branches in sorting are the classic example of
+ * fundamentally data-dependent but partially history-correlated
+ * branches: partition outcomes are near-random on random data and
+ * skewed on structured data. We sort rotations of semi-compressible
+ * blocks with an instrumented quicksort, then MTF+RLE the result.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr std::size_t blockSize = 2048;
+
+std::vector<std::uint8_t>
+makeBlock(Rng &rng)
+{
+    std::vector<std::uint8_t> b;
+    b.reserve(blockSize);
+    while (b.size() < blockSize) {
+        if (!b.empty() && rng.nextBool(0.3)) {
+            const std::size_t back =
+                1 + rng.nextRange(std::min<std::size_t>(b.size(), 512));
+            const std::size_t len = 3 + rng.nextRange(24);
+            const std::size_t start = b.size() - back;
+            for (std::size_t i = 0; i < len && b.size() < blockSize;
+                 ++i)
+                b.push_back(b[start + i % back]);
+        } else {
+            b.push_back(
+                static_cast<std::uint8_t>(rng.nextZipf(64, 0.9)));
+        }
+    }
+    return b;
+}
+
+/** Compare rotations @p a and @p b of @p data lexicographically. */
+int
+rotCompare(Tracer &t, const std::vector<std::uint8_t> &data,
+           std::uint32_t a, std::uint32_t b)
+{
+    const std::size_t n = data.size();
+    // Byte-compare loop with data-dependent exit; bzip2 caps the
+    // scan depth for worst-case inputs, and so do we.
+    for (std::size_t i = 0;
+         t.condBranch(i < 64, BranchHint::Backward); ++i) {
+        const std::uint8_t ca = data[(a + i) % n];
+        const std::uint8_t cb = data[(b + i) % n];
+        t.load((a + i) % n);
+        t.load((b + i) % n);
+        t.alu(4);
+        if (t.condBranch(ca != cb))
+            return ca < cb ? -1 : 1;
+    }
+    return 0;
+}
+
+void
+quickSortRot(Tracer &t, const std::vector<std::uint8_t> &data,
+             std::vector<std::uint32_t> &idx, int lo, int hi,
+             unsigned depth)
+{
+    // Insertion sort for small ranges, like the real code.
+    if (t.condBranch(hi - lo < 8 || depth > 24)) {
+        for (int i = lo + 1;
+             t.condBranch(i <= hi, BranchHint::Backward); ++i) {
+            const std::uint32_t v = idx[static_cast<std::size_t>(i)];
+            int j = i - 1;
+            while (t.condBranch(
+                j >= lo &&
+                    rotCompare(t, data,
+                               idx[static_cast<std::size_t>(j)], v) > 0,
+                BranchHint::Backward)) {
+                idx[static_cast<std::size_t>(j + 1)] =
+                    idx[static_cast<std::size_t>(j)];
+                t.store(0x10000 + static_cast<Addr>(j + 1) * 4);
+                --j;
+            }
+            idx[static_cast<std::size_t>(j + 1)] = v;
+            t.store(0x10000 + static_cast<Addr>(j + 1) * 4);
+        }
+        return;
+    }
+
+    const std::uint32_t pivot =
+        idx[static_cast<std::size_t>((lo + hi) / 2)];
+    int i = lo, j = hi;
+    while (t.condBranch(i <= j, BranchHint::Backward)) {
+        while (t.condBranch(
+            rotCompare(t, data, idx[static_cast<std::size_t>(i)],
+                       pivot) < 0,
+            BranchHint::Backward))
+            ++i;
+        while (t.condBranch(
+            rotCompare(t, data, idx[static_cast<std::size_t>(j)],
+                       pivot) > 0,
+            BranchHint::Backward))
+            --j;
+        if (t.condBranch(i <= j)) {
+            std::swap(idx[static_cast<std::size_t>(i)],
+                      idx[static_cast<std::size_t>(j)]);
+            t.store(0x10000 + static_cast<Addr>(i) * 4);
+            t.store(0x10000 + static_cast<Addr>(j) * 4);
+            ++i;
+            --j;
+        }
+    }
+    if (t.condBranch(lo < j))
+        quickSortRot(t, data, idx, lo, j, depth + 1);
+    if (t.condBranch(i < hi))
+        quickSortRot(t, data, idx, i, hi, depth + 1);
+}
+
+} // namespace
+
+std::string
+Bzip2Kernel::name() const
+{
+    return "256.bzip2";
+}
+
+std::string
+Bzip2Kernel::description() const
+{
+    return "Burrows-Wheeler block sort with MTF and RLE coding";
+}
+
+void
+Bzip2Kernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x627a32ULL);
+    for (;;) {
+        const auto block = makeBlock(rng);
+        std::vector<std::uint32_t> idx(block.size());
+        for (std::uint32_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        quickSortRot(t, block, idx, 0,
+                     static_cast<int>(idx.size()) - 1, 0);
+
+        // BWT output column.
+        std::vector<std::uint8_t> bwt(block.size());
+        for (std::size_t i = 0;
+             t.condBranch(i < idx.size(), BranchHint::Backward); ++i) {
+            bwt[i] = block[(idx[i] + block.size() - 1) % block.size()];
+            t.load((idx[i] + block.size() - 1) % block.size());
+            t.store(0x20000 + i);
+        }
+
+        // Move-to-front: the position-search loop is data dependent
+        // but short on structured data (hot symbols stay in front).
+        std::uint8_t mtf[64];
+        for (unsigned i = 0; i < 64; ++i)
+            mtf[i] = static_cast<std::uint8_t>(i);
+        std::vector<std::uint8_t> mtfOut(bwt.size());
+        for (std::size_t i = 0;
+             t.condBranch(i < bwt.size(), BranchHint::Backward); ++i) {
+            const std::uint8_t c = bwt[i] & 63;
+            unsigned pos = 0;
+            while (t.condBranch(mtf[pos] != c, BranchHint::Backward)) {
+                ++pos;
+                t.alu(1);
+            }
+            mtfOut[i] = static_cast<std::uint8_t>(pos);
+            for (unsigned k = pos; k > 0; --k)
+                mtf[k] = mtf[k - 1];
+            mtf[0] = c;
+            t.alu(5);
+            t.store(0x30000 + i);
+        }
+
+        // Run-length coding of the MTF stream.
+        std::size_t i = 0;
+        while (t.condBranch(i < mtfOut.size(), BranchHint::Backward)) {
+            std::size_t run = 1;
+            while (t.condBranch(i + run < mtfOut.size() &&
+                                    mtfOut[i + run] == mtfOut[i],
+                                BranchHint::Backward)) {
+                t.load(0x30000 + i + run);
+                ++run;
+            }
+            if (t.condBranch(run >= 4)) {
+                t.store(0x40000 + i);
+                t.alu(2);
+            } else {
+                t.alu(1);
+            }
+            i += run;
+        }
+    }
+}
+
+} // namespace bpsim

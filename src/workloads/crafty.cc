@@ -1,0 +1,168 @@
+/**
+ * @file
+ * 186.crafty stand-in: alpha-beta game-tree search.
+ *
+ * crafty (a chess engine) mixes bit-board manipulation with a deeply
+ * recursive alpha-beta search. Its hardest branches are beta-cutoff
+ * tests and move-ordering comparisons, whose outcomes depend on
+ * evaluation scores; transposition-table probes add load-dependent
+ * hit/miss branches. We run a negamax search with a transposition
+ * table over a deterministic synthetic game: positions are 64-bit
+ * states evolved by pseudo-moves, evaluated with bit tricks (popcount
+ * chains) like a real bitboard engine.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned ttSize = 1 << 12;
+constexpr int maxDepth = 5;
+
+struct TtEntry
+{
+    std::uint64_t key;
+    int score;
+    std::uint8_t depth;
+};
+
+struct Game
+{
+    std::vector<TtEntry> tt;
+    std::uint64_t nodes = 0;
+};
+
+/** Deterministic position evolution ("make move"). */
+std::uint64_t
+makeMove(std::uint64_t pos, unsigned move)
+{
+    std::uint64_t x = pos ^ (0x9e3779b97f4a7c15ULL * (move + 1));
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 32;
+    return x;
+}
+
+/** Bitboard-style static evaluation. */
+int
+evaluate(Tracer &t, std::uint64_t pos)
+{
+    t.alu(6); // popcount/mask chains of a bitboard evaluator
+    // Piece-square and king-safety table lookups.
+    t.load(0x40000 + (pos & 0x3f) * 8);
+    t.alu(3);
+    t.load(0x40400 + ((pos >> 32) & 0x3f) * 8);
+    t.alu(3);
+    const int material = std::popcount(pos & 0xffffffffULL) -
+                         std::popcount(pos >> 32);
+    const int mobility = std::popcount(pos & 0x00ff00ff00ff00ffULL) / 2;
+    return material * 8 + mobility;
+}
+
+int
+search(Tracer &t, Game &g, std::uint64_t pos, int depth, int alpha,
+       int beta)
+{
+    ++g.nodes;
+    if (t.condBranch(depth == 0))
+        return evaluate(t, pos);
+
+    // Transposition-table probe: load-dependent hit test.
+    TtEntry &e = g.tt[pos % ttSize];
+    t.load((pos % ttSize) * sizeof(TtEntry));
+    if (t.condBranch(e.key == pos)) {
+        if (t.condBranch(e.depth >= depth)) {
+            t.alu(1);
+            return e.score;
+        }
+    }
+
+    // Number of pseudo-moves depends on the position. The search
+    // code is specialized per ply in the real engine (root move
+    // loop, full-width search, quiescence), so each depth gets its
+    // own static branch sites — a realistic static working set with
+    // depth-correlated behaviour.
+    const auto ply_site = static_cast<std::uint32_t>(3000 + depth * 16);
+    const unsigned num_moves = 8 + (pos & 7);
+    int best = -32768;
+    for (unsigned m = 0;
+         t.condBranchAt(ply_site, m < num_moves, BranchHint::Backward);
+         ++m) {
+        const std::uint64_t child = makeMove(pos, m);
+        t.alu(5); // make-move bitboard updates
+        // Move-ordering heuristic: "captures" (bit test) first-class.
+        if (t.condBranchAt(ply_site + 1, (child & 0xf0) == 0xf0))
+            t.alu(3);
+        // Move ordering works: earlier moves are statistically
+        // better, so best-updates and beta cutoffs cluster at the
+        // front of the move list (which is what makes a real
+        // engine's search branches predictable).
+        const int score =
+            -search(t, g, child, depth - 1, -beta, -alpha) -
+            static_cast<int>(m) * 3;
+        t.alu(4); // unmake move
+        if (t.condBranchAt(ply_site + 2, score > best)) {
+            best = score;
+            t.alu(1);
+        }
+        if (t.condBranchAt(ply_site + 3, score > alpha)) {
+            alpha = score;
+            t.alu(1);
+        }
+        // The beta cutoff: crafty's signature hard branch.
+        if (t.condBranchAt(ply_site + 4, alpha >= beta))
+            break;
+    }
+
+    e.key = pos;
+    e.score = best;
+    e.depth = static_cast<std::uint8_t>(depth);
+    t.store((pos % ttSize) * sizeof(TtEntry));
+    return best;
+}
+
+} // namespace
+
+std::string
+CraftyKernel::name() const
+{
+    return "186.crafty";
+}
+
+std::string
+CraftyKernel::description() const
+{
+    return "negamax alpha-beta search with transposition table";
+}
+
+void
+CraftyKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x63726166ULL);
+    for (;;) {
+        Game g;
+        g.tt.assign(ttSize, TtEntry{0, 0, 0});
+        std::uint64_t root = rng.next();
+        // Iterative deepening from a sequence of root positions.
+        for (unsigned game = 0;
+             t.condBranch(game < 16, BranchHint::Backward); ++game) {
+            for (int d = 1;
+                 t.condBranch(d <= maxDepth, BranchHint::Backward);
+                 ++d) {
+                search(t, g, root, d, -32768, 32767);
+            }
+            root = makeMove(root, static_cast<unsigned>(
+                                      rng.nextRange(16)));
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * 252.eon stand-in: ray/sphere intersection casting.
+ *
+ * eon is the suite's outlier: a C++ probabilistic ray tracer with
+ * long arithmetic sections, comparatively few and well-predictable
+ * branches, and high IPC. We cast rays through a small scene of
+ * spheres in fixed-point integer arithmetic: per-object loops with
+ * fixed trip counts, a discriminant test that is biased (most rays
+ * miss most spheres), and shading arithmetic between branches.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned numSpheres = 16;
+constexpr int fixOne = 1 << 10; // 10-bit fixed point
+
+struct Sphere
+{
+    std::int64_t x, y, z;
+    std::int64_t r2; // radius squared
+    std::uint8_t material;
+};
+
+std::vector<Sphere>
+makeScene(Rng &rng)
+{
+    std::vector<Sphere> scene(numSpheres);
+    for (auto &s : scene) {
+        s.x = rng.nextBetween(-64, 64) * fixOne;
+        s.y = rng.nextBetween(-64, 64) * fixOne;
+        s.z = rng.nextBetween(32, 256) * fixOne;
+        const std::int64_t r = rng.nextBetween(4, 24) * fixOne;
+        s.r2 = r * r;
+        s.material = static_cast<std::uint8_t>(rng.nextRange(4));
+    }
+    return scene;
+}
+
+} // namespace
+
+std::string
+EonKernel::name() const
+{
+    return "252.eon";
+}
+
+std::string
+EonKernel::description() const
+{
+    return "fixed-point ray/sphere intersection and shading";
+}
+
+void
+EonKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x656f6eULL);
+    for (;;) {
+        const auto scene = makeScene(rng);
+        for (int py = 0; t.condBranch(py < 64, BranchHint::Backward);
+             ++py) {
+            for (int px = 0;
+                 t.condBranch(px < 64, BranchHint::Backward); ++px) {
+                // Primary ray direction (fixed point).
+                const std::int64_t dx = (px - 32) * (fixOne / 32);
+                const std::int64_t dy = (py - 32) * (fixOne / 32);
+                const std::int64_t dz = fixOne;
+                t.alu(4);
+
+                std::int64_t nearest = INT64_MAX;
+                unsigned hit = numSpheres;
+                for (unsigned s = 0;
+                     t.condBranch(s < numSpheres, BranchHint::Backward);
+                     ++s) {
+                    const Sphere &sp = scene[s];
+                    t.load(s * sizeof(Sphere));
+                    // Quadratic discriminant test, all integer math.
+                    const std::int64_t oc_d =
+                        (sp.x * dx + sp.y * dy + sp.z * dz) / fixOne;
+                    t.mul();
+                    t.alu(5);
+                    const std::int64_t oc2 =
+                        (sp.x * sp.x + sp.y * sp.y + sp.z * sp.z) /
+                        fixOne;
+                    t.alu(5);
+                    const std::int64_t d2 =
+                        (dx * dx + dy * dy + dz * dz) / fixOne;
+                    t.alu(5);
+                    const std::int64_t disc =
+                        oc_d * oc_d / fixOne - d2 * (oc2 - sp.r2) /
+                        fixOne;
+                    t.mul();
+                    t.alu(4);
+                    // Biased: most rays miss most spheres.
+                    if (t.condBranch(disc > 0)) {
+                        const std::int64_t dist = oc_d - disc / 64;
+                        if (t.condBranch(dist > 0 && dist < nearest)) {
+                            nearest = dist;
+                            hit = s;
+                            t.alu(1);
+                        }
+                    }
+                }
+
+                // Shading: short material dispatch + arithmetic.
+                if (t.condBranch(hit < numSpheres)) {
+                    const Sphere &sp = scene[hit];
+                    if (t.condBranch(sp.material == 0)) {
+                        t.alu(6); // diffuse
+                    } else if (t.condBranch(sp.material == 1)) {
+                        t.mul(); // specular
+                        t.alu(4);
+                    } else {
+                        t.alu(3); // emissive/flat
+                    }
+                    t.store(0x100000 + (py * 64 + px) * 4);
+                } else {
+                    t.alu(2); // background gradient
+                    t.store(0x100000 + (py * 64 + px) * 4);
+                }
+            }
+        }
+    }
+}
+
+} // namespace bpsim

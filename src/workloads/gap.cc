@@ -1,0 +1,159 @@
+/**
+ * @file
+ * 254.gap stand-in: arbitrary-precision integer arithmetic.
+ *
+ * GAP is a computer-algebra system; its hot loops are schoolbook
+ * big-integer addition/multiplication and small-prime sieving —
+ * long counted loops with highly predictable exits, carry-propagation
+ * branches that are strongly biased, and very regular memory
+ * streaming. It anchors the predictable end of the suite (the real
+ * benchmark mispredicts only a few percent) and has high baseline
+ * IPC, which makes it one of the benchmarks where even complex slow
+ * predictors still look fine.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+using BigInt = std::vector<std::uint32_t>; // little-endian limbs
+
+BigInt
+makeBig(Rng &rng, unsigned limbs)
+{
+    BigInt b(limbs);
+    // Limbs keep their top bits clear most of the time, as the
+    // intermediate values of structured algebra do, so addition
+    // carries are rare and the carry branch strongly biased — the
+    // real gap's arithmetic behaves this way.
+    for (auto &l : b)
+        l = static_cast<std::uint32_t>(rng.next()) &
+            (rng.nextBool(0.85) ? 0x0fffffffu : 0xffffffffu);
+    if (b.back() == 0)
+        b.back() = 1;
+    return b;
+}
+
+BigInt
+bigAdd(Tracer &t, const BigInt &a, const BigInt &b)
+{
+    BigInt r(std::max(a.size(), b.size()) + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0;
+         t.condBranch(i < r.size() - 1, BranchHint::Backward); ++i) {
+        std::uint64_t s = carry;
+        if (t.condBranch(i < a.size())) {
+            t.load(i * 4);
+            s += a[i];
+        }
+        if (t.condBranch(i < b.size())) {
+            t.load(0x4000 + i * 4);
+            s += b[i];
+        }
+        r[i] = static_cast<std::uint32_t>(s);
+        // Carry propagation is branchless arithmetic (carry = high
+        // word), exactly as real bignum inner loops are written.
+        carry = s >> 32;
+        t.store(0x8000 + i * 4);
+        t.alu(5);
+    }
+    r[r.size() - 1] = static_cast<std::uint32_t>(carry);
+    while (t.condBranch(r.size() > 1 && r.back() == 0,
+                        BranchHint::Backward))
+        r.pop_back();
+    return r;
+}
+
+BigInt
+bigMul(Tracer &t, const BigInt &a, const BigInt &b)
+{
+    BigInt r(a.size() + b.size(), 0);
+    for (std::size_t i = 0;
+         t.condBranch(i < a.size(), BranchHint::Backward); ++i) {
+        std::uint64_t carry = 0;
+        t.load(i * 4);
+        for (std::size_t j = 0;
+             t.condBranch(j < b.size(), BranchHint::Backward); ++j) {
+            t.load(0x4000 + j * 4);
+            const std::uint64_t cur =
+                static_cast<std::uint64_t>(r[i + j]) +
+                static_cast<std::uint64_t>(a[i]) * b[j] + carry;
+            r[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            t.mul();
+            t.alu(4);
+            t.store(0x8000 + (i + j) * 4);
+        }
+        r[i + b.size()] = static_cast<std::uint32_t>(carry);
+    }
+    while (t.condBranch(r.size() > 1 && r.back() == 0,
+                        BranchHint::Backward))
+        r.pop_back();
+    return r;
+}
+
+} // namespace
+
+std::string
+GapKernel::name() const
+{
+    return "254.gap";
+}
+
+std::string
+GapKernel::description() const
+{
+    return "big-integer add/multiply chains and small-prime sieving";
+}
+
+void
+GapKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x676170ULL);
+    for (;;) {
+        // Fibonacci-style big-int chain: f_{n+1} = f_n + f_{n-1},
+        // with periodic multiplies, like group-order computations.
+        // Operands are long (16+ limbs), so the limb loops dominate
+        // and their exits are rare — gap's loops are long and
+        // regular.
+        BigInt a = makeBig(rng, 16);
+        BigInt b = makeBig(rng, 18);
+        for (unsigned n = 0;
+             t.condBranch(n < 48 && a.size() < 96,
+                          BranchHint::Backward);
+             ++n) {
+            BigInt c = bigAdd(t, a, b);
+            if (t.condBranch(n % 8 == 7))
+                c = bigMul(t, c, makeBig(rng, 2));
+            a = std::move(b);
+            b = std::move(c);
+            t.alu(3);
+        }
+
+        // Small sieve of Eratosthenes: extremely regular branches.
+        std::vector<std::uint8_t> sieve(2048, 1);
+        for (std::size_t p = 2;
+             t.condBranch(p * p < sieve.size(), BranchHint::Backward);
+             ++p) {
+            t.load(0x20000 + p);
+            if (t.condBranch(sieve[p] != 0)) {
+                for (std::size_t m = p * p;
+                     t.condBranch(m < sieve.size(),
+                                  BranchHint::Backward);
+                     m += p) {
+                    sieve[m] = 0;
+                    t.alu(2);
+                    t.store(0x20000 + m);
+                }
+            }
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * 176.gcc stand-in: expression-tree folding and peephole matching.
+ *
+ * gcc's branch behaviour is dominated by a very large static branch
+ * working set: dispatch over tree/RTL node kinds and hundreds of
+ * small pattern tests, most individually biased but numerous enough
+ * to stress predictor capacity and the I-cache. We build random
+ * expression trees, run a recursive constant-folding/simplification
+ * pass with per-kind dispatch (each kind gets its own static branch
+ * site via condBranchAt), then a peephole pass over a linear
+ * instruction list with many independent pattern tests.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned numKinds = 40;
+constexpr unsigned treePoolSize = 4096;
+
+struct TreeNode
+{
+    std::uint8_t kind;
+    std::int32_t value;
+    std::int32_t left;
+    std::int32_t right;
+    bool constant;
+};
+
+struct Forest
+{
+    std::vector<TreeNode> pool;
+    std::vector<std::int32_t> roots;
+};
+
+std::int32_t
+buildTree(Forest &f, Rng &rng, unsigned depth, std::uint8_t parent_kind)
+{
+    const auto idx = static_cast<std::int32_t>(f.pool.size());
+    TreeNode n{};
+    if (depth == 0 || rng.nextBool(0.08)) {
+        // Leaf: constant or "register". Leaves live almost entirely
+        // at the bottom of the tree, so the leaf test correlates
+        // with the traversal's recursion pattern.
+        n.kind = static_cast<std::uint8_t>(rng.nextRange(4));
+        n.constant = n.kind < 2;
+        n.value = static_cast<std::int32_t>(rng.nextRange(1000));
+        n.left = n.right = -1;
+        f.pool.push_back(n);
+        return idx;
+    }
+    // Child kinds derive from the parent's: real IR trees are
+    // idiomatic (a PLUS tends to hang off a SET, a COMPARE under an
+    // IF), which is what makes compiler dispatch predictable.
+    n.kind = static_cast<std::uint8_t>(
+        rng.nextBool(0.8)
+            ? 4 + (parent_kind * 3 + depth) % (numKinds - 4)
+            : 4 + rng.nextRange(numKinds - 4));
+    f.pool.push_back(n);
+    const std::int32_t l = buildTree(f, rng, depth - 1, n.kind);
+    const std::int32_t r =
+        rng.nextBool(0.85) ? buildTree(f, rng, depth - 1, n.kind) : -1;
+    f.pool[idx].left = l;
+    f.pool[idx].right = r;
+    f.pool[idx].constant = false;
+    return idx;
+}
+
+Forest
+makeForest(Rng &rng)
+{
+    Forest f;
+    f.pool.reserve(treePoolSize);
+    while (f.pool.size() < treePoolSize) {
+        f.roots.push_back(buildTree(
+            f, rng, 2 + rng.nextRange(5),
+            static_cast<std::uint8_t>(4 + rng.nextRange(8))));
+    }
+    return f;
+}
+
+/** Recursive constant folding with per-kind dispatch. */
+std::int32_t
+fold(Tracer &t, Forest &f, std::int32_t idx)
+{
+    TreeNode &n = f.pool[static_cast<std::size_t>(idx)];
+    t.load(static_cast<Addr>(idx) * sizeof(TreeNode));
+    t.alu(3); // unpack node fields
+
+    if (t.condBranch(n.left < 0 && n.right < 0)) {
+        t.alu(2);
+        return n.value;
+    }
+
+    const std::int32_t lv = t.condBranch(n.left >= 0)
+                                ? fold(t, f, n.left)
+                                : 0;
+    const std::int32_t rv = t.condBranch(n.right >= 0)
+                                ? fold(t, f, n.right)
+                                : 0;
+
+    // Per-kind dispatch, as a compiled sparse switch: a short range
+    // test tree narrows to a group, then each kind in the group has
+    // its own static test site (mimicking gcc's giant switches,
+    // which dominate its static branch working set).
+    std::int32_t result = 0;
+    bool handled = false;
+    const std::uint8_t group = n.kind / 8; // 0..4
+    for (std::uint8_t g = 0; g < numKinds / 8 && !handled; ++g) {
+        t.alu(1);
+        if (!t.condBranchAt(900u + g, group == g))
+            continue;
+        for (std::uint8_t k = g * 8; k < (g + 1u) * 8; ++k) {
+            t.alu(1);
+            if (!t.condBranchAt(1000u + k, n.kind == k))
+                continue;
+            switch (k % 6) {
+              case 0:
+                result = lv + rv;
+                break;
+              case 1:
+                result = lv - rv;
+                break;
+              case 2:
+                result = lv ^ rv;
+                t.alu(1);
+                break;
+              case 3:
+                result = (lv << 1) | (rv & 1);
+                break;
+              case 4:
+                result = lv < rv ? lv : rv;
+                t.alu(1);
+                break;
+              default:
+                result = lv * 3 + rv;
+                t.mul();
+                break;
+            }
+            t.alu(4);
+            handled = true;
+            break;
+        }
+    }
+    if (!t.condBranch(handled))
+        result = lv;
+    t.alu(3);
+
+    // Algebraic simplifications: biased pattern-test branches.
+    if (t.condBranch(rv == 0 && n.kind % 6 == 0)) {
+        result = lv; // x + 0 => x
+        t.alu(1);
+    }
+    if (t.condBranch(lv == rv && n.kind % 6 == 1)) {
+        result = 0; // x - x => 0
+        t.alu(1);
+    }
+
+    n.value = result;
+    n.constant = true;
+    t.store(static_cast<Addr>(idx) * sizeof(TreeNode));
+    return result;
+}
+
+} // namespace
+
+std::string
+GccKernel::name() const
+{
+    return "176.gcc";
+}
+
+std::string
+GccKernel::description() const
+{
+    return "tree constant folding and peephole passes with wide dispatch";
+}
+
+void
+GccKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x676363ULL);
+    for (;;) {
+        Forest f = makeForest(rng);
+
+        // Pass 1: fold every tree.
+        for (std::size_t r = 0;
+             t.condBranch(r < f.roots.size(), BranchHint::Backward); ++r)
+            fold(t, f, f.roots[r]);
+
+        // Pass 2: peephole over a linear "instruction list" — many
+        // independent, mostly-biased pattern tests, a large static
+        // branch footprint with short inter-branch distances.
+        // The instruction list comes from a Markov source: real RTL
+        // streams repeat idioms (load-op-store, compare-branch), so
+        // consecutive opcodes are correlated and the pattern tests
+        // below run in recognizable sequences.
+        std::vector<std::uint16_t> insns(2048);
+        std::uint16_t istate = 0;
+        for (auto &i : insns) {
+            if (rng.nextBool(0.85))
+                istate = static_cast<std::uint16_t>((istate + 1) % 24);
+            else
+                istate = static_cast<std::uint16_t>(
+                    rng.nextRange(512));
+            i = istate;
+        }
+        for (std::size_t i = 0;
+             t.condBranch(i + 2 < insns.size(), BranchHint::Backward);
+             ++i) {
+            t.load(0x40000 + i * 2);
+            const unsigned op = insns[i] & 31;
+            // A spread of pattern tests, each its own static site.
+            if (t.condBranchAt(2000, op == 0))
+                t.alu(2);
+            if (t.condBranchAt(2001, op == 1 && (insns[i + 1] & 31) == 1))
+                t.alu(3);
+            if (t.condBranchAt(2002, (insns[i] & 256) != 0))
+                t.alu(1);
+            if (t.condBranchAt(2003 + op, (insns[i + 1] & 64) != 0)) {
+                insns[i + 1] ^= 64;
+                t.store(0x40000 + (i + 1) * 2);
+            }
+            if (t.condBranchAt(2040 + op,
+                               insns[i] % (op + 2) == 0))
+                t.alu(3);
+            t.alu(4);
+        }
+    }
+}
+
+} // namespace bpsim

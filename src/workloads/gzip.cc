@@ -1,0 +1,185 @@
+/**
+ * @file
+ * 164.gzip stand-in: LZ77 compression with hash-chain match search.
+ *
+ * The real gzip spends its time in deflate's longest_match loop:
+ * walking hash chains, comparing candidate strings byte by byte, and
+ * deciding literal-vs-match. The dominant branches are (a) the
+ * byte-comparison loop exit, whose trip count depends on data
+ * redundancy, (b) the chain-walk continuation test, and (c) the
+ * lazy-match heuristic. We run exactly that algorithm over
+ * semi-compressible generated text (a Markov source with repeated
+ * phrases), so branch outcomes have the same flavour: mostly
+ * well-structured loops with data-dependent exits.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr std::size_t windowSize = 32768;
+constexpr std::size_t inputSize = 32768;
+constexpr std::size_t hashSize = 1024;
+constexpr unsigned maxChainLength = 4;
+constexpr unsigned minMatch = 3;
+constexpr unsigned maxMatch = 64;
+
+/** Generate semi-compressible text: phrase reuse over a Markov source. */
+std::vector<std::uint8_t>
+makeInput(Rng &rng)
+{
+    std::vector<std::uint8_t> data;
+    data.reserve(inputSize);
+    std::uint8_t state = 0;
+    while (data.size() < inputSize) {
+        if (data.size() > 64 && rng.nextBool(0.55)) {
+            // Re-emit an earlier phrase to create LZ matches; text
+            // is highly repetitive, as gzip's inputs are.
+            const std::size_t back =
+                1 + rng.nextRange(std::min<std::size_t>(data.size(), 2048));
+            const std::size_t start = data.size() - back;
+            const std::size_t len = 16 + rng.nextRange(64);
+            for (std::size_t i = 0; i < len && data.size() < inputSize; ++i)
+                data.push_back(data[start + i % back]);
+        } else {
+            // Fresh text from an order-1 Markov source over a small
+            // skewed alphabet, like ASCII text.
+            state = static_cast<std::uint8_t>(
+                (state + 1 + rng.nextZipf(14, 1.2)) % 20);
+            data.push_back(static_cast<std::uint8_t>('a' + state));
+        }
+    }
+    return data;
+}
+
+std::uint32_t
+hash3(const std::vector<std::uint8_t> &d, std::size_t i)
+{
+    return ((d[i] << 6) ^ (d[i + 1] << 3) ^ d[i + 2]) % hashSize;
+}
+
+} // namespace
+
+std::string
+GzipKernel::name() const
+{
+    return "164.gzip";
+}
+
+std::string
+GzipKernel::description() const
+{
+    return "LZ77 deflate-style compression with hash-chain match search";
+}
+
+void
+GzipKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x647a6970ULL);
+    for (;;) {
+        const auto data = makeInput(rng);
+        std::vector<std::int32_t> head(hashSize, -1);
+        std::vector<std::int32_t> prev(data.size(), -1);
+
+        std::size_t pos = 0;
+        unsigned deferred = 0; // lazy-match state
+        while (t.condBranch(pos + minMatch < data.size(),
+                            BranchHint::Backward)) {
+            const std::uint32_t h = hash3(data, pos);
+            t.alu(4); // hash computation
+            t.load(h * 4);
+            std::int32_t cand = head[h];
+
+            // Start from the minimum useful length, like deflate's
+            // prev_length: the quick-reject below then tests a byte
+            // beyond the hashed prefix, so most false candidates die
+            // on one biased branch.
+            unsigned best_len = minMatch;
+            unsigned chain = 0;
+            // Hash-chain walk: data-dependent iteration count.
+            while (t.condBranch(cand >= 0 && chain < maxChainLength,
+                                BranchHint::Backward)) {
+                t.load(static_cast<Addr>(cand));
+                if (t.condBranch(
+                        pos - static_cast<std::size_t>(cand) <=
+                        windowSize)) {
+                    const auto c = static_cast<std::size_t>(cand);
+                    // Quick reject, as in the real longest_match:
+                    // a candidate that cannot beat best_len is
+                    // dropped with a single (biased) compare before
+                    // the expensive byte loop runs.
+                    t.load(c + best_len);
+                    t.load(pos + best_len);
+                    if (t.condBranch(
+                            pos + best_len < data.size() &&
+                            data[c + best_len] ==
+                                data[pos + best_len])) {
+                        // Byte-comparison loop: the classic gzip
+                        // inner loop; exit is data-dependent.
+                        unsigned len = 0;
+                        while (t.condBranch(len < maxMatch &&
+                                                pos + len <
+                                                    data.size() &&
+                                                data[c + len] ==
+                                                    data[pos + len],
+                                            BranchHint::Backward)) {
+                            t.load(c + len);
+                            t.load(pos + len);
+                            t.alu(3);
+                            ++len;
+                        }
+                        if (t.condBranch(len > best_len)) {
+                            best_len = len;
+                            t.alu(1);
+                        }
+                    }
+                } else {
+                    // Candidate slid out of the window: chain is dead.
+                    break;
+                }
+                cand = prev[static_cast<std::size_t>(cand)];
+                ++chain;
+                t.alu(4);
+            }
+
+            // Literal-vs-match decision plus gzip's lazy evaluation:
+            // defer a match if the next position may match better.
+            if (t.condBranch(best_len > minMatch)) {
+                if (t.condBranch(deferred == 0 && best_len < 8)) {
+                    deferred = best_len;
+                    t.alu(3);
+                    pos += 1;
+                } else {
+                    t.store(pos);
+                    t.alu(6); // emit length/distance codes
+                    pos += best_len;
+                    deferred = 0;
+                }
+            } else {
+                // Emit a literal; Huffman bucket update.
+                t.store(inputSize + data[pos]);
+                t.alu(5);
+                pos += 1;
+                deferred = 0;
+            }
+
+            // Insert the new position into its hash chain (guarding
+            // the 3-byte hash window at the end of the input).
+            if (pos >= 1 && pos + 1 < data.size()) {
+                const std::uint32_t nh = hash3(data, pos - 1);
+                prev[pos - 1] = head[nh];
+                head[nh] = static_cast<std::int32_t>(pos - 1);
+                t.store(nh * 4);
+            }
+        }
+    }
+}
+
+} // namespace bpsim

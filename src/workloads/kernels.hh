@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Declarations of the twelve SPECint-2000 stand-in kernels.
+ *
+ * Each class is defined in its own translation unit. See the
+ * per-file comments for the algorithm each kernel runs and which
+ * branch behaviours it contributes to the suite.
+ */
+
+#ifndef BPSIM_WORKLOADS_KERNELS_HH
+#define BPSIM_WORKLOADS_KERNELS_HH
+
+#include "workloads/workload.hh"
+
+namespace bpsim {
+
+#define BPSIM_DECLARE_KERNEL(Cls)                                      \
+    class Cls : public Workload                                        \
+    {                                                                  \
+      public:                                                          \
+        std::string name() const override;                             \
+        std::string description() const override;                      \
+        void run(Tracer &t, std::uint64_t seed) const override;        \
+    }
+
+BPSIM_DECLARE_KERNEL(GzipKernel);
+BPSIM_DECLARE_KERNEL(VprKernel);
+BPSIM_DECLARE_KERNEL(GccKernel);
+BPSIM_DECLARE_KERNEL(McfKernel);
+BPSIM_DECLARE_KERNEL(CraftyKernel);
+BPSIM_DECLARE_KERNEL(ParserKernel);
+BPSIM_DECLARE_KERNEL(EonKernel);
+BPSIM_DECLARE_KERNEL(PerlbmkKernel);
+BPSIM_DECLARE_KERNEL(GapKernel);
+BPSIM_DECLARE_KERNEL(VortexKernel);
+BPSIM_DECLARE_KERNEL(Bzip2Kernel);
+BPSIM_DECLARE_KERNEL(TwolfKernel);
+
+#undef BPSIM_DECLARE_KERNEL
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOADS_KERNELS_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * 181.mcf stand-in: network-simplex-style arc scanning and tree walks.
+ *
+ * mcf is the SPECint memory monster: it streams over a multi-megabyte
+ * arc array testing reduced costs (a data-dependent, weakly biased
+ * branch fed directly by a load), then chases parent pointers through
+ * a spanning tree with essentially random locality. IPC is dominated
+ * by cache misses; branch outcomes depend on loaded values, coupling
+ * predictor latency to the memory system. We reproduce exactly that:
+ * a big arc table scan with reduced-cost tests plus pointer-chasing
+ * cycle detection over a random forest.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned numNodes = 1 << 12;
+constexpr unsigned numArcs = 1 << 15;
+
+struct Arc
+{
+    std::uint32_t tail;
+    std::uint32_t head;
+    std::int32_t cost;
+    std::int32_t flow;
+};
+
+struct Network
+{
+    std::vector<Arc> arcs;
+    std::vector<std::uint32_t> parent;
+    std::vector<std::int32_t> potential;
+    std::vector<std::uint16_t> depth;
+};
+
+Network
+makeNetwork(Rng &rng)
+{
+    Network net;
+    net.arcs.resize(numArcs);
+    // Arc costs follow a random walk: consecutive arcs in the array
+    // have correlated costs (they come from the same region of the
+    // network), so the pricing scan's reduced-cost test runs in
+    // streaks rather than flipping randomly — the structure that
+    // makes the real mcf's dominant branch partially predictable.
+    std::int32_t walk = 0;
+    for (auto &a : net.arcs) {
+        a.tail = static_cast<std::uint32_t>(rng.nextRange(numNodes));
+        a.head = static_cast<std::uint32_t>(rng.nextRange(numNodes));
+        walk += static_cast<std::int32_t>(rng.nextBetween(-60, 60));
+        if (walk > 800 || walk < -800)
+            walk /= 2;
+        a.cost = walk;
+        a.flow = 0;
+    }
+    net.parent.resize(numNodes);
+    net.depth.resize(numNodes);
+    for (std::uint32_t n = 0; n < numNodes; ++n) {
+        // Random forest: parents always have smaller index so walks
+        // terminate at node 0.
+        net.parent[n] = n == 0 ? 0
+                               : static_cast<std::uint32_t>(
+                                     rng.nextRange(n));
+        net.depth[n] = 0;
+    }
+    net.potential.resize(numNodes);
+    // Potentials are smooth in node index (network locality).
+    std::int32_t pwalk = 0;
+    for (auto &p : net.potential) {
+        pwalk += static_cast<std::int32_t>(rng.nextBetween(-12, 12));
+        p = pwalk;
+    }
+    return net;
+}
+
+} // namespace
+
+std::string
+McfKernel::name() const
+{
+    return "181.mcf";
+}
+
+std::string
+McfKernel::description() const
+{
+    return "min-cost-flow arc pricing scan and spanning-tree walks";
+}
+
+void
+McfKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x6d6366ULL);
+    for (;;) {
+        Network net = makeNetwork(rng);
+        const Addr arc_base = 0;
+        const Addr node_base = numArcs * sizeof(Arc);
+
+        for (unsigned iter = 0;
+             t.condBranch(iter < 256, BranchHint::Backward); ++iter) {
+            // Pricing scan: stream a window of the arc array (the
+            // real code also scans in blocks, resuming where it
+            // left off); the reduced-cost test is fed directly by
+            // the loads.
+            std::uint32_t best_arc = 0;
+            std::int32_t best_red = 0;
+            const std::uint32_t begin = (iter * 8192) % numArcs;
+            const std::uint32_t end =
+                std::min<std::uint32_t>(begin + 8192, numArcs);
+            for (std::uint32_t a = begin;
+                 t.condBranch(a < end, BranchHint::Backward);
+                 a += 1 + static_cast<std::uint32_t>(
+                              rng.nextRange(3))) {
+                const Arc &arc = net.arcs[a];
+                t.load(arc_base + a * sizeof(Arc));
+                t.load(node_base + arc.tail * 8);
+                t.load(node_base + arc.head * 8);
+                const std::int32_t red = arc.cost -
+                                         net.potential[arc.tail] +
+                                         net.potential[arc.head];
+                t.alu(6);
+                // Weakly biased, load-dependent: mcf's signature
+                // branch.
+                if (t.condBranch(red < 0)) {
+                    if (t.condBranch(red < best_red)) {
+                        best_red = red;
+                        best_arc = a;
+                        t.alu(1);
+                        // Candidate list bookkeeping (store traffic
+                        // during the scan, as in the real pricing
+                        // code).
+                        t.store(0x800000 + (a % 1024) * 4);
+                    }
+                }
+                if (t.condBranch(arc.flow != 0))
+                    t.alu(1);
+            }
+
+            // Pivot: walk tree parents from both endpoints to find
+            // the join — pointer chasing with random locality.
+            std::uint32_t u = net.arcs[best_arc].tail;
+            std::uint32_t v = net.arcs[best_arc].head;
+            unsigned steps = 0;
+            while (t.condBranch(u != v && steps < 64,
+                                BranchHint::Backward)) {
+                t.load(node_base + u * 8);
+                t.load(node_base + v * 8);
+                if (t.condBranch(u > v)) {
+                    u = net.parent[u];
+                } else {
+                    v = net.parent[v];
+                }
+                ++steps;
+                t.alu(4);
+            }
+
+            // Update potentials along a random path (store traffic).
+            std::uint32_t n =
+                static_cast<std::uint32_t>(rng.nextRange(numNodes));
+            while (t.condBranch(n != 0, BranchHint::Backward)) {
+                net.potential[n] += best_red / 2;
+                t.load(node_base + n * 8);
+                t.store(node_base + n * 8);
+                n = net.parent[n];
+                t.alu(3);
+            }
+            net.arcs[best_arc].flow += 1;
+            t.store(arc_base + best_arc * sizeof(Arc));
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * 197.parser stand-in: dictionary lookup plus recursive-descent
+ * sentence parsing.
+ *
+ * The link-grammar parser alternates dictionary hash probes with
+ * deeply nested, grammar-directed control flow. Its branches are
+ * strongly *history-correlated*: which production fires next depends
+ * on the recent sequence of token classes, which is exactly the
+ * pattern global-history predictors exploit. We generate a corpus
+ * of sentences from a small, heavily skewed grammar and parse the
+ * corpus in repeated passes (a dictionary batch job, like the real
+ * benchmark's workload), so the token-class tests see recurring
+ * grammatical patterns rather than fresh noise.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+enum Tok : std::uint8_t {
+    TokDet,
+    TokAdj,
+    TokNoun,
+    TokVerb,
+    TokAdv,
+    TokPrep,
+    TokConj,
+    TokEnd,
+};
+
+constexpr unsigned dictSize = 512;
+constexpr unsigned corpusSentences = 96;
+constexpr unsigned passesPerCorpus = 6;
+
+struct Sentence
+{
+    std::vector<std::uint8_t> toks;
+    std::vector<std::uint16_t> words; // dictionary ids
+};
+
+/** Generate one sentence from the grammar the parser expects. */
+Sentence
+makeSentence(Rng &rng)
+{
+    Sentence s;
+    auto word = [&](Tok t) {
+        s.toks.push_back(t);
+        // Zipf-distributed vocabulary, like natural text.
+        s.words.push_back(
+            static_cast<std::uint16_t>(rng.nextZipf(4096, 1.1)));
+    };
+    auto np = [&]() {
+        if (rng.nextBool(0.85))
+            word(TokDet);
+        if (rng.nextBool(0.3))
+            word(TokAdj);
+        word(TokNoun);
+        if (rng.nextBool(0.15)) { // prepositional attachment
+            word(TokPrep);
+            word(TokDet);
+            word(TokNoun);
+        }
+    };
+    auto vp = [&]() {
+        word(TokVerb);
+        if (rng.nextBool(0.2))
+            word(TokAdv);
+        if (rng.nextBool(0.85))
+            np();
+    };
+    np();
+    vp();
+    if (rng.nextBool(0.15)) { // conjoined clause
+        word(TokConj);
+        np();
+        vp();
+    }
+    s.toks.push_back(TokEnd);
+    s.words.push_back(0);
+    return s;
+}
+
+/** Parser state: a cursor over the token stream. */
+struct Cursor
+{
+    const Sentence *s;
+    std::size_t i = 0;
+    std::uint8_t tok() const { return s->toks[i]; }
+};
+
+/**
+ * Chained-bucket dictionary probe. Chain depth is a deterministic
+ * function of the word: frequent (low-id) words sit at the front of
+ * their chains, as a real frequency-ordered dictionary would have.
+ */
+void
+dictLookup(Tracer &t, std::uint16_t word)
+{
+    const unsigned bucket = word % dictSize;
+    t.alu(3); // hash
+    t.load(bucket * 8);
+    // Frequent words sit at the head of their chains; only the rare
+    // tail of the vocabulary walks one link.
+    const unsigned chain = word < 3584 ? 0 : 1;
+    unsigned step = 0;
+    while (t.condBranch(step < chain, BranchHint::Backward)) {
+        t.load(0x2000 + bucket * 64 + step * 8);
+        t.alu(2);
+        ++step;
+    }
+    t.alu(3); // morphology flags
+}
+
+bool parseNp(Tracer &t, Cursor &c);
+
+bool
+parseVp(Tracer &t, Cursor &c)
+{
+    if (!t.condBranch(c.tok() == TokVerb))
+        return false;
+    dictLookup(t, c.s->words[c.i]);
+    ++c.i;
+    t.alu(2);
+    if (t.condBranch(c.tok() == TokAdv)) {
+        dictLookup(t, c.s->words[c.i]);
+        ++c.i;
+    }
+    t.alu(2);
+    if (t.condBranch(c.tok() == TokDet || c.tok() == TokAdj ||
+                     c.tok() == TokNoun))
+        return parseNp(t, c);
+    return true;
+}
+
+bool
+parseNp(Tracer &t, Cursor &c)
+{
+    if (t.condBranch(c.tok() == TokDet)) {
+        dictLookup(t, c.s->words[c.i]);
+        ++c.i;
+    }
+    t.alu(2);
+    if (t.condBranch(c.tok() == TokAdj)) {
+        dictLookup(t, c.s->words[c.i]);
+        ++c.i;
+    }
+    t.alu(1);
+    if (!t.condBranch(c.tok() == TokNoun))
+        return false;
+    dictLookup(t, c.s->words[c.i]);
+    ++c.i;
+    t.alu(2);
+    if (t.condBranch(c.tok() == TokPrep)) {
+        ++c.i;
+        if (t.condBranch(c.tok() == TokDet))
+            ++c.i;
+        if (t.condBranch(c.tok() == TokNoun)) {
+            dictLookup(t, c.s->words[c.i]);
+            ++c.i;
+        }
+    }
+    t.alu(3); // build linkage node
+    t.store(0x8000 + (c.i % 512) * 8);
+    return true;
+}
+
+} // namespace
+
+std::string
+ParserKernel::name() const
+{
+    return "197.parser";
+}
+
+std::string
+ParserKernel::description() const
+{
+    return "recursive-descent parsing with dictionary hash probes";
+}
+
+void
+ParserKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x706172ULL);
+    for (;;) {
+        std::vector<Sentence> corpus;
+        corpus.reserve(corpusSentences);
+        for (unsigned i = 0; i < corpusSentences; ++i)
+            corpus.push_back(makeSentence(rng));
+
+        for (unsigned pass = 0;
+             t.condBranch(pass < passesPerCorpus, BranchHint::Backward);
+             ++pass) {
+            for (std::size_t si = 0;
+                 t.condBranch(si < corpus.size(), BranchHint::Backward);
+                 ++si) {
+                Cursor c{&corpus[si], 0};
+                bool ok = parseNp(t, c);
+                t.alu(2);
+                if (t.condBranch(ok))
+                    ok = parseVp(t, c);
+                t.alu(2);
+                if (t.condBranch(ok && c.tok() == TokConj)) {
+                    ++c.i;
+                    ok = parseNp(t, c);
+                    if (t.condBranch(ok))
+                        ok = parseVp(t, c);
+                }
+                if (t.condBranch(!ok || c.tok() != TokEnd)) {
+                    // Error-recovery scan: skip to end of sentence.
+                    while (t.condBranch(c.tok() != TokEnd,
+                                        BranchHint::Backward)) {
+                        ++c.i;
+                        t.alu(2);
+                    }
+                }
+                t.alu(6); // emit linkage
+            }
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * 253.perlbmk stand-in: regex matching with backtracking plus an
+ * interpreter dispatch loop.
+ *
+ * perlbmk runs the Perl interpreter, whose branch behaviour mixes
+ * opcode-dispatch indirection with the regex engine's backtracking
+ * matcher. Matcher branches are state- and history-correlated over
+ * long distances (whether an alternative fails here depends on what
+ * matched many characters ago), which rewards long-history
+ * predictors. We compile small patterns (literals, classes, stars,
+ * alternations) into programs and run a backtracking matcher over
+ * generated text, interleaved with a bytecode-ish dispatch loop.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+enum Op : std::uint8_t {
+    OpChar,   ///< match a literal byte
+    OpClass,  ///< match a character class (bitmask)
+    OpAny,    ///< match any byte
+    OpStar,   ///< zero-or-more of the next op (greedy)
+    OpAlt,    ///< alternation: try body, else skip
+    OpEnd,    ///< accept
+};
+
+struct Insn
+{
+    Op op;
+    std::uint8_t arg;
+    std::uint32_t classMask; // for OpClass: mask over 'a'..'z'
+};
+
+using Pattern = std::vector<Insn>;
+
+Pattern
+makePattern(Rng &rng, const std::vector<std::uint8_t> &text)
+{
+    // Patterns are derived from substrings of the text itself (the
+    // common use of a regex over a log/genome/document): literal
+    // prefixes frequently part-match, so the matcher recurses deep
+    // and its compare/backtrack branches carry most of the action.
+    Pattern p;
+    const std::size_t anchor = rng.nextRange(text.size() - 16);
+    const unsigned len = 4 + rng.nextRange(5);
+    for (unsigned i = 0; i < len; ++i) {
+        Insn in{};
+        const std::uint8_t c = text[anchor + i];
+        const unsigned kind = static_cast<unsigned>(rng.nextRange(10));
+        if (kind < 6) {
+            in.op = OpChar;
+            in.arg = c;
+        } else if (kind < 8) {
+            in.op = OpClass;
+            // Class containing c plus a few neighbours.
+            in.classMask = (1u << (c - 'a')) |
+                           (1u << ((c - 'a' + 1) % 26)) |
+                           (1u << ((c - 'a' + 7) % 26));
+        } else if (kind < 9) {
+            in.op = OpStar;
+            in.arg = c;
+        } else {
+            in.op = OpAlt;
+            in.arg = c;
+        }
+        p.push_back(in);
+    }
+    p.push_back({OpEnd, 0, 0});
+    return p;
+}
+
+std::vector<std::uint8_t>
+makeText(Rng &rng)
+{
+    std::vector<std::uint8_t> text(4096);
+    std::uint8_t prev = 'a';
+    for (auto &c : text) {
+        // Small-alphabet order-1 source: character tests stay
+        // genuinely ambiguous, so the matcher backtracks often.
+        prev = static_cast<std::uint8_t>(
+            'a' + (prev - 'a' + 1 + rng.nextZipf(5, 0.7)) % 6);
+        c = prev;
+    }
+    return text;
+}
+
+/** Backtracking matcher: pattern @p pi at text position @p ti. */
+bool
+matchHere(Tracer &t, const Pattern &p, const std::vector<std::uint8_t> &text,
+          std::size_t pi, std::size_t ti, unsigned depth)
+{
+    if (t.condBranch(depth > 24))
+        return false;
+    const Insn &in = p[pi];
+    t.load(0x8000 + pi * sizeof(Insn));
+    t.alu(4); // interpreter dispatch + state save
+
+    if (t.condBranch(in.op == OpEnd))
+        return true;
+    if (t.condBranch(ti >= text.size()))
+        return false;
+
+    t.load(ti);
+    const std::uint8_t c = text[ti];
+
+    if (t.condBranch(in.op == OpChar)) {
+        if (t.condBranch(c == in.arg))
+            return matchHere(t, p, text, pi + 1, ti + 1, depth + 1);
+        return false;
+    }
+    if (t.condBranch(in.op == OpClass)) {
+        const bool hit = (in.classMask >> (c - 'a')) & 1;
+        t.alu(2);
+        if (t.condBranch(hit))
+            return matchHere(t, p, text, pi + 1, ti + 1, depth + 1);
+        return false;
+    }
+    if (t.condBranch(in.op == OpAny))
+        return matchHere(t, p, text, pi + 1, ti + 1, depth + 1);
+    if (t.condBranch(in.op == OpStar)) {
+        // Greedy star with backtracking: consume as many as
+        // possible, then retreat until the rest matches.
+        std::size_t n = ti;
+        while (t.condBranch(n < text.size() && text[n] == in.arg,
+                            BranchHint::Backward)) {
+            t.load(n);
+            ++n;
+        }
+        for (;;) {
+            if (t.condBranch(
+                    matchHere(t, p, text, pi + 1, n, depth + 1)))
+                return true;
+            if (t.condBranch(n == ti))
+                return false;
+            --n;
+            t.alu(1);
+        }
+    }
+    // OpAlt: try matching the alternative literal first.
+    if (t.condBranch(c == in.arg)) {
+        if (t.condBranch(
+                matchHere(t, p, text, pi + 1, ti + 1, depth + 1)))
+            return true;
+    }
+    return matchHere(t, p, text, pi + 1, ti, depth + 1);
+}
+
+} // namespace
+
+std::string
+PerlbmkKernel::name() const
+{
+    return "253.perlbmk";
+}
+
+std::string
+PerlbmkKernel::description() const
+{
+    return "backtracking regex matching over generated text";
+}
+
+void
+PerlbmkKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x7065726cULL);
+    for (;;) {
+        const auto text = makeText(rng);
+        for (unsigned pat = 0;
+             t.condBranch(pat < 12, BranchHint::Backward); ++pat) {
+            const Pattern p = makePattern(rng, text);
+            unsigned matches = 0;
+            // Interpreter-ish outer loop: scan every anchor.
+            for (std::size_t ti = 0;
+                 t.condBranch(ti < text.size(), BranchHint::Backward);
+                 ti += 3) {
+                t.alu(3); // opcode fetch/decode of the interpreter
+                if (t.condBranch(matchHere(t, p, text, 0, ti, 0))) {
+                    ++matches;
+                    t.alu(4); // capture-group bookkeeping
+                    t.store(0x10000 + matches * 4);
+                }
+                t.alu(3);
+            }
+        }
+    }
+}
+
+} // namespace bpsim

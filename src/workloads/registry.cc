@@ -1,0 +1,57 @@
+#include "workloads/registry.hh"
+
+#include "workloads/kernels.hh"
+
+namespace bpsim {
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "164.gzip")
+        return std::make_unique<GzipKernel>();
+    if (name == "175.vpr")
+        return std::make_unique<VprKernel>();
+    if (name == "176.gcc")
+        return std::make_unique<GccKernel>();
+    if (name == "181.mcf")
+        return std::make_unique<McfKernel>();
+    if (name == "186.crafty")
+        return std::make_unique<CraftyKernel>();
+    if (name == "197.parser")
+        return std::make_unique<ParserKernel>();
+    if (name == "252.eon")
+        return std::make_unique<EonKernel>();
+    if (name == "253.perlbmk")
+        return std::make_unique<PerlbmkKernel>();
+    if (name == "254.gap")
+        return std::make_unique<GapKernel>();
+    if (name == "255.vortex")
+        return std::make_unique<VortexKernel>();
+    if (name == "256.bzip2")
+        return std::make_unique<Bzip2Kernel>();
+    if (name == "300.twolf")
+        return std::make_unique<TwolfKernel>();
+    return nullptr;
+}
+
+const std::vector<std::string> &
+specint2000Names()
+{
+    static const std::vector<std::string> names = {
+        "164.gzip", "175.vpr",     "176.gcc",  "181.mcf",
+        "186.crafty", "197.parser", "252.eon",  "253.perlbmk",
+        "254.gap",  "255.vortex",  "256.bzip2", "300.twolf",
+    };
+    return names;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeSpecint2000()
+{
+    std::vector<std::unique_ptr<Workload>> v;
+    for (const auto &n : specint2000Names())
+        v.push_back(makeWorkload(n));
+    return v;
+}
+
+} // namespace bpsim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Registry of the twelve SPECint-2000 stand-in kernels.
+ */
+
+#ifndef BPSIM_WORKLOADS_REGISTRY_HH
+#define BPSIM_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace bpsim {
+
+/** Create one kernel by SPECint name (e.g. "181.mcf").
+ *  Returns nullptr for unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** The twelve SPECint 2000 names, in the paper's figure order. */
+const std::vector<std::string> &specint2000Names();
+
+/** Instantiate the full suite, in the paper's figure order. */
+std::vector<std::unique_ptr<Workload>> makeSpecint2000();
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * 300.twolf stand-in: standard-cell placement/route annealing.
+ *
+ * twolf is the suite's hardest branch workload (the paper singles it
+ * out: the multi-component predictor's quick and slow components
+ * disagree 18.1% of the time on it). Its control flow mixes an
+ * annealing accept/reject like vpr with much more irregular cost
+ * evaluation: row-overlap penalties, conditional feasibility checks,
+ * and short searches whose bounds depend on loaded coordinates. We
+ * reproduce the row-based placement flavour: cells live in rows,
+ * moves are intra/inter-row exchanges, and the cost couples
+ * wirelength with pairwise overlap scans.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned numRows = 16;
+constexpr unsigned cellsPerRow = 64;
+constexpr unsigned numCells = numRows * cellsPerRow;
+
+struct Layout
+{
+    std::vector<std::int32_t> x;      // cell x coordinate
+    std::vector<std::uint8_t> row;    // cell row
+    std::vector<std::uint8_t> width;  // cell width
+    std::vector<std::uint16_t> mate;  // a "net partner" per cell
+};
+
+Layout
+makeLayout(Rng &rng)
+{
+    Layout l;
+    l.x.resize(numCells);
+    l.row.resize(numCells);
+    l.width.resize(numCells);
+    l.mate.resize(numCells);
+    for (unsigned c = 0; c < numCells; ++c) {
+        l.x[c] = static_cast<std::int32_t>(rng.nextRange(1024));
+        l.row[c] = static_cast<std::uint8_t>(c / cellsPerRow);
+        l.width[c] = static_cast<std::uint8_t>(4 + rng.nextRange(12));
+        l.mate[c] = static_cast<std::uint16_t>(rng.nextRange(numCells));
+    }
+    return l;
+}
+
+/** Wirelength + overlap cost of one cell against its row. */
+long
+cellCost(Tracer &t, const Layout &l, unsigned c)
+{
+    t.load(0x1000 + c * 4);
+    t.load(0x2000 + l.mate[c] * 4);
+    // Wirelength to the net partner; row mismatch adds a penalty.
+    long cost = std::labs(static_cast<long>(l.x[c]) -
+                          static_cast<long>(l.x[l.mate[c]]));
+    t.alu(5);
+    if (t.condBranch(l.row[c] != l.row[l.mate[c]])) {
+        cost += 16 * std::labs(static_cast<long>(l.row[c]) -
+                               static_cast<long>(l.row[l.mate[c]]));
+        t.alu(2);
+    }
+    // Left/right neighbour comparison: essentially 50/50 on loaded
+    // coordinates — one of twolf's hardest branch families.
+    const unsigned row_base =
+        static_cast<unsigned>(l.row[c]) * cellsPerRow;
+    const unsigned mirror = row_base + (cellsPerRow - 1 - c % cellsPerRow);
+    t.load(0x1000 + mirror * 4);
+    if (t.condBranch(l.x[c] < l.x[mirror]))
+        cost += 2;
+    t.alu(3);
+
+    // Overlap scan against a sample of row neighbours: irregular,
+    // weakly biased comparisons on loaded coordinates.
+    for (unsigned k = 0; t.condBranch(k < 4, BranchHint::Backward);
+         ++k) {
+        const unsigned o = row_base + (c * 7 + k * 13) % cellsPerRow;
+        if (t.condBranch(o == c)) {
+            t.alu(1);
+            continue;
+        }
+        t.load(0x1000 + o * 4);
+        const long dist = std::labs(static_cast<long>(l.x[c]) -
+                                    static_cast<long>(l.x[o]));
+        const long min_sep = (l.width[c] + l.width[o]) / 2;
+        t.alu(5);
+        // Cells pack tightly within rows, so the overlap test stays
+        // genuinely ambiguous.
+        if (t.condBranch(dist < min_sep * 8)) {
+            cost += (min_sep * 8 - dist);
+            t.alu(2);
+            if (t.condBranch(dist < min_sep))
+                cost += 64;
+        }
+    }
+    return cost;
+}
+
+} // namespace
+
+std::string
+TwolfKernel::name() const
+{
+    return "300.twolf";
+}
+
+std::string
+TwolfKernel::description() const
+{
+    return "row-based standard-cell placement with overlap penalties";
+}
+
+void
+TwolfKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x74776fULL);
+    for (;;) {
+        Layout l = makeLayout(rng);
+        // twolf's schedule keeps the accept test in its hard
+        // mid-temperature range for most of the run, which is what
+        // makes it the suite's worst-predicted benchmark.
+        double temperature = 96.0;
+        while (t.condBranch(temperature > 24.0, BranchHint::Backward)) {
+            for (unsigned move = 0;
+                 t.condBranch(move < 384, BranchHint::Backward);
+                 ++move) {
+                const auto a =
+                    static_cast<unsigned>(rng.nextRange(numCells));
+                // Move kind: displace, intra-row swap, or inter-row
+                // swap — a three-way data-dependent dispatch.
+                const unsigned kind =
+                    static_cast<unsigned>(rng.nextRange(3));
+                unsigned b;
+                if (t.condBranch(kind == 0)) {
+                    b = a; // displacement: new random x
+                } else if (t.condBranch(kind == 1)) {
+                    b = (a / cellsPerRow) * cellsPerRow +
+                        static_cast<unsigned>(
+                            rng.nextRange(cellsPerRow));
+                } else {
+                    b = static_cast<unsigned>(rng.nextRange(numCells));
+                }
+
+                const long before =
+                    cellCost(t, l, a) + (a == b ? 0 : cellCost(t, l, b));
+                const std::int32_t old_xa = l.x[a];
+                const std::uint8_t old_ra = l.row[a];
+                if (t.condBranch(kind == 0)) {
+                    l.x[a] = static_cast<std::int32_t>(
+                        rng.nextRange(1024));
+                    t.store(0x1000 + a * 4);
+                } else {
+                    std::swap(l.x[a], l.x[b]);
+                    std::swap(l.row[a], l.row[b]);
+                    t.store(0x1000 + a * 4);
+                    t.store(0x1000 + b * 4);
+                }
+                const long after =
+                    cellCost(t, l, a) + (a == b ? 0 : cellCost(t, l, b));
+                const long delta = after - before;
+                t.alu(2);
+
+                const bool accept =
+                    delta <= 0 ||
+                    rng.nextDouble() <
+                        std::exp(-static_cast<double>(delta) /
+                                 temperature);
+                // Reject path restores state: the hard branch.
+                if (!t.condBranch(accept)) {
+                    if (t.condBranch(kind == 0)) {
+                        l.x[a] = old_xa;
+                        l.row[a] = old_ra;
+                        t.store(0x1000 + a * 4);
+                    } else {
+                        std::swap(l.x[a], l.x[b]);
+                        std::swap(l.row[a], l.row[b]);
+                        t.store(0x1000 + a * 4);
+                        t.store(0x1000 + b * 4);
+                    }
+                }
+                t.alu(2);
+            }
+            temperature *= 0.93;
+            t.alu(3);
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * 255.vortex stand-in: object-database transactions.
+ *
+ * vortex exercises an in-memory OO database: creating, looking up
+ * and deleting records in hashed indexes. Its branches are numerous
+ * but mostly well-behaved — short bucket-chain walks, key compares
+ * that usually fail (or usually succeed, on hot keys), and schema
+ * dispatch over a handful of record types — giving it one of the
+ * lowest misprediction rates in the suite. Memory behaviour is
+ * load-heavy with moderate locality.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned numBuckets = 1 << 14;
+constexpr unsigned maxRecords = 1 << 14;
+/** Live key working set: far smaller than capacity, so steady-state
+ *  lookups nearly always hit and bucket chains stay short. */
+constexpr unsigned keySpace = 512;
+
+struct Record
+{
+    std::uint32_t key = 0;
+    std::uint8_t type = 0;
+    std::uint16_t payload = 0;
+    std::int32_t next = -1; // bucket chain
+    bool live = false;
+};
+
+struct Db
+{
+    std::vector<std::int32_t> buckets;
+    std::vector<Record> records;
+    std::vector<std::int32_t> freeList;
+};
+
+Db
+makeDb()
+{
+    Db db;
+    db.buckets.assign(numBuckets, -1);
+    db.records.resize(maxRecords);
+    db.freeList.reserve(maxRecords);
+    for (int i = maxRecords - 1; i >= 0; --i)
+        db.freeList.push_back(i);
+    return db;
+}
+
+std::uint32_t
+hashKey(std::uint32_t key)
+{
+    key ^= key >> 16;
+    key *= 0x45d9f3bu;
+    key ^= key >> 16;
+    return key % numBuckets;
+}
+
+/** Find a live record; returns index or -1. */
+std::int32_t
+dbFind(Tracer &t, Db &db, std::uint32_t key)
+{
+    const std::uint32_t b = hashKey(key);
+    t.load(b * 4);
+    std::int32_t r = db.buckets[b];
+    // Chain walk: usually 0-2 iterations.
+    while (t.condBranch(r >= 0, BranchHint::Backward)) {
+        t.load(0x100000 + static_cast<Addr>(r) * sizeof(Record));
+        if (t.condBranch(db.records[static_cast<std::size_t>(r)].key ==
+                         key))
+            return r;
+        r = db.records[static_cast<std::size_t>(r)].next;
+        t.alu(1);
+    }
+    return -1;
+}
+
+void
+dbInsert(Tracer &t, Db &db, std::uint32_t key, std::uint8_t type)
+{
+    if (t.condBranch(db.freeList.empty()))
+        return;
+    const std::int32_t r = db.freeList.back();
+    db.freeList.pop_back();
+    const std::uint32_t b = hashKey(key);
+    Record &rec = db.records[static_cast<std::size_t>(r)];
+    rec.key = key;
+    rec.type = type;
+    rec.payload = static_cast<std::uint16_t>(key * 7);
+    rec.next = db.buckets[b];
+    rec.live = true;
+    db.buckets[b] = r;
+    t.store(0x100000 + static_cast<Addr>(r) * sizeof(Record));
+    t.store(b * 4);
+    t.alu(3);
+}
+
+void
+dbDelete(Tracer &t, Db &db, std::uint32_t key)
+{
+    const std::uint32_t b = hashKey(key);
+    t.load(b * 4);
+    std::int32_t r = db.buckets[b];
+    std::int32_t prev = -1;
+    while (t.condBranch(r >= 0, BranchHint::Backward)) {
+        Record &rec = db.records[static_cast<std::size_t>(r)];
+        t.load(0x100000 + static_cast<Addr>(r) * sizeof(Record));
+        if (t.condBranch(rec.key == key)) {
+            if (t.condBranch(prev < 0)) {
+                db.buckets[b] = rec.next;
+                t.store(b * 4);
+            } else {
+                db.records[static_cast<std::size_t>(prev)].next =
+                    rec.next;
+                t.store(0x100000 +
+                        static_cast<Addr>(prev) * sizeof(Record));
+            }
+            rec.live = false;
+            db.freeList.push_back(r);
+            t.alu(2);
+            return;
+        }
+        prev = r;
+        r = rec.next;
+        t.alu(1);
+    }
+}
+
+} // namespace
+
+std::string
+VortexKernel::name() const
+{
+    return "255.vortex";
+}
+
+std::string
+VortexKernel::description() const
+{
+    return "hashed object-database insert/lookup/delete transactions";
+}
+
+void
+VortexKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x766f72ULL);
+    for (;;) {
+        Db db = makeDb();
+        // The real benchmark runs its transactions in long phases
+        // (build the database, then query it, then prune it), which
+        // is what makes its branches so predictable: the action
+        // dispatch and hit/miss tests run in long same-direction
+        // streaks.
+        for (unsigned phase = 0;
+             t.condBranch(phase < 48, BranchHint::Backward); ++phase) {
+            const unsigned action = phase % 3; // build/query/prune
+            const unsigned txns = 1024;
+            for (unsigned txn = 0;
+                 t.condBranch(txn < txns, BranchHint::Backward);
+                 ++txn) {
+                // Strongly skewed hot-key pattern: database clients
+                // hammer a small working set, so hit/miss tests and
+                // chain walks see the same keys over and over.
+                const auto key = static_cast<std::uint32_t>(
+                    rng.nextZipf(keySpace, 1.2));
+                t.alu(4); // marshal the transaction record
+                if (t.condBranch(action == 0)) {
+                    if (t.condBranch(dbFind(t, db, key) < 0))
+                        dbInsert(t, db, key,
+                                 static_cast<std::uint8_t>(key % 3));
+                } else if (t.condBranch(action == 1)) {
+                    // Lookup + schema dispatch on the record found.
+                    const std::int32_t r = dbFind(t, db, key);
+                    t.alu(2);
+                    if (t.condBranch(r >= 0)) {
+                        const std::uint8_t ty =
+                            db.records[static_cast<std::size_t>(r)]
+                                .type;
+                        if (t.condBranch(ty == 0)) {
+                            t.alu(4);
+                        } else if (t.condBranch(ty == 1)) {
+                            t.alu(5);
+                        } else {
+                            t.alu(3);
+                        }
+                    }
+                } else {
+                    // Prune a narrow key band; most keys survive.
+                    if (t.condBranch((key & 31) == 0))
+                        dbDelete(t, db, key);
+                    else
+                        t.alu(2);
+                }
+                t.alu(5); // commit bookkeeping
+            }
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * 175.vpr stand-in: simulated-annealing FPGA placement.
+ *
+ * VPR's place phase proposes random cell swaps and accepts or
+ * rejects them against an annealing schedule. The accept/reject
+ * branch is the hallmark hard branch of this benchmark: near 50/50
+ * at high temperature, increasingly biased as the temperature
+ * drops. Cost evaluation walks the nets attached to each cell with
+ * short data-dependent loops. We run the same loop structure over a
+ * synthetic netlist on a 2-D grid.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bpsim {
+
+namespace {
+
+constexpr unsigned gridSide = 48;
+constexpr unsigned numCells = 1024;
+constexpr unsigned numNets = 1536;
+constexpr unsigned maxPinsPerNet = 6;
+
+struct Net
+{
+    std::vector<std::uint16_t> cells;
+};
+
+struct Placement
+{
+    std::vector<std::uint16_t> cellX;
+    std::vector<std::uint16_t> cellY;
+    std::vector<std::vector<std::uint16_t>> cellNets;
+    std::vector<Net> nets;
+};
+
+Placement
+makePlacement(Rng &rng)
+{
+    Placement p;
+    p.cellX.resize(numCells);
+    p.cellY.resize(numCells);
+    p.cellNets.resize(numCells);
+    for (unsigned c = 0; c < numCells; ++c) {
+        p.cellX[c] = static_cast<std::uint16_t>(rng.nextRange(gridSide));
+        p.cellY[c] = static_cast<std::uint16_t>(rng.nextRange(gridSide));
+    }
+    p.nets.resize(numNets);
+    for (unsigned n = 0; n < numNets; ++n) {
+        // Nets are overwhelmingly 4-pin with an occasional larger
+        // one, so the pin loops have stable trip counts.
+        const unsigned pins =
+            rng.nextBool(0.9) ? 4 : 4 + rng.nextRange(maxPinsPerNet - 3);
+        for (unsigned i = 0; i < pins; ++i) {
+            // Mix local and global connectivity, like real netlists.
+            const auto c = static_cast<std::uint16_t>(
+                rng.nextBool(0.7) ? rng.nextZipf(numCells, 1.2)
+                                  : rng.nextRange(numCells));
+            p.nets[n].cells.push_back(c);
+            p.cellNets[c].push_back(static_cast<std::uint16_t>(n));
+        }
+    }
+    return p;
+}
+
+/** Half-perimeter wirelength of one net. */
+long
+netCost(Tracer &t, const Placement &p, unsigned n)
+{
+    int min_x = gridSide, max_x = -1, min_y = gridSide, max_y = -1;
+    for (std::size_t i = 0;
+         t.condBranch(i < p.nets[n].cells.size(), BranchHint::Backward);
+         ++i) {
+        const unsigned c = p.nets[n].cells[i];
+        t.load(0x1000 + c * 4);
+        t.load(0x1800 + c * 4);
+        // Bounding-box updates compile to conditional moves — no
+        // control dependence, as a modern compiler emits for min/max.
+        min_x = std::min<int>(min_x, p.cellX[c]);
+        max_x = std::max<int>(max_x, p.cellX[c]);
+        min_y = std::min<int>(min_y, p.cellY[c]);
+        max_y = std::max<int>(max_y, p.cellY[c]);
+        t.alu(9);
+    }
+    return (max_x - min_x) + (max_y - min_y);
+}
+
+} // namespace
+
+std::string
+VprKernel::name() const
+{
+    return "175.vpr";
+}
+
+std::string
+VprKernel::description() const
+{
+    return "simulated-annealing placement with swap accept/reject";
+}
+
+void
+VprKernel::run(Tracer &t, std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x767072ULL);
+    for (;;) {
+        Placement p = makePlacement(rng);
+        // Most annealing time is spent at low temperature where the
+        // accept test is biased toward reject; only the early sweeps
+        // see a near-50/50 accept branch, as in the real schedule.
+        double temperature = 12.0;
+        while (t.condBranch(temperature > 0.25, BranchHint::Backward)) {
+            for (unsigned move = 0;
+                 t.condBranch(move < 512, BranchHint::Backward); ++move) {
+                const unsigned a = static_cast<unsigned>(
+                    rng.nextRange(numCells));
+                const unsigned b = static_cast<unsigned>(
+                    rng.nextRange(numCells));
+                t.load(0x1000 + a * 4);
+                t.load(0x1000 + b * 4);
+                if (t.condBranch(a == b)) {
+                    t.alu(1);
+                    continue;
+                }
+
+                // Cost delta: evaluate affected nets before/after.
+                long before = 0;
+                for (std::size_t i = 0;
+                     t.condBranch(i < p.cellNets[a].size(),
+                                  BranchHint::Backward);
+                     ++i)
+                    before += netCost(t, p, p.cellNets[a][i]);
+                for (std::size_t i = 0;
+                     t.condBranch(i < p.cellNets[b].size(),
+                                  BranchHint::Backward);
+                     ++i)
+                    before += netCost(t, p, p.cellNets[b][i]);
+
+                std::swap(p.cellX[a], p.cellX[b]);
+                std::swap(p.cellY[a], p.cellY[b]);
+                t.store(0x1000 + a * 4);
+                t.store(0x1000 + b * 4);
+
+                long after = 0;
+                for (std::size_t i = 0;
+                     t.condBranch(i < p.cellNets[a].size(),
+                                  BranchHint::Backward);
+                     ++i)
+                    after += netCost(t, p, p.cellNets[a][i]);
+                for (std::size_t i = 0;
+                     t.condBranch(i < p.cellNets[b].size(),
+                                  BranchHint::Backward);
+                     ++i)
+                    after += netCost(t, p, p.cellNets[b][i]);
+
+                const long delta = after - before;
+                t.alu(5);
+                t.mul();
+                // The annealing accept test: the archetypal
+                // hard-to-predict branch of this benchmark.
+                const bool accept =
+                    delta <= 0 ||
+                    rng.nextDouble() <
+                        std::exp(-static_cast<double>(delta) /
+                                 temperature);
+                if (!t.condBranch(accept)) {
+                    // Reject: swap back.
+                    std::swap(p.cellX[a], p.cellX[b]);
+                    std::swap(p.cellY[a], p.cellY[b]);
+                    t.store(0x1000 + a * 4);
+                    t.store(0x1000 + b * 4);
+                }
+                t.alu(3);
+            }
+            temperature *= 0.82;
+            t.alu(4);
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,26 @@
+#include "workloads/workload.hh"
+
+#include <functional>
+
+namespace bpsim {
+
+TraceBuffer
+generateTrace(const Workload &w, Counter max_ops, std::uint64_t seed)
+{
+    TraceBuffer buf;
+    buf.reserve(max_ops);
+    // Give each kernel a disjoint synthetic code and data region so
+    // traces from different kernels never alias.
+    const Addr code_base =
+        0x400000 + (std::hash<std::string>{}(w.name()) & 0xff) * 0x100000;
+    const Addr data_base = 0x10000000;
+    Tracer t(buf, code_base, data_base, max_ops, seed);
+    try {
+        w.run(t, seed);
+    } catch (const TraceLimit &) {
+        // Expected: the op budget was reached mid-algorithm.
+    }
+    return buf;
+}
+
+} // namespace bpsim

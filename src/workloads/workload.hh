@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload kernel interface.
+ *
+ * Each kernel is an execution-driven stand-in for one SPEC CPU2000
+ * integer benchmark (the suite the paper evaluates on). A kernel
+ * runs a real algorithm of the same character as its namesake —
+ * LZ compression for gzip, simulated annealing for vpr/twolf,
+ * recursive-descent parsing for parser, and so on — over
+ * synthetically generated but data-dependent inputs, and emits every
+ * dynamic instruction through a Tracer. See DESIGN.md §4 for why
+ * this substitution preserves the behaviours the paper measures.
+ */
+
+#ifndef BPSIM_WORKLOADS_WORKLOAD_HH
+#define BPSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "trace/trace_buffer.hh"
+#include "trace/tracer.hh"
+
+namespace bpsim {
+
+/** Abstract workload kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** SPECint-style name, e.g. "164.gzip". */
+    virtual std::string name() const = 0;
+
+    /** One-line description of the algorithm the kernel runs. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Run the kernel until the tracer's op budget unwinds it with
+     * TraceLimit. Implementations loop forever, regenerating fresh
+     * input data (from @p seed) each outer iteration.
+     */
+    virtual void run(Tracer &t, std::uint64_t seed) const = 0;
+};
+
+/**
+ * Generate a trace of (at most) @p max_ops dynamic instructions from
+ * @p w using @p seed. Deterministic: equal arguments produce equal
+ * traces.
+ */
+TraceBuffer generateTrace(const Workload &w, Counter max_ops,
+                          std::uint64_t seed);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOADS_WORKLOAD_HH

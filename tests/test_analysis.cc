@@ -1,0 +1,96 @@
+/** @file Tests for the branch-profile analysis module. */
+
+#include "analysis/branch_profile.hh"
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hh"
+#include "workloads/workload.hh"
+
+namespace bpsim {
+namespace {
+
+TEST(SiteStats, RatesBiasEntropy)
+{
+    SiteStats s{0x40, 100, 75};
+    EXPECT_DOUBLE_EQ(s.takenRate(), 0.75);
+    EXPECT_DOUBLE_EQ(s.bias(), 0.5);
+    EXPECT_NEAR(s.entropyBits(), 0.8113, 1e-3);
+
+    SiteStats fully{0x40, 10, 10};
+    EXPECT_DOUBLE_EQ(fully.bias(), 1.0);
+    EXPECT_DOUBLE_EQ(fully.entropyBits(), 0.0);
+
+    SiteStats even{0x40, 10, 5};
+    EXPECT_DOUBLE_EQ(even.bias(), 0.0);
+    EXPECT_DOUBLE_EQ(even.entropyBits(), 1.0);
+}
+
+TEST(BranchProfile, AggregatesSites)
+{
+    BranchProfile p;
+    for (int i = 0; i < 100; ++i) {
+        p.observe(0x100, true);       // always taken
+        p.observe(0x200, i % 2 == 0); // 50/50
+    }
+    EXPECT_EQ(p.dynamicBranches(), 200u);
+    EXPECT_EQ(p.staticSites(), 2u);
+    EXPECT_DOUBLE_EQ(p.takenFraction(), 0.75);
+    EXPECT_DOUBLE_EQ(p.site(0x100).takenRate(), 1.0);
+    EXPECT_DOUBLE_EQ(p.site(0x200).takenRate(), 0.5);
+    EXPECT_EQ(p.site(0x999).executions, 0u);
+    // Half the dynamic branches come from the fully biased site.
+    EXPECT_DOUBLE_EQ(p.biasedFraction(0.9), 0.5);
+    EXPECT_NEAR(p.meanSiteEntropyBits(), 0.5, 1e-9);
+}
+
+TEST(BranchProfile, HottestSitesOrdered)
+{
+    BranchProfile p;
+    for (int i = 0; i < 10; ++i)
+        p.observe(0x100, true);
+    for (int i = 0; i < 30; ++i)
+        p.observe(0x200, true);
+    for (int i = 0; i < 20; ++i)
+        p.observe(0x300, false);
+    const auto hot = p.hottestSites(2);
+    ASSERT_EQ(hot.size(), 2u);
+    EXPECT_EQ(hot[0].pc, 0x200u);
+    EXPECT_EQ(hot[1].pc, 0x300u);
+}
+
+TEST(BranchProfile, FromWorkloadTrace)
+{
+    const auto w = makeWorkload("252.eon");
+    const auto trace = generateTrace(*w, 50000, 3);
+    const BranchProfile p = profileTrace(trace);
+    EXPECT_EQ(p.dynamicBranches(), trace.condBranches());
+    EXPECT_GT(p.staticSites(), 4u);
+    // eon's branch population is dominated by biased loop/miss
+    // tests.
+    EXPECT_GT(p.biasedFraction(0.8), 0.3);
+}
+
+TEST(MispredictProfile, AttributesMisses)
+{
+    MispredictProfile m;
+    for (int i = 0; i < 100; ++i) {
+        m.observe(0x100, false);       // never misses
+        m.observe(0x200, i % 4 == 0);  // 25% local rate
+        m.observe(0x300, i % 2 == 0);  // 50% local rate
+    }
+    EXPECT_EQ(m.branches(), 300u);
+    EXPECT_EQ(m.mispredictions(), 75u);
+    EXPECT_DOUBLE_EQ(m.percent(), 25.0);
+
+    const auto top = m.topOffenders(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].pc, 0x300u);
+    EXPECT_EQ(top[0].misses, 50u);
+    EXPECT_NEAR(top[0].shareOfAllMisses, 50.0 / 75.0, 1e-12);
+    EXPECT_DOUBLE_EQ(top[0].localRate(), 0.5);
+    EXPECT_EQ(top[1].pc, 0x200u);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,100 @@
+/** @file Unit and property tests for common/bitutil.hh. */
+
+#include "common/bitutil.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+TEST(BitUtil, LoMaskBasics)
+{
+    EXPECT_EQ(loMask(0), 0u);
+    EXPECT_EQ(loMask(1), 1u);
+    EXPECT_EQ(loMask(8), 0xffu);
+    EXPECT_EQ(loMask(63), 0x7fffffffffffffffULL);
+    EXPECT_EQ(loMask(64), ~std::uint64_t{0});
+    EXPECT_EQ(loMask(200), ~std::uint64_t{0});
+}
+
+TEST(BitUtil, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xff, 3, 3), 1u);
+}
+
+TEST(BitUtil, PowerOfTwoPredicates)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 40));
+    EXPECT_FALSE(isPowerOfTwo((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(BitUtil, Log2Functions)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtil, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(4), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitUtil, FoldBitsPreservesLowWidth)
+{
+    // Folding an n-bit value to n bits is the identity.
+    EXPECT_EQ(foldBits(0xabcd, 16), 0xabcdu);
+    // Folding to zero bits is zero.
+    EXPECT_EQ(foldBits(0xabcd, 0), 0u);
+}
+
+/** Property sweep: folded values stay within the output width and
+ *  every input bit participates (flipping any bit changes the fold
+ *  unless it cancels against a sibling — check width only). */
+class FoldWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FoldWidthTest, OutputWithinWidth)
+{
+    const unsigned width = GetParam();
+    std::uint64_t v = 0x123456789abcdef0ULL;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t f = foldBits(v, width);
+        EXPECT_EQ(f & ~loMask(width), 0u);
+        v = (v << 1) | (v >> 63);
+    }
+}
+
+TEST_P(FoldWidthTest, SingleBitLandsSomewhere)
+{
+    const unsigned width = GetParam();
+    for (unsigned pos = 0; pos < 64; ++pos) {
+        const std::uint64_t f = foldBits(std::uint64_t{1} << pos, width);
+        EXPECT_NE(f, 0u) << "bit " << pos << " vanished";
+        EXPECT_EQ(f, std::uint64_t{1} << (pos % width));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FoldWidthTest,
+                         ::testing::Values(1u, 3u, 8u, 9u, 16u, 21u,
+                                           32u, 63u));
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,55 @@
+/** @file Tests for the branch target buffer. */
+
+#include "sim/btb.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(512, 2);
+    EXPECT_FALSE(btb.lookup(0x100).has_value());
+    btb.update(0x100, 0xabc0);
+    const auto t = btb.lookup(0x100);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0xabc0u);
+    EXPECT_EQ(btb.lookups(), 2u);
+    EXPECT_EQ(btb.hits(), 1u);
+    EXPECT_DOUBLE_EQ(btb.hitRate(), 0.5);
+}
+
+TEST(Btb, TargetCanBeRefreshed)
+{
+    Btb btb(512, 2);
+    btb.update(0x100, 0x1000);
+    btb.update(0x100, 0x2000);
+    EXPECT_EQ(*btb.lookup(0x100), 0x2000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    Btb btb(4, 2); // 2 sets x 2 ways; pcs 16 bytes apart alternate sets
+    // These three all map to set 0 (pc >> 4 even).
+    const Addr a = 0x000, b = 0x020, c = 0x040;
+    btb.update(a, 1);
+    btb.update(b, 2);
+    btb.lookup(a); // a becomes MRU
+    btb.update(c, 3); // evicts b
+    EXPECT_TRUE(btb.lookup(a).has_value());
+    EXPECT_FALSE(btb.lookup(b).has_value());
+    EXPECT_TRUE(btb.lookup(c).has_value());
+}
+
+TEST(Btb, DistinctSetsDoNotInterfere)
+{
+    Btb btb(4, 2);
+    btb.update(0x000, 1); // set 0
+    btb.update(0x010, 2); // set 1
+    EXPECT_EQ(*btb.lookup(0x000), 1u);
+    EXPECT_EQ(*btb.lookup(0x010), 2u);
+}
+
+} // namespace
+} // namespace bpsim

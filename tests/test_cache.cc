@@ -1,0 +1,102 @@
+/** @file Tests for the set-associative cache model. */
+
+#include "sim/cache.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 64, 1, "t");
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x3f)) << "same 64B line";
+    EXPECT_FALSE(c.access(0x40)) << "next line";
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    // 1 KB direct mapped, 64 B lines => 16 sets; addresses 0 and
+    // 1024 conflict.
+    Cache c(1024, 64, 1, "dm");
+    c.access(0);
+    EXPECT_FALSE(c.access(1024));
+    EXPECT_FALSE(c.access(0)) << "evicted by the conflicting line";
+}
+
+TEST(Cache, TwoWayAvoidsPairConflict)
+{
+    Cache c(1024, 64, 2, "2w");
+    c.access(0);
+    c.access(1024);
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(1024));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(1024, 64, 2, "lru");
+    // Set 0 has 2 ways; lines 0, 1024, 2048 map to it.
+    c.access(0);
+    c.access(1024);
+    c.access(0);      // 0 is now MRU
+    c.access(2048);   // evicts 1024
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(1024));
+}
+
+TEST(Cache, ContainsDoesNotPerturb)
+{
+    Cache c(1024, 64, 2, "probe");
+    c.access(0);
+    const Counter a = c.accesses();
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(0x40000));
+    EXPECT_EQ(c.accesses(), a);
+}
+
+TEST(Cache, GeometryAccessors)
+{
+    Cache c(64 * 1024, 64, 1, "l1i");
+    EXPECT_EQ(c.sizeBytes(), 64u * 1024);
+    EXPECT_EQ(c.lineBytes(), 64u);
+    EXPECT_EQ(c.associativity(), 1u);
+    EXPECT_EQ(c.name(), "l1i");
+}
+
+/** Property: a working set that fits is fully resident after one
+ *  pass, for any geometry. */
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeometryTest, ResidentWorkingSetAlwaysHits)
+{
+    const auto [size_kb, line, assoc] = GetParam();
+    Cache c(static_cast<std::size_t>(size_kb) * 1024,
+            static_cast<std::size_t>(line),
+            static_cast<unsigned>(assoc), "p");
+    const std::size_t lines =
+        static_cast<std::size_t>(size_kb) * 1024 / line;
+    // Touch every line once (cold), then verify all hit.
+    for (std::size_t i = 0; i < lines; ++i)
+        c.access(i * line);
+    for (std::size_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * line)) << "line " << i;
+    EXPECT_EQ(c.misses(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::tuple{1, 64, 1}, std::tuple{4, 32, 2},
+                      std::tuple{64, 64, 1}, std::tuple{64, 128, 4},
+                      std::tuple{2048, 128, 4}));
+
+} // namespace
+} // namespace bpsim

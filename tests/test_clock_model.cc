@@ -1,0 +1,44 @@
+/** @file Tests for the FO4 clock/technology model. */
+
+#include "delay/clock_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+TEST(ClockModel, PaperDesignPointIs3Point5GHz)
+{
+    // Section 4.1.2: 8 FO4 at 100 nm ~= 3.5 GHz.
+    ClockModel clk(100.0, 8.0);
+    EXPECT_NEAR(clk.frequencyGHz(), 3.5, 0.05);
+    EXPECT_NEAR(clk.fo4Ps(), 36.0, 0.5);
+    EXPECT_NEAR(clk.periodPs(), 288.0, 2.0);
+}
+
+TEST(ClockModel, Fo4ScalesWithTechnology)
+{
+    ClockModel a(100.0), b(50.0);
+    EXPECT_NEAR(a.fo4Ps() / b.fo4Ps(), 2.0, 1e-9);
+}
+
+TEST(ClockModel, CyclesCeilAndMinimumOne)
+{
+    ClockModel clk(100.0, 8.0);
+    EXPECT_EQ(clk.cyclesForFo4(0.0), 1u);
+    EXPECT_EQ(clk.cyclesForFo4(7.9), 1u);
+    EXPECT_EQ(clk.cyclesForFo4(8.0), 1u);
+    EXPECT_EQ(clk.cyclesForFo4(8.1), 2u);
+    EXPECT_EQ(clk.cyclesForFo4(16.0), 2u);
+    EXPECT_EQ(clk.cyclesForFo4(88.0), 11u);
+}
+
+TEST(ClockModel, SlowerClockNeedsFewerCycles)
+{
+    ClockModel fast(100.0, 8.0), slow(100.0, 16.0);
+    for (double fo4 : {10.0, 33.3, 70.0})
+        EXPECT_LE(slow.cyclesForFo4(fo4), fast.cyclesForFo4(fo4));
+}
+
+} // namespace
+} // namespace bpsim

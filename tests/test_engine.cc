@@ -1,0 +1,185 @@
+/** @file Tests for the cycle-level gshare.fast pipeline engine,
+ *  including the E12 equivalence property against the functional
+ *  model. */
+
+#include "pipeline/gshare_fast_engine.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "predictors/gshare_fast.hh"
+
+namespace bpsim {
+namespace {
+
+GshareFastEngine::Config
+cfg(std::size_t entries, unsigned latency, unsigned bpc = 1,
+    unsigned delay = 0)
+{
+    GshareFastEngine::Config c;
+    c.entries = entries;
+    c.phtLatency = latency;
+    c.branchesPerCycle = bpc;
+    c.updateDelay = delay;
+    return c;
+}
+
+TEST(Engine, BufferSizingFollowsSection331)
+{
+    // B * 2^L entries (Section 3.3.1): 8 branches/block at latency 3
+    // needs 64 entries, the paper's example.
+    EXPECT_EQ(GshareFastEngine(cfg(1 << 14, 3, 8)).bufferEntries(),
+              64u);
+    EXPECT_EQ(GshareFastEngine(cfg(1 << 14, 3, 1)).bufferEntries(),
+              8u);
+    EXPECT_EQ(GshareFastEngine(cfg(1 << 14, 5, 2)).bufferEntries(),
+              64u);
+}
+
+TEST(Engine, OutstandingBookkeeping)
+{
+    GshareFastEngine e(cfg(1 << 12, 3));
+    EXPECT_EQ(e.outstanding(), 0u);
+    e.predictBranch(0x100);
+    e.predictBranch(0x200);
+    EXPECT_EQ(e.outstanding(), 2u);
+    e.resolve(true);
+    EXPECT_EQ(e.outstanding(), 1u);
+    e.recover();
+    EXPECT_EQ(e.outstanding(), 0u);
+}
+
+TEST(Engine, CycleAdvancesOncePerBranchAtWidthOne)
+{
+    GshareFastEngine e(cfg(1 << 12, 3));
+    const Cycle c0 = e.cycle();
+    e.predictBranch(0x100); // same cycle as construction
+    e.predictBranch(0x100); // forces an advance
+    e.predictBranch(0x100);
+    EXPECT_EQ(e.cycle(), c0 + 2);
+    e.tickIdle();
+    EXPECT_EQ(e.cycle(), c0 + 3);
+}
+
+TEST(Engine, WidthTwoPacksTwoBranchesPerCycle)
+{
+    GshareFastEngine e(cfg(1 << 12, 3, 2));
+    e.predictBranch(0x100);
+    e.predictBranch(0x200);
+    EXPECT_EQ(e.cycle(), 0u);
+    e.predictBranch(0x300); // third branch starts cycle 1
+    EXPECT_EQ(e.cycle(), 1u);
+}
+
+TEST(Engine, LearnsAllTakenStream)
+{
+    GshareFastEngine e(cfg(1 << 12, 3));
+    unsigned wrong = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool pred = e.predictBranch(0x40);
+        if (!e.resolve(true)) {
+            ++wrong;
+            e.recover();
+        }
+        EXPECT_EQ(pred, pred);
+    }
+    EXPECT_LT(wrong, 40u) << "history warm-up only";
+}
+
+/**
+ * E12: driven one branch per cycle with immediate resolution and
+ * recovery, the pipelined engine with PHT latency L produces exactly
+ * the prediction stream of the functional model with row lag L-1.
+ */
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(EquivalenceTest, EngineMatchesFunctionalModel)
+{
+    const unsigned lg_entries = std::get<0>(GetParam());
+    const unsigned latency = std::get<1>(GetParam());
+    const std::size_t entries = std::size_t{1} << lg_entries;
+
+    GshareFastEngine engine(cfg(entries, latency));
+    GshareFastPredictor model(entries, latency - 1, 0);
+
+    Rng rng(0xf00d + latency);
+    std::vector<bool> hist(16, false);
+    for (int i = 0; i < 30000; ++i) {
+        const Addr pc = 0x8000 + (rng.next() % 200) * 16;
+        // Structured outcome stream: periodic + history echo + noise.
+        bool taken;
+        if (rng.nextBool(0.2))
+            taken = rng.nextBool(0.5);
+        else if (i % 3 == 0)
+            taken = hist[hist.size() - 5];
+        else
+            taken = i % 7 != 0;
+        hist.push_back(taken);
+
+        const bool ep = engine.predictBranch(pc);
+        const bool mp = model.predict(pc);
+        ASSERT_EQ(ep, mp) << "diverged at step " << i;
+
+        model.update(pc, taken);
+        if (!engine.resolve(taken))
+            engine.recover();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LatencyAndSize, EquivalenceTest,
+    ::testing::Combine(::testing::Values(10u, 14u, 18u, 21u),
+                       ::testing::Values(1u, 2u, 3u, 5u, 11u)));
+
+TEST(Engine, UpdateDelayMatchesFunctionalModel)
+{
+    GshareFastEngine engine(cfg(1 << 13, 3, 1, 64));
+    GshareFastPredictor model(1 << 13, 2, 64);
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr pc = 0x8000 + (rng.next() % 64) * 16;
+        const bool taken = rng.nextBool(0.8);
+        ASSERT_EQ(engine.predictBranch(pc), model.predict(pc))
+            << "step " << i;
+        model.update(pc, taken);
+        if (!engine.resolve(taken))
+            engine.recover();
+    }
+}
+
+TEST(Engine, RecoveryRestoresNonSpeculativeState)
+{
+    GshareFastEngine e(cfg(1 << 12, 3));
+    // Predict a run without resolving: speculative state runs ahead.
+    for (int i = 0; i < 5; ++i)
+        e.predictBranch(0x100 + i * 16);
+    EXPECT_EQ(e.outstanding(), 5u);
+    // Resolve the first as mispredicted, recover: younger
+    // speculative work is squashed.
+    e.resolve(false);
+    e.recover();
+    EXPECT_EQ(e.outstanding(), 0u);
+    // The engine keeps functioning and learning afterwards.
+    unsigned wrong = 0;
+    for (int i = 0; i < 1000; ++i) {
+        e.predictBranch(0x100);
+        if (!e.resolve(true)) {
+            ++wrong;
+            e.recover();
+        }
+    }
+    EXPECT_LT(wrong, 40u) << "history warm-up only";
+}
+
+TEST(Engine, StorageBitsMatchGeometry)
+{
+    GshareFastEngine e(cfg(1 << 15, 3));
+    EXPECT_EQ(e.storageBits(), (1u << 15) * 2 + 15u);
+    EXPECT_EQ(e.selectBits(), 9u);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,101 @@
+/** @file Tests for the fetch-side delay wrappers. */
+
+#include "pipeline/fetch_predictor.hh"
+
+#include <gtest/gtest.h>
+
+#include "predictors/gshare.hh"
+#include "predictors/static_pred.hh"
+
+namespace bpsim {
+namespace {
+
+TEST(SingleCycle, NeverBubbles)
+{
+    SingleCycleFetchPredictor p(std::make_unique<StaticPredictor>(true));
+    for (int i = 0; i < 100; ++i) {
+        const auto fp = p.predict(0x100 + i * 16);
+        EXPECT_TRUE(fp.taken);
+        EXPECT_EQ(fp.bubbleCycles, 0u);
+        p.update(0x100 + i * 16, i % 2 == 0);
+    }
+}
+
+TEST(Overriding, AgreementCostsNothing)
+{
+    // Quick and slow both always-taken: never a bubble.
+    OverridingFetchPredictor p(std::make_unique<StaticPredictor>(true),
+                               std::make_unique<StaticPredictor>(true),
+                               4);
+    for (int i = 0; i < 50; ++i) {
+        const auto fp = p.predict(0x40);
+        EXPECT_TRUE(fp.taken);
+        EXPECT_EQ(fp.bubbleCycles, 0u);
+        p.update(0x40, true);
+    }
+    EXPECT_EQ(p.disagreements().hits(), 0u);
+    EXPECT_EQ(p.disagreements().total(), 50u);
+}
+
+TEST(Overriding, DisagreementCostsSlowLatencyAndSlowWins)
+{
+    OverridingFetchPredictor p(
+        std::make_unique<StaticPredictor>(true),
+        std::make_unique<StaticPredictor>(false), 7);
+    const auto fp = p.predict(0x40);
+    EXPECT_FALSE(fp.taken) << "the slow predictor's answer is final";
+    EXPECT_EQ(fp.bubbleCycles, 7u);
+    EXPECT_EQ(p.disagreements().hits(), 1u);
+    EXPECT_EQ(p.slowLatency(), 7u);
+}
+
+TEST(Overriding, TracksDisagreementRateOnRealPredictors)
+{
+    // A warm slow predictor corrects a cold quick one on a
+    // structured stream, producing a nonzero but sub-50% rate.
+    OverridingFetchPredictor p(
+        std::make_unique<GsharePredictor>(64),
+        std::make_unique<GsharePredictor>(1 << 14), 3);
+    std::uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 20000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const Addr pc = 0x100 + (x % 96) * 16;
+        const bool taken = (x >> 13) % 5 != 0;
+        p.predict(pc);
+        p.update(pc, taken);
+    }
+    const double rate = p.disagreements().rate();
+    EXPECT_GT(rate, 0.0);
+    EXPECT_LT(rate, 0.5);
+}
+
+TEST(Overriding, StorageIsQuickPlusSlow)
+{
+    OverridingFetchPredictor p(
+        std::make_unique<GsharePredictor>(2048),
+        std::make_unique<GsharePredictor>(1 << 16), 3);
+    EXPECT_EQ(p.storageBits(),
+              p.quick().storageBits() + p.slow().storageBits());
+    EXPECT_NE(p.name().find("overriding"), std::string::npos);
+}
+
+TEST(Delayed, EveryPredictionBubbles)
+{
+    DelayedFetchPredictor p(std::make_unique<StaticPredictor>(true), 5);
+    for (int i = 0; i < 10; ++i) {
+        const auto fp = p.predict(0x40);
+        EXPECT_EQ(fp.bubbleCycles, 4u) << "latency - 1 stall cycles";
+        p.update(0x40, true);
+    }
+}
+
+TEST(Delayed, SingleCycleLatencyMeansNoBubble)
+{
+    DelayedFetchPredictor p(std::make_unique<StaticPredictor>(true), 1);
+    EXPECT_EQ(p.predict(0x40).bubbleCycles, 0u);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,104 @@
+/** @file Tests for the wide branch-history shift register. */
+
+#include "common/history.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bpsim {
+namespace {
+
+TEST(History, ShiftInOrder)
+{
+    HistoryRegister h(8);
+    h.shiftIn(true);
+    h.shiftIn(false);
+    h.shiftIn(true);
+    // Bit 0 is the newest.
+    EXPECT_TRUE(h.bit(0));
+    EXPECT_FALSE(h.bit(1));
+    EXPECT_TRUE(h.bit(2));
+    EXPECT_EQ(h.low64(), 0b101u);
+}
+
+TEST(History, OldBitsFallOffTheEnd)
+{
+    HistoryRegister h(4);
+    for (int i = 0; i < 4; ++i)
+        h.shiftIn(true);
+    EXPECT_EQ(h.low64(), 0xfu);
+    h.shiftIn(false);
+    EXPECT_EQ(h.low64(), 0b1110u);
+    for (int i = 0; i < 4; ++i)
+        h.shiftIn(false);
+    EXPECT_EQ(h.low64(), 0u);
+}
+
+TEST(History, LowNBits)
+{
+    HistoryRegister h(32);
+    for (int i = 0; i < 12; ++i)
+        h.shiftIn(i % 2 == 0);
+    EXPECT_EQ(h.low(1), h.low64() & 1);
+    EXPECT_EQ(h.low(5), h.low64() & 0x1f);
+}
+
+TEST(History, EqualityAndClear)
+{
+    HistoryRegister a(16), b(16);
+    for (int i = 0; i < 10; ++i) {
+        a.shiftIn(i % 3 == 0);
+        b.shiftIn(i % 3 == 0);
+    }
+    EXPECT_TRUE(a == b);
+    b.shiftIn(true);
+    EXPECT_FALSE(a == b);
+    b.clear();
+    EXPECT_EQ(b.low64(), 0u);
+}
+
+TEST(History, FoldObservesHighBits)
+{
+    HistoryRegister h(100);
+    // Set only a bit far beyond 64 positions back.
+    h.shiftIn(true);
+    for (int i = 0; i < 90; ++i)
+        h.shiftIn(false);
+    EXPECT_EQ(h.low64(), 0u) << "newest 64 bits are all zero";
+    EXPECT_NE(h.fold(16), 0u) << "fold must still see the old bit";
+}
+
+/** Property: a history of length L behaves like an L-bit window of
+ *  the outcome stream, across word boundaries. */
+class HistoryLengthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HistoryLengthTest, MatchesReferenceWindow)
+{
+    const unsigned len = GetParam();
+    HistoryRegister h(len);
+    std::vector<bool> ref;
+    std::uint64_t x = 0x243f6a8885a308d3ULL;
+    for (int i = 0; i < 600; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const bool taken = (x >> 60) & 1;
+        h.shiftIn(taken);
+        ref.push_back(taken);
+        // Check a few positions.
+        for (unsigned p : {0u, 1u, len / 2, len - 1}) {
+            if (p >= len || p >= ref.size())
+                continue;
+            EXPECT_EQ(h.bit(p), ref[ref.size() - 1 - p])
+                << "pos " << p << " step " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HistoryLengthTest,
+                         ::testing::Values(1u, 2u, 9u, 21u, 63u, 64u,
+                                           65u, 128u, 255u, 256u));
+
+} // namespace
+} // namespace bpsim

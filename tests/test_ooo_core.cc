@@ -1,0 +1,212 @@
+/** @file Tests for the out-of-order timing model. */
+
+#include "sim/ooo_core.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predictors/static_pred.hh"
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+namespace {
+
+/** Build a trace of @p n independent single-cycle ALU ops. */
+TraceBuffer
+independentAlus(std::size_t n)
+{
+    TraceBuffer t;
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op;
+        op.pc = 0x1000 + (i % 8) * 4;
+        op.cls = InstClass::IntAlu;
+        op.dst = static_cast<std::uint8_t>(1 + i % 60);
+        t.push(op);
+    }
+    return t;
+}
+
+/** A serial dependence chain: each op reads the previous one's dst. */
+TraceBuffer
+serialChain(std::size_t n)
+{
+    TraceBuffer t;
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op;
+        op.pc = 0x1000 + (i % 8) * 4;
+        op.cls = InstClass::IntAlu;
+        op.dst = static_cast<std::uint8_t>(1 + i % 2);
+        op.srcA = static_cast<std::uint8_t>(1 + (i + 1) % 2);
+        t.push(op);
+    }
+    return t;
+}
+
+/** Alternate k ALU ops with one conditional branch of fixed outcome
+ *  pattern; @p taken_fn gives the outcome per branch. */
+TraceBuffer
+branchy(std::size_t branches, unsigned gap,
+        const std::function<bool(std::size_t)> &taken_fn)
+{
+    TraceBuffer t;
+    for (std::size_t b = 0; b < branches; ++b) {
+        for (unsigned i = 0; i < gap; ++i) {
+            MicroOp op;
+            op.cls = InstClass::IntAlu;
+            op.pc = 0x1000;
+            op.dst = static_cast<std::uint8_t>(1 + i % 50);
+            t.push(op);
+        }
+        MicroOp br;
+        br.cls = InstClass::CondBranch;
+        br.pc = 0x2000;
+        br.taken = taken_fn(b);
+        br.extra = 0x3000;
+        t.push(br);
+    }
+    return t;
+}
+
+SimResult
+simulate(const TraceBuffer &t, std::unique_ptr<DirectionPredictor> p,
+         CoreConfig cfg = CoreConfig{})
+{
+    SingleCycleFetchPredictor fp(std::move(p));
+    OooCore core(cfg, fp);
+    return core.run(t);
+}
+
+TEST(OooCore, CommitsEverything)
+{
+    const auto t = independentAlus(5000);
+    const auto r =
+        simulate(t, std::make_unique<StaticPredictor>(true));
+    EXPECT_EQ(r.instructions, 5000u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(OooCore, IpcBoundedByIssueWidth)
+{
+    const auto t = independentAlus(20000);
+    const auto r =
+        simulate(t, std::make_unique<StaticPredictor>(true));
+    EXPECT_LE(r.ipc(), 8.0);
+    EXPECT_GT(r.ipc(), 4.0)
+        << "independent ALUs should sustain most of the width";
+}
+
+TEST(OooCore, SerialChainLimitsIpcToOne)
+{
+    const auto t = serialChain(20000);
+    const auto r =
+        simulate(t, std::make_unique<StaticPredictor>(true));
+    EXPECT_LE(r.ipc(), 1.05);
+    EXPECT_GT(r.ipc(), 0.8);
+}
+
+TEST(OooCore, MispredictionsCostPipelineDepth)
+{
+    // All-taken branches: a never-taken predictor mispredicts every
+    // branch, an always-taken predictor none.
+    const auto t = branchy(2000, 6, [](auto) { return true; });
+    const auto good =
+        simulate(t, std::make_unique<StaticPredictor>(true));
+    const auto bad =
+        simulate(t, std::make_unique<StaticPredictor>(false));
+    EXPECT_EQ(good.mispredictions, 0u);
+    EXPECT_EQ(bad.mispredictions, 2000u);
+    EXPECT_GT(good.ipc(), 2.0 * bad.ipc());
+    // Penalty per misprediction is on the order of the front-end
+    // depth (Table 1's 20-deep pipe).
+    const double penalty =
+        static_cast<double>(bad.cycles - good.cycles) / 2000.0;
+    EXPECT_GT(penalty, 10.0);
+    EXPECT_LT(penalty, 40.0);
+}
+
+TEST(OooCore, DeeperFrontEndHurtsMispredictionsMore)
+{
+    const auto t = branchy(2000, 6, [](auto b) { return b % 2 == 0; });
+    CoreConfig shallow;
+    shallow.frontEndDepth = 6;
+    CoreConfig deep;
+    deep.frontEndDepth = 25;
+    const auto rs = simulate(
+        t, std::make_unique<StaticPredictor>(true), shallow);
+    const auto rd =
+        simulate(t, std::make_unique<StaticPredictor>(true), deep);
+    EXPECT_GT(rs.ipc(), rd.ipc());
+}
+
+TEST(OooCore, OverridingBubblesReduceIpc)
+{
+    const auto t = branchy(4000, 6, [](auto) { return true; });
+    CoreConfig cfg;
+    // Ideal single-cycle predictor.
+    auto ideal = simulate(t, std::make_unique<StaticPredictor>(true));
+    // Same final predictions, but disagreeing quick predictor costs
+    // 8 bubbles per branch.
+    OverridingFetchPredictor over(
+        std::make_unique<StaticPredictor>(false),
+        std::make_unique<StaticPredictor>(true), 8);
+    OooCore core(cfg, over);
+    const auto r = core.run(t);
+    EXPECT_EQ(r.mispredictions, 0u);
+    EXPECT_GT(r.overridingBubbleCycles, 0u);
+    EXPECT_LT(r.ipc(), ideal.ipc());
+}
+
+TEST(OooCore, LoadMissesThrottleIpc)
+{
+    // Serial pointer chase over a range far larger than L2.
+    TraceBuffer t;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        MicroOp op;
+        op.cls = InstClass::Load;
+        op.pc = 0x1000;
+        op.extra = (i * 524287) % (512u * 1024 * 1024);
+        op.dst = 1;
+        op.srcA = 1;
+        t.push(op);
+    }
+    const auto r =
+        simulate(t, std::make_unique<StaticPredictor>(true));
+    EXPECT_LT(r.ipc(), 0.05);
+    EXPECT_GT(r.l1dMissRate, 0.9);
+}
+
+TEST(OooCore, BtbMissPenaltyAccounted)
+{
+    // Taken branches at many distinct pcs blow out a tiny BTB.
+    TraceBuffer t;
+    for (std::size_t i = 0; i < 4000; ++i) {
+        MicroOp br;
+        br.cls = InstClass::CondBranch;
+        br.pc = 0x1000 + (i % 1024) * 16;
+        br.taken = true;
+        br.extra = br.pc + 64;
+        t.push(br);
+    }
+    CoreConfig small;
+    small.btbEntries = 16;
+    const auto r = simulate(
+        t, std::make_unique<StaticPredictor>(true), small);
+    EXPECT_GT(r.btbMissPenaltyCycles, 0u);
+    EXPECT_LT(r.btbHitRate, 0.9);
+}
+
+TEST(OooCore, ResultRates)
+{
+    const auto t = branchy(100, 9, [](auto b) { return b % 4 != 0; });
+    const auto r =
+        simulate(t, std::make_unique<StaticPredictor>(true));
+    EXPECT_EQ(r.condBranches, 100u);
+    EXPECT_EQ(r.mispredictions, 25u);
+    EXPECT_DOUBLE_EQ(r.mispredictionRate(), 0.25);
+    EXPECT_DOUBLE_EQ(r.mispredictionPercent(), 25.0);
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,257 @@
+/** @file Behavioural tests across the whole predictor suite. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/bimode.hh"
+#include "predictors/gshare.hh"
+#include "predictors/gshare_fast.hh"
+#include "predictors/gskew.hh"
+#include "predictors/local.hh"
+#include "predictors/multicomponent.hh"
+#include "predictors/perceptron.hh"
+#include "predictors/static_pred.hh"
+#include "predictors/tournament.hh"
+
+namespace bpsim {
+namespace {
+
+using Factory = std::function<std::unique_ptr<DirectionPredictor>()>;
+
+std::vector<std::pair<std::string, Factory>>
+allPredictors()
+{
+    return {
+        {"bimodal", [] { return std::make_unique<BimodalPredictor>(4096); }},
+        {"gshare", [] { return std::make_unique<GsharePredictor>(4096); }},
+        {"bimode", [] { return std::make_unique<BiModePredictor>(2048); }},
+        {"gskew", [] { return std::make_unique<GskewPredictor>(2048); }},
+        {"local",
+         [] { return std::make_unique<LocalPredictor>(1024, 10); }},
+        {"tournament",
+         [] { return std::make_unique<TournamentPredictor>(); }},
+        {"perceptron",
+         [] { return std::make_unique<PerceptronPredictor>(256, 24, 10); }},
+        {"multicomponent",
+         [] {
+             return std::make_unique<MultiComponentPredictor>(
+                 std::vector<MultiComponentPredictor::ComponentSpec>{
+                     {1024, 5}, {2048, 8}, {4096, 12}},
+                 512, 256, 512);
+         }},
+        {"gshare.fast",
+         [] { return std::make_unique<GshareFastPredictor>(4096, 2); }},
+    };
+}
+
+/** Run a synthetic outcome stream and return the misprediction rate
+ *  over the last half (after warmup). */
+double
+mispRate(DirectionPredictor &p,
+         const std::function<bool(std::uint64_t, Rng &)> &outcome,
+         std::size_t n = 20000, unsigned sites = 8)
+{
+    Rng rng(1234);
+    std::size_t wrong = 0, counted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr pc = 0x1000 + (i % sites) * 16;
+        const bool taken = outcome(i, rng);
+        const bool pred = p.predict(pc);
+        p.update(pc, taken);
+        if (i >= n / 2) {
+            ++counted;
+            wrong += pred != taken ? 1 : 0;
+        }
+    }
+    return static_cast<double>(wrong) / static_cast<double>(counted);
+}
+
+class PredictorSuiteTest
+    : public ::testing::TestWithParam<std::pair<std::string, Factory>>
+{
+};
+
+TEST_P(PredictorSuiteTest, LearnsConstantDirection)
+{
+    auto p = GetParam().second();
+    EXPECT_LT(mispRate(*p, [](auto, auto &) { return true; }), 0.01);
+    auto q = GetParam().second();
+    EXPECT_LT(mispRate(*q, [](auto, auto &) { return false; }), 0.01);
+}
+
+TEST_P(PredictorSuiteTest, LearnsShortPeriodicPattern)
+{
+    // T T N T T N ... is capturable by any history/counter scheme
+    // except pure bimodal hysteresis; allow generous slack.
+    auto p = GetParam().second();
+    const double r =
+        mispRate(*p, [](std::uint64_t i, auto &) { return i % 3 != 2; });
+    if (GetParam().first == "bimodal") {
+        EXPECT_LT(r, 0.40);
+    } else {
+        EXPECT_LT(r, 0.05) << GetParam().first;
+    }
+}
+
+TEST_P(PredictorSuiteTest, RandomStreamNearFiftyPercent)
+{
+    auto p = GetParam().second();
+    const double r = mispRate(
+        *p, [](auto, Rng &rng) { return rng.nextBool(0.5); });
+    EXPECT_GT(r, 0.40) << GetParam().first;
+    EXPECT_LT(r, 0.60) << GetParam().first;
+}
+
+TEST_P(PredictorSuiteTest, BiasedStreamBeatsCoinFlip)
+{
+    auto p = GetParam().second();
+    const double r = mispRate(
+        *p, [](auto, Rng &rng) { return rng.nextBool(0.9); });
+    EXPECT_LT(r, 0.15) << GetParam().first;
+}
+
+TEST_P(PredictorSuiteTest, ReportsNonzeroStorage)
+{
+    auto p = GetParam().second();
+    EXPECT_GT(p->storageBits(), 0u);
+    EXPECT_EQ(p->storageBytes(), (p->storageBits() + 7) / 8);
+    EXPECT_FALSE(p->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PredictorSuiteTest, ::testing::ValuesIn(allPredictors()),
+    [](const auto &info) {
+        std::string n = info.param.first;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(StaticPredictor, FixedDirection)
+{
+    StaticPredictor taken(true), not_taken(false);
+    EXPECT_TRUE(taken.predict(0x40));
+    EXPECT_FALSE(not_taken.predict(0x40));
+    EXPECT_EQ(taken.storageBits(), 0u);
+}
+
+TEST(Gshare, HistoryDisambiguatesSameAddress)
+{
+    // One branch whose outcome is the outcome of 4 branches ago:
+    // bimodal stays near 50%, gshare learns it.
+    auto pattern = [](std::uint64_t i, Rng &rng) {
+        static thread_local std::vector<bool> hist;
+        bool out;
+        if (hist.size() < 4) {
+            out = rng.nextBool(0.5);
+        } else {
+            out = hist[hist.size() - 4];
+        }
+        hist.push_back(out);
+        return out;
+    };
+    // Note: the pattern above is self-referential and converges to a
+    // fixed cycle, which is exactly what history predictors exploit.
+    GsharePredictor g(4096);
+    BimodalPredictor b(4096);
+    const double rg = mispRate(g, pattern, 20000, 1);
+    EXPECT_LT(rg, 0.02);
+    (void)b;
+}
+
+TEST(Local, CapturesPerBranchPeriodicity)
+{
+    // Two interleaved branches with different periods confuse a
+    // global-history-only view at short history but are trivial for
+    // per-branch local histories.
+    LocalPredictor local(256, 10);
+    std::size_t wrong = 0, total = 0;
+    for (std::size_t i = 0; i < 30000; ++i) {
+        const Addr pc = (i % 2) ? 0x100 : 0x200;
+        const bool taken =
+            (i % 2) ? ((i / 2) % 5 != 0) : ((i / 2) % 7 != 0);
+        const bool pred = local.predict(pc);
+        local.update(pc, taken);
+        if (i > 15000) {
+            ++total;
+            wrong += pred != taken;
+        }
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.02);
+}
+
+TEST(Perceptron, ThresholdMatchesTocsFormula)
+{
+    PerceptronPredictor p(64, 20, 10);
+    EXPECT_EQ(p.threshold(), static_cast<int>(1.93 * 30) + 14);
+}
+
+TEST(Perceptron, LearnsLinearlySeparableCorrelation)
+{
+    // Outcome = outcome 2 back XOR outcome 5 back is NOT linearly
+    // separable; outcome = outcome 3 back is. Check the latter.
+    PerceptronPredictor p(256, 16, 0);
+    std::vector<bool> hist{true, false, true};
+    std::size_t wrong = 0, total = 0;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        const bool taken = hist[hist.size() - 3];
+        const bool pred = p.predict(0x100);
+        p.update(0x100, taken);
+        hist.push_back(taken);
+        if (i > 10000) {
+            ++total;
+            wrong += pred != taken;
+        }
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.01);
+}
+
+TEST(MultiComponent, SelectsWorkingComponentPerBranch)
+{
+    // Branch A needs long history (period 11); branch B is biased.
+    MultiComponentPredictor mc(
+        {{1024, 4}, {2048, 12}}, 512, 256, 512);
+    EXPECT_EQ(mc.numComponents(), 4u); // bimodal + local + 2 globals
+    std::size_t wrong = 0, total = 0;
+    for (std::size_t i = 0; i < 40000; ++i) {
+        const Addr pc = (i % 2) ? 0x100 : 0x200;
+        const bool taken = (i % 2) ? ((i / 2) % 11 != 0) : true;
+        const bool pred = mc.predict(pc);
+        mc.update(pc, taken);
+        if (i > 20000) {
+            ++total;
+            wrong += pred != taken;
+        }
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.06);
+}
+
+TEST(BiMode, SeparatesOppositeBiases)
+{
+    // Two branches that alias in a small table but have opposite
+    // biases: bi-mode's banks keep them apart.
+    BiModePredictor bm(512);
+    std::size_t wrong = 0, total = 0;
+    Rng rng(5);
+    for (std::size_t i = 0; i < 30000; ++i) {
+        const bool which = i % 2;
+        const Addr pc = which ? 0x1000 : 0x9000;
+        const bool taken = which ? rng.nextBool(0.95)
+                                 : rng.nextBool(0.05);
+        const bool pred = bm.predict(pc);
+        bm.update(pc, taken);
+        if (i > 15000) {
+            ++total;
+            wrong += pred != taken;
+        }
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.12);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,124 @@
+/** @file Tests for the deterministic workload RNG. */
+
+#include "common/rng.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 16; ++i)
+        x |= r.next();
+    EXPECT_NE(x, 0u);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(r.nextRange(17), 17u);
+        EXPECT_LT(r.nextRange(1), 1u);
+    }
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = r.nextBetween(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 40000; ++i)
+        hits += r.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 40000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricRespectsCapAndMean)
+{
+    Rng r(17);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned g = r.nextGeometric(0.5, 10);
+        EXPECT_LE(g, 10u);
+        sum += g;
+    }
+    // Mean of geometric(0.5) is ~1 failure.
+    EXPECT_NEAR(sum / 20000, 1.0, 0.1);
+}
+
+TEST(Rng, ZipfWithinRangeAndSkewed)
+{
+    Rng r(19);
+    unsigned lo = 0;
+    const std::uint64_t n = 1000;
+    for (int i = 0; i < 20000; ++i) {
+        const auto z = r.nextZipf(n, 1.0);
+        ASSERT_LT(z, n);
+        lo += z < n / 10 ? 1 : 0;
+    }
+    // A Zipf-ish law puts far more than 10% of mass in the low
+    // decile.
+    EXPECT_GT(lo / 20000.0, 0.25);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(23);
+    double sum = 0, sum_sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace bpsim

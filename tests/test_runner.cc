@@ -1,0 +1,98 @@
+/** @file Tests for the experiment runners. */
+
+#include "core/runner.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "predictors/static_pred.hh"
+#include "workloads/registry.hh"
+
+namespace bpsim {
+namespace {
+
+TEST(AccuracyRunner, CountsOnlyConditionalBranches)
+{
+    TraceBuffer t;
+    MicroOp alu;
+    alu.cls = InstClass::IntAlu;
+    MicroOp br;
+    br.cls = InstClass::CondBranch;
+    br.pc = 0x40;
+    br.taken = true;
+    MicroOp jmp;
+    jmp.cls = InstClass::UncondBranch;
+    jmp.taken = true;
+    for (int i = 0; i < 10; ++i) {
+        t.push(alu);
+        t.push(br);
+        t.push(jmp);
+    }
+    StaticPredictor never(false);
+    const auto r = runAccuracy(never, t);
+    EXPECT_EQ(r.branches, 10u);
+    EXPECT_EQ(r.mispredictions, 10u);
+    EXPECT_DOUBLE_EQ(r.percent(), 100.0);
+}
+
+TEST(SuiteTraces, BuildsAllTwelveOnce)
+{
+    SuiteTraces suite(20000, 1);
+    ASSERT_EQ(suite.size(), 12u);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(suite.name(i), specint2000Names()[i]);
+        EXPECT_EQ(suite.trace(i).size(), 20000u);
+        EXPECT_GT(suite.trace(i).condBranches(), 0u);
+    }
+}
+
+TEST(SuiteAccuracy, MeanIsArithmeticOverWorkloads)
+{
+    SuiteTraces suite(15000, 2);
+    double mean = -1;
+    const auto res = suiteAccuracy(
+        suite, [] { return std::make_unique<StaticPredictor>(true); },
+        &mean);
+    ASSERT_EQ(res.size(), 12u);
+    double acc = 0;
+    for (const auto &r : res)
+        acc += r.percent();
+    EXPECT_NEAR(mean, acc / 12.0, 1e-12);
+}
+
+TEST(SuiteTiming, HarmonicMeanAndPerWorkloadResults)
+{
+    SuiteTraces suite(15000, 3);
+    CoreConfig cfg;
+    double hm = -1;
+    const auto res = suiteTiming(
+        suite, cfg,
+        [] {
+            return std::make_unique<SingleCycleFetchPredictor>(
+                std::make_unique<StaticPredictor>(true));
+        },
+        &hm);
+    ASSERT_EQ(res.size(), 12u);
+    std::vector<double> ipcs;
+    for (const auto &r : res) {
+        EXPECT_GT(r.ipc(), 0.0);
+        ipcs.push_back(r.ipc());
+    }
+    EXPECT_NEAR(hm, harmonicMean(ipcs), 1e-12);
+    EXPECT_LE(hm, arithmeticMean(ipcs));
+}
+
+TEST(BenchOps, EnvironmentOverride)
+{
+    unsetenv("BPSIM_OPS_PER_WORKLOAD");
+    EXPECT_EQ(benchOpsPerWorkload(1234), 1234u);
+    setenv("BPSIM_OPS_PER_WORKLOAD", "777", 1);
+    EXPECT_EQ(benchOpsPerWorkload(1234), 777u);
+    setenv("BPSIM_OPS_PER_WORKLOAD", "not-a-number", 1);
+    EXPECT_EQ(benchOpsPerWorkload(1234), 1234u);
+    unsetenv("BPSIM_OPS_PER_WORKLOAD");
+}
+
+} // namespace
+} // namespace bpsim

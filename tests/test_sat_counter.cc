@@ -1,0 +1,115 @@
+/** @file Tests for saturating counters and signed weights. */
+
+#include "common/sat_counter.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+/** Property sweep over counter widths. */
+class SatCounterWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidthTest, SaturatesAtBounds)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    const unsigned max = (1u << bits) - 1;
+    for (unsigned i = 0; i < 2 * max + 4; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), max);
+    for (unsigned i = 0; i < 2 * max + 4; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST_P(SatCounterWidthTest, TakenThresholdIsMidpoint)
+{
+    const unsigned bits = GetParam();
+    const unsigned max = (1u << bits) - 1;
+    for (unsigned v = 0; v <= max; ++v) {
+        SatCounter c(bits, static_cast<std::uint8_t>(v));
+        EXPECT_EQ(c.taken(), v > max / 2) << "value " << v;
+    }
+}
+
+TEST_P(SatCounterWidthTest, UpdateMovesTowardOutcome)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, static_cast<std::uint8_t>((1u << bits) / 2));
+    const auto before = c.value();
+    c.update(true);
+    EXPECT_GE(c.value(), before);
+    c.update(false);
+    c.update(false);
+    EXPECT_LT(c.value(), before + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(TwoBitCounter, MatchesConventionalSemantics)
+{
+    TwoBitCounter c; // weakly not-taken
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.weak());
+    c.update(true); // -> 2 weakly taken
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.weak());
+    c.update(true); // -> 3 strongly taken
+    EXPECT_TRUE(c.taken());
+    EXPECT_FALSE(c.weak());
+    c.update(true); // saturate at 3
+    EXPECT_EQ(c.value(), 3);
+    c.update(false);
+    c.update(false);
+    c.update(false);
+    c.update(false); // saturate at 0
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(TwoBitCounter, HysteresisNeedsTwoFlips)
+{
+    TwoBitCounter c(3); // strongly taken
+    c.update(false);
+    EXPECT_TRUE(c.taken()) << "one not-taken must not flip";
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+class SignedWeightWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SignedWeightWidthTest, SaturatesSymmetrically)
+{
+    const unsigned bits = GetParam();
+    SignedWeight w(bits, 0);
+    const int max = (1 << (bits - 1)) - 1;
+    const int min = -(1 << (bits - 1));
+    for (int i = 0; i < 3 * max; ++i)
+        w.train(true);
+    EXPECT_EQ(w.value(), max);
+    for (int i = 0; i < 6 * max; ++i)
+        w.train(false);
+    EXPECT_EQ(w.value(), min);
+}
+
+TEST_P(SignedWeightWidthTest, TrainStepsByOne)
+{
+    SignedWeight w(GetParam(), 0);
+    w.train(true);
+    EXPECT_EQ(w.value(), 1);
+    w.train(false);
+    w.train(false);
+    EXPECT_EQ(w.value(), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignedWeightWidthTest,
+                         ::testing::Values(2u, 4u, 8u, 12u, 16u));
+
+} // namespace
+} // namespace bpsim

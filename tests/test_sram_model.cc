@@ -1,0 +1,115 @@
+/** @file Tests for the CACTI-lite SRAM access-time model. */
+
+#include "delay/sram_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+SramGeometry
+pht(std::uint64_t entries)
+{
+    SramGeometry g;
+    g.entries = entries;
+    g.bitsPerEntry = 2;
+    return g;
+}
+
+TEST(SramModel, PaperAnchorSingleCycleAt1KEntries)
+{
+    // Jimenez/Keckler/Lin (MICRO-33): the largest PHT accessible in
+    // one 8 FO4 cycle has 1K entries; the paper optimistically grants
+    // the 2K-entry quick predictor a single cycle too (Section 4.1.2).
+    SramModel m;
+    ClockModel clk;
+    EXPECT_EQ(m.accessCycles(pht(1024), clk), 1u);
+    EXPECT_EQ(m.accessCycles(pht(2048), clk), 1u);
+    EXPECT_GE(m.accessCycles(pht(4096), clk), 2u);
+}
+
+TEST(SramModel, PaperAnchorLargeBudgets)
+{
+    // Table 2 shape: two-bit-counter arrays land on 2/3/4/5/7/11
+    // cycles at 16/32/64/128/256/512 KB.
+    SramModel m;
+    ClockModel clk;
+    EXPECT_EQ(m.accessCycles(pht(64 * 1024), clk), 2u);   // 16 KB
+    EXPECT_EQ(m.accessCycles(pht(128 * 1024), clk), 3u);  // 32 KB
+    EXPECT_EQ(m.accessCycles(pht(256 * 1024), clk), 4u);  // 64 KB
+    EXPECT_EQ(m.accessCycles(pht(512 * 1024), clk), 5u);  // 128 KB
+    EXPECT_EQ(m.accessCycles(pht(1024 * 1024), clk), 7u); // 256 KB
+    EXPECT_EQ(m.accessCycles(pht(2048 * 1024), clk), 11u); // 512 KB
+}
+
+TEST(SramModel, MonotoneInEntries)
+{
+    SramModel m;
+    double prev = 0.0;
+    for (unsigned lg = 8; lg <= 24; ++lg) {
+        const double t = m.accessFo4(pht(std::uint64_t{1} << lg));
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(SramModel, MonotoneInWidthAndPorts)
+{
+    SramModel m;
+    SramGeometry narrow = pht(1 << 14);
+    SramGeometry wide = narrow;
+    wide.bitsPerEntry = 64;
+    EXPECT_GT(m.accessFo4(wide), m.accessFo4(narrow));
+
+    SramGeometry dual = narrow;
+    dual.ports = 2;
+    EXPECT_GT(m.accessFo4(dual), m.accessFo4(narrow));
+}
+
+TEST(SramModel, MaxEntriesForCyclesIsConsistent)
+{
+    SramModel m;
+    ClockModel clk;
+    for (unsigned cycles : {1u, 2u, 4u, 8u}) {
+        const std::uint64_t e = m.maxEntriesForCycles(2, cycles, clk);
+        ASSERT_GT(e, 0u);
+        EXPECT_LE(m.accessCycles(pht(e), clk), cycles);
+        EXPECT_GT(m.accessCycles(pht(e * 2), clk), cycles);
+    }
+}
+
+TEST(SramGeometry, ByteAccounting)
+{
+    EXPECT_EQ(pht(1024).totalBits(), 2048u);
+    EXPECT_EQ(pht(1024).totalBytes(), 256u);
+    SramGeometry g;
+    g.entries = 3;
+    g.bitsPerEntry = 3;
+    EXPECT_EQ(g.totalBytes(), 2u); // 9 bits round up
+}
+
+/** Property: cycles never decrease as capacity grows, across widths. */
+class SramWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SramWidthTest, CyclesMonotoneInCapacity)
+{
+    SramModel m;
+    ClockModel clk;
+    unsigned prev = 0;
+    for (unsigned lg = 6; lg <= 22; ++lg) {
+        SramGeometry g;
+        g.entries = std::uint64_t{1} << lg;
+        g.bitsPerEntry = GetParam();
+        const unsigned c = m.accessCycles(g, clk);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SramWidthTest,
+                         ::testing::Values(1u, 2u, 8u, 32u, 256u));
+
+} // namespace
+} // namespace bpsim

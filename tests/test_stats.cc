@@ -1,0 +1,79 @@
+/** @file Tests for the statistics accumulators. */
+
+#include "common/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace bpsim {
+namespace {
+
+TEST(RunningStat, MeanMinMaxVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RateStat, CountsAndPercent)
+{
+    RateStat r;
+    for (int i = 0; i < 100; ++i)
+        r.event(i % 4 == 0);
+    EXPECT_EQ(r.total(), 100u);
+    EXPECT_EQ(r.hits(), 25u);
+    EXPECT_DOUBLE_EQ(r.rate(), 0.25);
+    EXPECT_DOUBLE_EQ(r.percent(), 25.0);
+    r.addEvents(25, 100);
+    EXPECT_DOUBLE_EQ(r.rate(), 0.25);
+}
+
+TEST(Means, ArithmeticHarmonicGeometric)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0};
+    EXPECT_NEAR(arithmeticMean(xs), 7.0 / 3.0, 1e-12);
+    EXPECT_NEAR(harmonicMean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+    EXPECT_NEAR(geometricMean(xs), 2.0, 1e-12);
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+    EXPECT_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Means, HarmonicLeqArithmetic)
+{
+    // AM-HM inequality, the reason the paper reports harmonic-mean
+    // IPC (it weights slow benchmarks more).
+    const std::vector<double> xs = {0.5, 1.1, 1.9, 2.2};
+    EXPECT_LE(harmonicMean(xs), arithmeticMean(xs));
+}
+
+TEST(Histogram, BucketsAndCdf)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(1);
+    h.add(3);
+    h.add(99); // clamps into last bucket
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_DOUBLE_EQ(h.cdf(0), 0.2);
+    EXPECT_DOUBLE_EQ(h.cdf(1), 0.6);
+    EXPECT_DOUBLE_EQ(h.cdf(3), 1.0);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,67 @@
+/** @file Guards the paper's Table 1 simulation parameters: if a
+ *  refactor changes a default, the reproduction silently drifts —
+ *  these tests make that loud instead. */
+
+#include "sim/core_config.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/btb.hh"
+#include "sim/cache.hh"
+
+namespace bpsim {
+namespace {
+
+TEST(Table1, CacheGeometries)
+{
+    const CoreConfig cfg;
+    // L1 I-cache: 64 KB, 64-byte lines, direct mapped.
+    EXPECT_EQ(cfg.l1iSizeBytes, 64u * 1024);
+    EXPECT_EQ(cfg.l1iLineBytes, 64u);
+    EXPECT_EQ(cfg.l1iAssoc, 1u);
+    // L1 D-cache: 64 KB, 64-byte lines, direct mapped.
+    EXPECT_EQ(cfg.l1dSizeBytes, 64u * 1024);
+    EXPECT_EQ(cfg.l1dLineBytes, 64u);
+    EXPECT_EQ(cfg.l1dAssoc, 1u);
+    // L2: 2 MB, 128-byte lines, 4-way.
+    EXPECT_EQ(cfg.l2SizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.l2LineBytes, 128u);
+    EXPECT_EQ(cfg.l2Assoc, 4u);
+}
+
+TEST(Table1, BtbAndWidthAndDepth)
+{
+    const CoreConfig cfg;
+    EXPECT_EQ(cfg.btbEntries, 512u);
+    EXPECT_EQ(cfg.btbAssoc, 2u);
+    EXPECT_EQ(cfg.issueWidth, 8u);
+    EXPECT_EQ(cfg.pipelineDepth, 20u);
+    // The front end is most of a 20-deep pipe.
+    EXPECT_GE(cfg.frontEndDepth, 10u);
+    EXPECT_LT(cfg.frontEndDepth, cfg.pipelineDepth);
+}
+
+TEST(Table1, StructuresConstructFromConfig)
+{
+    const CoreConfig cfg;
+    Cache l1i(cfg.l1iSizeBytes, cfg.l1iLineBytes, cfg.l1iAssoc, "l1i");
+    Cache l2(cfg.l2SizeBytes, cfg.l2LineBytes, cfg.l2Assoc, "l2");
+    Btb btb(cfg.btbEntries, cfg.btbAssoc);
+    EXPECT_EQ(l1i.sizeBytes() / l1i.lineBytes(), 1024u);
+    EXPECT_EQ(l2.sizeBytes() / (l2.lineBytes() * l2.associativity()),
+              4096u);
+    EXPECT_FALSE(btb.lookup(0x1234).has_value());
+}
+
+TEST(Table1, LatenciesAreOrdered)
+{
+    const CoreConfig cfg;
+    EXPECT_LT(cfg.l1dHitCycles, cfg.l2HitCycles);
+    EXPECT_LT(cfg.l2HitCycles, cfg.memoryCycles);
+    EXPECT_LT(cfg.ifetchL2Cycles, cfg.ifetchMemoryCycles);
+    EXPECT_GE(cfg.mulCycles, 2u);
+    EXPECT_GE(cfg.robEntries, 2 * cfg.issueWidth);
+}
+
+} // namespace
+} // namespace bpsim

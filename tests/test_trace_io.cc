@@ -1,0 +1,94 @@
+/** @file Tests for binary trace file round-tripping. */
+
+#include "trace/trace_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+
+#include "workloads/registry.hh"
+#include "workloads/workload.hh"
+
+namespace bpsim {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTripsAWorkloadTrace)
+{
+    const auto w = makeWorkload("186.crafty");
+    const TraceBuffer original = generateTrace(*w, 40000, 7);
+    const std::string path = tempPath("crafty.bpt");
+
+    writeTrace(original, path);
+    const TraceBuffer loaded = readTrace(path);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.condBranches(), original.condBranches());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(loaded[i].pc, original[i].pc) << "op " << i;
+        ASSERT_EQ(loaded[i].extra, original[i].extra) << "op " << i;
+        ASSERT_EQ(loaded[i].cls, original[i].cls) << "op " << i;
+        ASSERT_EQ(loaded[i].taken, original[i].taken) << "op " << i;
+        ASSERT_EQ(loaded[i].dst, original[i].dst) << "op " << i;
+        ASSERT_EQ(loaded[i].srcA, original[i].srcA) << "op " << i;
+        ASSERT_EQ(loaded[i].srcB, original[i].srcB) << "op " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty.bpt");
+    writeTrace(TraceBuffer{}, path);
+    const TraceBuffer loaded = readTrace(path);
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(readTrace("/nonexistent/dir/trace.bpt"),
+                 TraceIoError);
+}
+
+TEST(TraceIo, RejectsForeignFiles)
+{
+    const std::string path = tempPath("garbage.bpt");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace file at all, not even close",
+               f);
+    std::fclose(f);
+    EXPECT_THROW(readTrace(path), TraceIoError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedRecords)
+{
+    const auto w = makeWorkload("254.gap");
+    const TraceBuffer original = generateTrace(*w, 1000, 1);
+    const std::string path = tempPath("trunc.bpt");
+    writeTrace(original, path);
+
+    // Chop the file in half (keeping the header).
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(0, truncate(path.c_str(), size / 2));
+
+    EXPECT_THROW(readTrace(path), TraceIoError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,170 @@
+/** @file Tests for the Tracer instrumentation front-end. */
+
+#include "trace/tracer.hh"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+namespace {
+
+constexpr Addr kCode = 0x400000;
+constexpr Addr kData = 0x10000000;
+
+TEST(Tracer, StopsExactlyAtBudget)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 10, 1);
+    EXPECT_THROW(
+        {
+            for (;;)
+                t.alu(1);
+        },
+        TraceLimit);
+    EXPECT_EQ(buf.size(), 10u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Tracer, BranchSitesAreStablePerCallSite)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    for (int i = 0; i < 3; ++i)
+        t.condBranch(i % 2 == 0); // same call site each iteration
+    EXPECT_EQ(buf[0].pc, buf[1].pc);
+    EXPECT_EQ(buf[1].pc, buf[2].pc);
+    t.condBranch(true); // a different call site
+    EXPECT_NE(buf[3].pc, buf[0].pc);
+}
+
+TEST(Tracer, ExplicitSitesMapToDistinctPcs)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    t.condBranchAt(5, true);
+    t.condBranchAt(6, false);
+    t.condBranchAt(5, false);
+    EXPECT_EQ(buf[0].pc, kCode + 5 * 16);
+    EXPECT_EQ(buf[1].pc, kCode + 6 * 16);
+    EXPECT_EQ(buf[0].pc, buf[2].pc);
+    EXPECT_TRUE(buf[0].taken);
+    EXPECT_FALSE(buf[2].taken);
+}
+
+TEST(Tracer, CondBranchReturnsItsCondition)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    EXPECT_TRUE(t.condBranch(true));
+    EXPECT_FALSE(t.condBranch(false));
+}
+
+TEST(Tracer, BackwardHintMakesBackwardTarget)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    t.condBranchAt(100, true, BranchHint::Backward);
+    t.condBranchAt(100, true, BranchHint::Forward);
+    EXPECT_LT(buf[0].extra, buf[0].pc);
+    EXPECT_GT(buf[1].extra, buf[1].pc);
+}
+
+TEST(Tracer, MemoryOpsCarryDataAddresses)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    t.load(0x123);
+    t.store(0x456);
+    EXPECT_EQ(buf[0].cls, InstClass::Load);
+    EXPECT_EQ(buf[0].extra, kData + 0x123);
+    EXPECT_NE(buf[0].dst, 0);
+    EXPECT_EQ(buf[1].cls, InstClass::Store);
+    EXPECT_EQ(buf[1].extra, kData + 0x456);
+}
+
+TEST(Tracer, RegistersStayInArchitecturalRange)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 500, 7);
+    try {
+        for (;;) {
+            t.alu(3);
+            t.load(8);
+            t.mul();
+            t.condBranch(true);
+            t.store(16);
+        }
+    } catch (const TraceLimit &) {
+    }
+    for (const MicroOp &op : buf) {
+        EXPECT_LT(op.dst, 64);
+        EXPECT_LT(op.srcA, 64);
+        EXPECT_LT(op.srcB, 64);
+    }
+}
+
+TEST(Tracer, BranchConsumesRecentResults)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    t.load(64);
+    const std::uint8_t load_dst = buf[0].dst;
+    t.condBranch(true);
+    EXPECT_EQ(buf[1].srcB, load_dst)
+        << "branch should depend on the most recent load";
+}
+
+TEST(Tracer, JumpEmitsUnconditionalWithTarget)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 100, 1);
+    t.jump(42);
+    EXPECT_EQ(buf[0].cls, InstClass::UncondBranch);
+    EXPECT_TRUE(buf[0].taken);
+    EXPECT_EQ(buf[0].extra, kCode + 42 * 16);
+}
+
+TEST(Tracer, DensityAccounting)
+{
+    TraceBuffer buf;
+    Tracer t(buf, kCode, kData, 1000, 1);
+    try {
+        for (;;) {
+            t.alu(4);
+            t.condBranch(true);
+        }
+    } catch (const TraceLimit &) {
+    }
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_NEAR(buf.branchDensity(), 0.2, 0.01);
+    EXPECT_EQ(buf.condBranches(), 200u);
+}
+
+TEST(Tracer, DeterministicForSameSeed)
+{
+    TraceBuffer a, b;
+    Tracer ta(a, kCode, kData, 200, 99);
+    Tracer tb(b, kCode, kData, 200, 99);
+    auto drive = [](Tracer &t) {
+        try {
+            for (;;) {
+                t.alu(2);
+                t.load(32);
+                t.condBranch(true);
+            }
+        } catch (const TraceLimit &) {
+        }
+    };
+    drive(ta);
+    drive(tb);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].srcA, b[i].srcA);
+        EXPECT_EQ(a[i].srcB, b[i].srcB);
+    }
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,132 @@
+/** @file Suite-level tests for the twelve SPECint stand-in kernels. */
+
+#include "workloads/registry.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.hh"
+
+namespace bpsim {
+namespace {
+
+TEST(Registry, AllTwelveBenchmarksExist)
+{
+    EXPECT_EQ(specint2000Names().size(), 12u);
+    for (const auto &name : specint2000Names()) {
+        const auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        EXPECT_EQ(w->name(), name);
+        EXPECT_FALSE(w->description().empty());
+    }
+    EXPECT_EQ(makeWorkload("999.nonesuch"), nullptr);
+}
+
+TEST(Registry, MakeSuiteMatchesNameOrder)
+{
+    const auto suite = makeSpecint2000();
+    ASSERT_EQ(suite.size(), 12u);
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i]->name(), specint2000Names()[i]);
+}
+
+/** Per-kernel property sweep. */
+class KernelTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    TraceBuffer
+    gen(Counter ops = 60000, std::uint64_t seed = 42)
+    {
+        const auto w = makeWorkload(GetParam());
+        return generateTrace(*w, ops, seed);
+    }
+};
+
+TEST_P(KernelTest, ProducesExactlyRequestedOps)
+{
+    const auto t = gen(60000);
+    EXPECT_EQ(t.size(), 60000u);
+}
+
+TEST_P(KernelTest, DeterministicForSameSeed)
+{
+    const auto a = gen(30000, 7);
+    const auto b = gen(30000, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].pc, b[i].pc) << "op " << i;
+        ASSERT_EQ(a[i].taken, b[i].taken) << "op " << i;
+        ASSERT_EQ(a[i].extra, b[i].extra) << "op " << i;
+    }
+}
+
+TEST_P(KernelTest, DifferentSeedsDiffer)
+{
+    const auto a = gen(30000, 1);
+    const auto b = gen(30000, 2);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += (a[i].pc == b[i].pc && a[i].taken == b[i].taken) ? 1 : 0;
+    EXPECT_LT(same, a.size()) << "seed must influence the trace";
+}
+
+TEST_P(KernelTest, BranchDensityIsRealistic)
+{
+    const auto t = gen();
+    // SPECint conditional-branch density is roughly one in four to
+    // one in eight instructions.
+    EXPECT_GT(t.branchDensity(), 0.08) << GetParam();
+    EXPECT_LT(t.branchDensity(), 0.45) << GetParam();
+}
+
+TEST_P(KernelTest, OutcomesAreMixedButBiasedSanely)
+{
+    const auto t = gen();
+    Counter taken = 0;
+    for (const auto &op : t)
+        if (op.cls == InstClass::CondBranch)
+            taken += op.taken ? 1 : 0;
+    const double frac =
+        static_cast<double>(taken) / static_cast<double>(t.condBranches());
+    EXPECT_GT(frac, 0.15) << GetParam();
+    EXPECT_LT(frac, 0.97) << GetParam();
+}
+
+TEST_P(KernelTest, UsesMemoryAndCompute)
+{
+    const auto t = gen();
+    Counter loads = 0, stores = 0, alu = 0;
+    for (const auto &op : t) {
+        loads += op.cls == InstClass::Load ? 1 : 0;
+        stores += op.cls == InstClass::Store ? 1 : 0;
+        alu += op.cls == InstClass::IntAlu ? 1 : 0;
+    }
+    EXPECT_GT(loads, t.size() / 100) << GetParam();
+    EXPECT_GT(stores, 0u) << GetParam();
+    EXPECT_GT(alu, t.size() / 10) << GetParam();
+}
+
+TEST_P(KernelTest, HasSubstantialStaticBranchFootprint)
+{
+    const auto t = gen();
+    std::set<Addr> sites;
+    for (const auto &op : t)
+        if (op.cls == InstClass::CondBranch)
+            sites.insert(op.pc);
+    EXPECT_GE(sites.size(), 8u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, KernelTest,
+    ::testing::ValuesIn(specint2000Names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace bpsim
