@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_hiding.dir/ablation_delay_hiding.cc.o"
+  "CMakeFiles/ablation_delay_hiding.dir/ablation_delay_hiding.cc.o.d"
+  "ablation_delay_hiding"
+  "ablation_delay_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_delay.dir/ablation_update_delay.cc.o"
+  "CMakeFiles/ablation_update_delay.dir/ablation_update_delay.cc.o.d"
+  "ablation_update_delay"
+  "ablation_update_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

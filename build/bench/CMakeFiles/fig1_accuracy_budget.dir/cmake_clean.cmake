@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_accuracy_budget.dir/fig1_accuracy_budget.cc.o"
+  "CMakeFiles/fig1_accuracy_budget.dir/fig1_accuracy_budget.cc.o.d"
+  "fig1_accuracy_budget"
+  "fig1_accuracy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_accuracy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ideal_vs_overriding.dir/fig2_ideal_vs_overriding.cc.o"
+  "CMakeFiles/fig2_ideal_vs_overriding.dir/fig2_ideal_vs_overriding.cc.o.d"
+  "fig2_ideal_vs_overriding"
+  "fig2_ideal_vs_overriding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ideal_vs_overriding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

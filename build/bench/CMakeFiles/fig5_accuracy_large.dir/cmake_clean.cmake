@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_accuracy_large.dir/fig5_accuracy_large.cc.o"
+  "CMakeFiles/fig5_accuracy_large.dir/fig5_accuracy_large.cc.o.d"
+  "fig5_accuracy_large"
+  "fig5_accuracy_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_accuracy_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

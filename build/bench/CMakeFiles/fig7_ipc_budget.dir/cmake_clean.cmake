@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ipc_budget.dir/fig7_ipc_budget.cc.o"
+  "CMakeFiles/fig7_ipc_budget.dir/fig7_ipc_budget.cc.o.d"
+  "fig7_ipc_budget"
+  "fig7_ipc_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ipc_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_per_benchmark_ipc.dir/fig8_per_benchmark_ipc.cc.o"
+  "CMakeFiles/fig8_per_benchmark_ipc.dir/fig8_per_benchmark_ipc.cc.o.d"
+  "fig8_per_benchmark_ipc"
+  "fig8_per_benchmark_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_per_benchmark_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

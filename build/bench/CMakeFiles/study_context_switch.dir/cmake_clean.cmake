@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_context_switch.dir/study_context_switch.cc.o"
+  "CMakeFiles/study_context_switch.dir/study_context_switch.cc.o.d"
+  "study_context_switch"
+  "study_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

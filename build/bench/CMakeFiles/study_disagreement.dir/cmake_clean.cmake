@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_disagreement.dir/study_disagreement.cc.o"
+  "CMakeFiles/study_disagreement.dir/study_disagreement.cc.o.d"
+  "study_disagreement"
+  "study_disagreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_disagreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

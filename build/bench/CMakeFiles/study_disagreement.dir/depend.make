@@ -1,0 +1,2 @@
+# Empty dependencies file for study_disagreement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_pipeline_depth.dir/study_pipeline_depth.cc.o"
+  "CMakeFiles/study_pipeline_depth.dir/study_pipeline_depth.cc.o.d"
+  "study_pipeline_depth"
+  "study_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

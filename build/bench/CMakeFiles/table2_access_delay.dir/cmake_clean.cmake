@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_access_delay.dir/table2_access_delay.cc.o"
+  "CMakeFiles/table2_access_delay.dir/table2_access_delay.cc.o.d"
+  "table2_access_delay"
+  "table2_access_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_access_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli.dir/cli.cpp.o"
+  "CMakeFiles/cli.dir/cli.cpp.o.d"
+  "cli"
+  "cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_your_own.dir/design_your_own.cpp.o"
+  "CMakeFiles/design_your_own.dir/design_your_own.cpp.o.d"
+  "design_your_own"
+  "design_your_own.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_your_own.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

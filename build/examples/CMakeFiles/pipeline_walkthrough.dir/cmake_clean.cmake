@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_walkthrough.dir/pipeline_walkthrough.cpp.o"
+  "CMakeFiles/pipeline_walkthrough.dir/pipeline_walkthrough.cpp.o.d"
+  "pipeline_walkthrough"
+  "pipeline_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_shootout.dir/predictor_shootout.cpp.o"
+  "CMakeFiles/predictor_shootout.dir/predictor_shootout.cpp.o.d"
+  "predictor_shootout"
+  "predictor_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

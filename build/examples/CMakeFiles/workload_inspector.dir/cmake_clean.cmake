@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_inspector.dir/workload_inspector.cpp.o"
+  "CMakeFiles/workload_inspector.dir/workload_inspector.cpp.o.d"
+  "workload_inspector"
+  "workload_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

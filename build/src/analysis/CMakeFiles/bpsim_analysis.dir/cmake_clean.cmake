@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_analysis.dir/branch_profile.cc.o"
+  "CMakeFiles/bpsim_analysis.dir/branch_profile.cc.o.d"
+  "libbpsim_analysis.a"
+  "libbpsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

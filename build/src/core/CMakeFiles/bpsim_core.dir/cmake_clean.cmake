@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_core.dir/factory.cc.o"
+  "CMakeFiles/bpsim_core.dir/factory.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/runner.cc.o"
+  "CMakeFiles/bpsim_core.dir/runner.cc.o.d"
+  "libbpsim_core.a"
+  "libbpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

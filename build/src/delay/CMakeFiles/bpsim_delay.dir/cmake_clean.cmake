@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_delay.dir/clock_model.cc.o"
+  "CMakeFiles/bpsim_delay.dir/clock_model.cc.o.d"
+  "CMakeFiles/bpsim_delay.dir/sram_model.cc.o"
+  "CMakeFiles/bpsim_delay.dir/sram_model.cc.o.d"
+  "libbpsim_delay.a"
+  "libbpsim_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

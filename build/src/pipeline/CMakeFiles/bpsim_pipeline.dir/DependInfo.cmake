@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/fetch_predictor.cc" "src/pipeline/CMakeFiles/bpsim_pipeline.dir/fetch_predictor.cc.o" "gcc" "src/pipeline/CMakeFiles/bpsim_pipeline.dir/fetch_predictor.cc.o.d"
+  "/root/repo/src/pipeline/gshare_fast_engine.cc" "src/pipeline/CMakeFiles/bpsim_pipeline.dir/gshare_fast_engine.cc.o" "gcc" "src/pipeline/CMakeFiles/bpsim_pipeline.dir/gshare_fast_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

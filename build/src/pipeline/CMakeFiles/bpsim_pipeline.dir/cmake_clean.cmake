@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_pipeline.dir/fetch_predictor.cc.o"
+  "CMakeFiles/bpsim_pipeline.dir/fetch_predictor.cc.o.d"
+  "CMakeFiles/bpsim_pipeline.dir/gshare_fast_engine.cc.o"
+  "CMakeFiles/bpsim_pipeline.dir/gshare_fast_engine.cc.o.d"
+  "libbpsim_pipeline.a"
+  "libbpsim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/bimodal.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/bimodal.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/bimodal.cc.o.d"
+  "/root/repo/src/predictors/bimode.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/bimode.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/bimode.cc.o.d"
+  "/root/repo/src/predictors/gshare.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gshare.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gshare.cc.o.d"
+  "/root/repo/src/predictors/gshare_fast.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gshare_fast.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gshare_fast.cc.o.d"
+  "/root/repo/src/predictors/gskew.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gskew.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gskew.cc.o.d"
+  "/root/repo/src/predictors/local.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/local.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/local.cc.o.d"
+  "/root/repo/src/predictors/loop.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/loop.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/loop.cc.o.d"
+  "/root/repo/src/predictors/multicomponent.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/multicomponent.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/multicomponent.cc.o.d"
+  "/root/repo/src/predictors/perceptron.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/perceptron.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/perceptron.cc.o.d"
+  "/root/repo/src/predictors/tournament.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/tournament.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/tournament.cc.o.d"
+  "/root/repo/src/predictors/yags.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/yags.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/yags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

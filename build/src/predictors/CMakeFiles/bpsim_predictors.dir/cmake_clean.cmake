@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_predictors.dir/bimodal.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/bimodal.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/bimode.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/bimode.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/gshare.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/gshare.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/gshare_fast.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/gshare_fast.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/gskew.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/gskew.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/local.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/local.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/loop.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/loop.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/multicomponent.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/multicomponent.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/perceptron.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/perceptron.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/tournament.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/tournament.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/yags.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/yags.cc.o.d"
+  "libbpsim_predictors.a"
+  "libbpsim_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/btb.cc" "src/sim/CMakeFiles/bpsim_sim.dir/btb.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/btb.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/bpsim_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/ooo_core.cc" "src/sim/CMakeFiles/bpsim_sim.dir/ooo_core.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/bpsim_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_sim.dir/btb.cc.o"
+  "CMakeFiles/bpsim_sim.dir/btb.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/cache.cc.o"
+  "CMakeFiles/bpsim_sim.dir/cache.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/ooo_core.cc.o"
+  "CMakeFiles/bpsim_sim.dir/ooo_core.cc.o.d"
+  "libbpsim_sim.a"
+  "libbpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bzip2.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/bzip2.cc.o.d"
+  "/root/repo/src/workloads/crafty.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/crafty.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/crafty.cc.o.d"
+  "/root/repo/src/workloads/eon.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/eon.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/eon.cc.o.d"
+  "/root/repo/src/workloads/gap.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/gap.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/gap.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/gcc.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/gcc.cc.o.d"
+  "/root/repo/src/workloads/gzip.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/gzip.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/gzip.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/mcf.cc.o.d"
+  "/root/repo/src/workloads/parser.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/parser.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/parser.cc.o.d"
+  "/root/repo/src/workloads/perlbmk.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/perlbmk.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/perlbmk.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/twolf.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/twolf.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/twolf.cc.o.d"
+  "/root/repo/src/workloads/vortex.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/vortex.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/vortex.cc.o.d"
+  "/root/repo/src/workloads/vpr.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/vpr.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/vpr.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/bpsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/bpsim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_workloads.dir/bzip2.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/bzip2.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/crafty.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/crafty.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/eon.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/eon.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/gap.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/gap.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/gcc.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/gcc.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/gzip.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/gzip.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/mcf.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/mcf.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/parser.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/parser.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/perlbmk.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/perlbmk.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/registry.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/twolf.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/twolf.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/vortex.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/vortex.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/vpr.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/vpr.cc.o.d"
+  "CMakeFiles/bpsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/bpsim_workloads.dir/workload.cc.o.d"
+  "libbpsim_workloads.a"
+  "libbpsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

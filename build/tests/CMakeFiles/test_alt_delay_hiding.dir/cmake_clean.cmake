@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alt_delay_hiding.dir/test_alt_delay_hiding.cc.o"
+  "CMakeFiles/test_alt_delay_hiding.dir/test_alt_delay_hiding.cc.o.d"
+  "test_alt_delay_hiding"
+  "test_alt_delay_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alt_delay_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

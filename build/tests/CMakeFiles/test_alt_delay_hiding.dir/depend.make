@@ -1,0 +1,2 @@
+# Empty dependencies file for test_alt_delay_hiding.
+# This may be replaced when dependencies are built.

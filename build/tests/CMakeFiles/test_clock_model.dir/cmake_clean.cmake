@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_model.dir/test_clock_model.cc.o"
+  "CMakeFiles/test_clock_model.dir/test_clock_model.cc.o.d"
+  "test_clock_model"
+  "test_clock_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetch_predictor.dir/test_fetch_predictor.cc.o"
+  "CMakeFiles/test_fetch_predictor.dir/test_fetch_predictor.cc.o.d"
+  "test_fetch_predictor"
+  "test_fetch_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetch_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gshare_fast.dir/test_gshare_fast.cc.o"
+  "CMakeFiles/test_gshare_fast.dir/test_gshare_fast.cc.o.d"
+  "test_gshare_fast"
+  "test_gshare_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gshare_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gskew_multicomponent.dir/test_gskew_multicomponent.cc.o"
+  "CMakeFiles/test_gskew_multicomponent.dir/test_gskew_multicomponent.cc.o.d"
+  "test_gskew_multicomponent"
+  "test_gskew_multicomponent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gskew_multicomponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_robustness.dir/test_seed_robustness.cc.o"
+  "CMakeFiles/test_seed_robustness.dir/test_seed_robustness.cc.o.d"
+  "test_seed_robustness"
+  "test_seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

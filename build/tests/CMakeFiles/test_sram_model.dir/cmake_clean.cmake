@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sram_model.dir/test_sram_model.cc.o"
+  "CMakeFiles/test_sram_model.dir/test_sram_model.cc.o.d"
+  "test_sram_model"
+  "test_sram_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sram_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

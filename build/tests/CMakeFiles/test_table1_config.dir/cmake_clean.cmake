@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1_config.dir/test_table1_config.cc.o"
+  "CMakeFiles/test_table1_config.dir/test_table1_config.cc.o.d"
+  "test_table1_config"
+  "test_table1_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

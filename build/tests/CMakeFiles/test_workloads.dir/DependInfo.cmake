@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bpsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bpsim_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/delay/CMakeFiles/bpsim_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

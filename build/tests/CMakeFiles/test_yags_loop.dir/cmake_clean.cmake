@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yags_loop.dir/test_yags_loop.cc.o"
+  "CMakeFiles/test_yags_loop.dir/test_yags_loop.cc.o.d"
+  "test_yags_loop"
+  "test_yags_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yags_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
