@@ -20,8 +20,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "ablation_delay_hiding");
     const Counter ops = benchOpsPerWorkload(600000);
     benchHeader("Section 2.6 ablation",
                 "delay-hiding schemes for the perceptron predictor",
@@ -47,13 +48,15 @@ main()
                                            budget));
         for (auto m : modes) {
             double hm = 0;
-            suiteTiming(
+            suiteTimingReport(
                 suite, cfg,
                 [&] {
                     return makeFetchPredictor(PredictorKind::Perceptron,
                                               budget, m);
                 },
-                &hm);
+                &hm, session.report(),
+                kindName(PredictorKind::Perceptron), delayModeName(m),
+                budget, session.metricsIfEnabled(), session.tracer());
             std::printf("%14.3f", hm);
         }
         std::printf("\n");

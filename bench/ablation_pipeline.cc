@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -63,8 +64,9 @@ checkFidelity(const TraceBuffer &trace, std::size_t entries,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "ablation_pipeline");
     const Counter ops = benchOpsPerWorkload(400000);
     benchHeader("Pipeline ablation (Sections 3.1/3.3.1)",
                 "engine fidelity, buffer sizing, staleness cost", ops);
@@ -144,13 +146,15 @@ main()
                 "staleness:\n%-12s %-12s\n", "staleness", "misp (%)");
     for (unsigned lag : {0u, 1u, 3u, 6u, 10u}) {
         double mean = 0;
-        suiteAccuracy(
+        suiteAccuracyReport(
             suite,
             [&] {
                 return std::make_unique<GshareFastPredictor>(
                     std::size_t{1} << 18, lag, 0);
             },
-            &mean);
+            &mean, session.report(),
+            "gshare.fast(lag=" + std::to_string(lag) + ")", 64 * 1024,
+            session.metricsIfEnabled());
         std::printf("%-12u %-12.2f\n", lag, mean);
     }
     std::printf("\nPaper reference: stale fetch history has "

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -22,8 +23,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "ablation_update_delay");
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Section 3.2 ablation",
                 "gshare.fast (256KB) accuracy/IPC vs PHT update delay",
@@ -43,17 +45,22 @@ main()
             return std::make_unique<GshareFastPredictor>(
                 entries, row_lag, delay);
         };
+        const std::string name =
+            "gshare.fast(upd=" + std::to_string(delay) + ")";
         double mean = 0;
-        suiteAccuracy(suite, make, &mean);
+        suiteAccuracyReport(suite, make, &mean, session.report(), name,
+                            budget, session.metricsIfEnabled());
 
         double hm = 0;
-        suiteTiming(
+        suiteTimingReport(
             suite, cfg,
             [&] {
                 return std::make_unique<SingleCycleFetchPredictor>(
                     make());
             },
-            &hm);
+            &hm, session.report(), name,
+            delayModeName(DelayMode::Ideal), budget,
+            session.metricsIfEnabled(), session.tracer());
         std::printf("%-12u %-18.3f %-18.3f\n", delay, mean, hm);
     }
 

@@ -21,8 +21,36 @@
 
 #include "core/factory.hh"
 #include "core/runner.hh"
+#include "obs/report_session.hh"
 
 namespace bpsim {
+
+/**
+ * Every bench binary constructs one of these first: it strips the
+ * common `--report <path>` / `--trace <path>` flag pair from argv
+ * (the one shared arg-parsing helper — no bench hand-rolls these),
+ * and on exit writes the RunReport JSON and event trace when
+ * requested. Benches append rows via the suite*Report helpers in
+ * core/runner.hh, passing session.report() / metricsIfEnabled() /
+ * tracer().
+ */
+class BenchSession : public obs::ReportSession
+{
+  public:
+    BenchSession(int &argc, char **argv,
+                 const std::string &experiment)
+        : obs::ReportSession(argc, argv, experiment)
+    {
+    }
+
+    /** Registry pointer only when a report will be written — so
+     *  plain stdout runs skip the metric bookkeeping entirely. */
+    obs::MetricRegistry *
+    metricsIfEnabled()
+    {
+        return wantReport() ? &metrics() : nullptr;
+    }
+};
 
 /** Print a standard bench header naming the reproduced artifact. */
 inline void

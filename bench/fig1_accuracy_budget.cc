@@ -17,8 +17,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "fig1_accuracy_budget");
     const Counter ops = benchOpsPerWorkload(1200000);
     benchHeader("Figure 1",
                 "arithmetic-mean misprediction (%) vs hardware budget",
@@ -41,9 +42,10 @@ main()
         std::printf("%-16s", budgetLabel(budget).c_str());
         for (auto k : kinds) {
             double mean = 0;
-            suiteAccuracy(
+            suiteAccuracyReport(
                 suite, [&] { return makePredictor(k, budget); },
-                &mean);
+                &mean, session.report(), kindName(k), budget,
+                session.metricsIfEnabled());
             std::printf("%16.2f", mean);
         }
         std::printf("\n");

@@ -19,8 +19,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "fig2_ideal_vs_overriding");
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 2",
                 "harmonic-mean IPC: zero-delay vs overriding", ops);
@@ -44,20 +45,24 @@ main()
         std::printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : kinds) {
             double ideal = 0, over = 0;
-            suiteTiming(
+            suiteTimingReport(
                 suite, cfg,
                 [&] {
                     return makeFetchPredictor(k, budget,
                                               DelayMode::Ideal);
                 },
-                &ideal);
-            suiteTiming(
+                &ideal, session.report(), kindName(k),
+                delayModeName(DelayMode::Ideal), budget,
+                session.metricsIfEnabled(), session.tracer());
+            suiteTimingReport(
                 suite, cfg,
                 [&] {
                     return makeFetchPredictor(k, budget,
                                               DelayMode::Overriding);
                 },
-                &over);
+                &over, session.report(), kindName(k),
+                delayModeName(DelayMode::Overriding), budget,
+                session.metricsIfEnabled(), session.tracer());
             std::printf(" %21.3f %21.3f %5u", ideal, over,
                         predictorLatencyCycles(k, budget));
         }

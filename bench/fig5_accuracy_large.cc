@@ -18,8 +18,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "fig5_accuracy_large");
     const Counter ops = benchOpsPerWorkload(1200000);
     benchHeader("Figure 5",
                 "arithmetic-mean misprediction (%) of the four large "
@@ -36,9 +37,10 @@ main()
         std::printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : largePredictorKinds()) {
             double mean = 0;
-            suiteAccuracy(
+            suiteAccuracyReport(
                 suite, [&] { return makePredictor(k, budget); },
-                &mean);
+                &mean, session.report(), kindName(k), budget,
+                session.metricsIfEnabled());
             std::printf("%16.2f", mean);
         }
         std::printf("\n");

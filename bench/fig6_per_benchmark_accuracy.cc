@@ -15,8 +15,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "fig6_per_benchmark_accuracy");
     const Counter ops = benchOpsPerWorkload(1200000);
     benchHeader("Figure 6",
                 "per-benchmark misprediction (%) at the 64KB budget",
@@ -37,9 +38,14 @@ main()
 
     std::vector<std::vector<double>> per_kind(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
-        const auto res = suiteAccuracy(suite, [&] {
-            return makePredictor(configs[c].first, configs[c].second);
-        });
+        const auto res = suiteAccuracyReport(
+            suite,
+            [&] {
+                return makePredictor(configs[c].first,
+                                     configs[c].second);
+            },
+            nullptr, session.report(), kindName(configs[c].first),
+            configs[c].second, session.metricsIfEnabled());
         for (const auto &r : res)
             per_kind[c].push_back(r.percent());
     }

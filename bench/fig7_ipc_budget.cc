@@ -21,8 +21,8 @@ using namespace bpsim;
 namespace {
 
 void
-sweep(const SuiteTraces &suite, const CoreConfig &cfg, DelayMode mode,
-      const char *title)
+sweep(BenchSession &session, const SuiteTraces &suite,
+      const CoreConfig &cfg, DelayMode mode, const char *title)
 {
     std::printf("\n-- %s --\n", title);
     std::printf("%-8s", "budget");
@@ -33,10 +33,12 @@ sweep(const SuiteTraces &suite, const CoreConfig &cfg, DelayMode mode,
         std::printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : largePredictorKinds()) {
             double hm = 0;
-            suiteTiming(
+            suiteTimingReport(
                 suite, cfg,
                 [&] { return makeFetchPredictor(k, budget, mode); },
-                &hm);
+                &hm, session.report(), kindName(k),
+                delayModeName(mode), budget,
+                session.metricsIfEnabled(), session.tracer());
             std::printf("%16.3f", hm);
         }
         std::printf("\n");
@@ -46,17 +48,18 @@ sweep(const SuiteTraces &suite, const CoreConfig &cfg, DelayMode mode,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "fig7_ipc_budget");
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 7", "harmonic-mean IPC vs hardware budget",
                 ops);
     SuiteTraces suite(ops);
     CoreConfig cfg;
 
-    sweep(suite, cfg, DelayMode::Ideal,
+    sweep(session, suite, cfg, DelayMode::Ideal,
           "left graph: 1-cycle (ideal) prediction");
-    sweep(suite, cfg, DelayMode::Overriding,
+    sweep(session, suite, cfg, DelayMode::Overriding,
           "right graph: overriding prediction (gshare.fast pipelined)");
     return 0;
 }

@@ -19,8 +19,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "fig8_per_benchmark_ipc");
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 8",
                 "per-benchmark IPC at the 53KB/64KB budget "
@@ -38,11 +39,16 @@ main()
 
     std::vector<std::vector<double>> ipc(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
-        const auto res = suiteTiming(suite, cfg, [&] {
-            return makeFetchPredictor(configs[c].first,
-                                      configs[c].second,
-                                      DelayMode::Overriding);
-        });
+        const auto res = suiteTimingReport(
+            suite, cfg,
+            [&] {
+                return makeFetchPredictor(configs[c].first,
+                                          configs[c].second,
+                                          DelayMode::Overriding);
+            },
+            nullptr, session.report(), kindName(configs[c].first),
+            delayModeName(DelayMode::Overriding), configs[c].second,
+            session.metricsIfEnabled(), session.tracer());
         for (const auto &r : res)
             ipc[c].push_back(r.ipc());
     }

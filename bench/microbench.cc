@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "core/factory.hh"
 #include "core/runner.hh"
 #include "workloads/registry.hh"
@@ -99,4 +100,16 @@ BENCHMARK(bpsim::BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TimingSimulator)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_AccuracyRunner)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --report/--trace before google-benchmark sees argv so its
+    // own flag parser does not reject them.
+    bpsim::BenchSession session(argc, argv, "microbench");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

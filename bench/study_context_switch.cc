@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -38,17 +39,23 @@ interleave(const TraceBuffer &a, const TraceBuffer &b,
 }
 
 double
-mispOn(const TraceBuffer &t, PredictorKind kind)
+mispOn(BenchSession &session, const std::string &workload,
+       const TraceBuffer &t, PredictorKind kind)
 {
     auto p = makePredictor(kind, 64 * 1024);
-    return runAccuracy(*p, t).percent();
+    const auto r = runAccuracy(*p, t);
+    if (session.wantReport())
+        session.report().rows.push_back(
+            reportRow(workload, kindName(kind), 64 * 1024, r));
+    return r.percent();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "study_context_switch");
     const Counter ops = benchOpsPerWorkload(400000);
     std::printf("==============================================================\n");
     std::printf("Context-switch study — interleaved gcc+crafty at 64KB\n");
@@ -61,6 +68,8 @@ main()
     const TraceBuffer ta = generateTrace(*gcc, ops, 42);
     const TraceBuffer tb = generateTrace(*crafty, ops, 42);
     const TraceBuffer back_to_back = interleave(ta, tb, ta.size());
+    session.report().opsPerWorkload = ops;
+    session.report().seed = 42;
 
     const std::vector<PredictorKind> kinds = {
         PredictorKind::Gshare,
@@ -77,10 +86,16 @@ main()
 
     for (auto kind : kinds) {
         std::printf("%-16s %16.2f", kindName(kind).c_str(),
-                    mispOn(back_to_back, kind));
+                    mispOn(session, "gcc+crafty@back-to-back",
+                           back_to_back, kind));
         for (std::size_t q : {100000u, 20000u, 4000u}) {
             const TraceBuffer mixed = interleave(ta, tb, q);
-            std::printf("%16.2f", mispOn(mixed, kind));
+            // Quantum goes into the workload name so row keys stay
+            // unique across the sweep.
+            std::printf("%16.2f",
+                        mispOn(session,
+                               "gcc+crafty@q=" + std::to_string(q),
+                               mixed, kind));
         }
         std::printf("\n");
     }

@@ -21,13 +21,15 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "study_disagreement");
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Section 4.5 study",
                 "overriding disagreement rates at 64KB", ops);
     SuiteTraces suite(ops);
     CoreConfig cfg;
+    suite.describe(session.report());
 
     for (auto kind :
          {PredictorKind::Perceptron, PredictorKind::MultiComponent}) {
@@ -42,7 +44,20 @@ main()
                                          DelayMode::Overriding);
             auto *over =
                 dynamic_cast<OverridingFetchPredictor *>(fp.get());
-            const auto r = runTiming(cfg, *fp, suite.trace(i));
+            const auto r =
+                runTiming(cfg, *fp, suite.trace(i), session.tracer());
+            session.report().rows.push_back(reportRow(
+                suite.name(i), kindName(kind),
+                delayModeName(DelayMode::Overriding), 64 * 1024, cfg,
+                r));
+            if (auto *reg = session.metricsIfEnabled()) {
+                r.publishMetrics(*reg, suite.name(i));
+                reg->gauge("fetch.overriding.disagree_percent{"
+                           "predictor=" +
+                           kindName(kind) +
+                           ",workload=" + suite.name(i) + "}")
+                    .set(over ? over->disagreements().percent() : 0.0);
+            }
             const double dis =
                 over ? over->disagreements().percent() : 0.0;
             rates.push_back(dis);

@@ -13,14 +13,16 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "study_pipeline_depth");
     const Counter ops = benchOpsPerWorkload(600000);
     benchHeader("Pipeline-depth study",
                 "512KB predictors vs front-end depth", ops);
@@ -34,30 +36,42 @@ main()
         CoreConfig cfg;
         cfg.frontEndDepth = depth;
 
+        // The swept axis (front-end depth) is folded into the mode
+        // string so RunReport row keys stay unique across the sweep.
+        const std::string depth_tag = "@depth" + std::to_string(depth);
         double ideal = 0, over = 0, fast = 0;
-        suiteTiming(
+        suiteTimingReport(
             suite, cfg,
             [] {
                 return makeFetchPredictor(PredictorKind::Perceptron,
                                           512 * 1024, DelayMode::Ideal);
             },
-            &ideal);
-        suiteTiming(
+            &ideal, session.report(),
+            kindName(PredictorKind::Perceptron),
+            delayModeName(DelayMode::Ideal) + depth_tag, 512 * 1024,
+            session.metricsIfEnabled(), session.tracer());
+        suiteTimingReport(
             suite, cfg,
             [] {
                 return makeFetchPredictor(PredictorKind::Perceptron,
                                           512 * 1024,
                                           DelayMode::Overriding);
             },
-            &over);
-        suiteTiming(
+            &over, session.report(),
+            kindName(PredictorKind::Perceptron),
+            delayModeName(DelayMode::Overriding) + depth_tag,
+            512 * 1024, session.metricsIfEnabled(), session.tracer());
+        suiteTimingReport(
             suite, cfg,
             [] {
                 return makeFetchPredictor(PredictorKind::GshareFast,
                                           512 * 1024,
                                           DelayMode::Pipelined);
             },
-            &fast);
+            &fast, session.report(),
+            kindName(PredictorKind::GshareFast),
+            delayModeName(DelayMode::Pipelined) + depth_tag,
+            512 * 1024, session.metricsIfEnabled(), session.tracer());
 
         std::printf("%-12u %18.3f %18.3f %16.3f %11.1f%%\n", depth,
                     ideal, over, fast,

@@ -20,8 +20,9 @@
 using namespace bpsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session(argc, argv, "table2_access_delay");
     const ClockModel clock;
     const SramModel sram;
 
@@ -34,16 +35,28 @@ main()
                 "multicomponent", "2bc-gskew", "perceptron", "gshare");
 
     for (std::size_t budget : largeBudgetsBytes()) {
+        const struct {
+            PredictorKind kind;
+            const char *label;
+        } cols[] = {
+            {PredictorKind::MultiComponent, "multicomponent"},
+            {PredictorKind::Gskew, "2bc-gskew"},
+            {PredictorKind::Perceptron, "perceptron"},
+            {PredictorKind::Gshare, "gshare"},
+        };
+        unsigned lat[4];
+        for (std::size_t c = 0; c < 4; ++c) {
+            lat[c] = predictorLatencyCycles(cols[c].kind, budget, sram,
+                                            clock);
+            if (auto *reg = session.metricsIfEnabled())
+                reg->gauge("model.latency_cycles{predictor=" +
+                           std::string(cols[c].label) +
+                           ",budget=" + budgetLabel(budget) + "}")
+                    .set(static_cast<double>(lat[c]));
+        }
         std::printf("%-8s %-16u %-12u %-12u %-10u\n",
-                    budgetLabel(budget).c_str(),
-                    predictorLatencyCycles(PredictorKind::MultiComponent,
-                                           budget, sram, clock),
-                    predictorLatencyCycles(PredictorKind::Gskew, budget,
-                                           sram, clock),
-                    predictorLatencyCycles(PredictorKind::Perceptron,
-                                           budget, sram, clock),
-                    predictorLatencyCycles(PredictorKind::Gshare, budget,
-                                           sram, clock));
+                    budgetLabel(budget).c_str(), lat[0], lat[1], lat[2],
+                    lat[3]);
     }
 
     std::printf("\nPaper reference (legible anchors): multicomponent "

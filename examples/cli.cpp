@@ -10,6 +10,7 @@
  *       [--mode pipelined|ideal|overriding|stall|dual-path|cascading]
  *       [--save-trace t.bpt | --load-trace t.bpt]
  *       [--timing] [--list]
+ *       [--report out.json] [--trace events.jsonl]
  */
 
 #include <cstdio>
@@ -20,6 +21,7 @@
 
 #include "core/factory.hh"
 #include "core/runner.hh"
+#include "obs/report_session.hh"
 #include "trace/trace_io.hh"
 #include "workloads/registry.hh"
 
@@ -55,7 +57,8 @@ usage(const char *argv0)
                  "          [--predictor NAME] [--budget-kb N] "
                  "[--mode MODE]\n"
                  "          [--save-trace FILE | --load-trace FILE]\n"
-                 "          [--timing] [--list]\n",
+                 "          [--timing] [--list]\n"
+                 "          [--report FILE] [--trace FILE]\n",
                  argv0);
     return 2;
 }
@@ -65,6 +68,9 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    // Strips --report/--trace before the hand-rolled loop below, so
+    // every binary shares the one observability-flag parser.
+    obs::ReportSession session(argc, argv, "cli");
     std::string workload = "164.gzip";
     std::string predictor = "gshare.fast";
     std::string mode = "pipelined";
@@ -148,6 +154,9 @@ main(int argc, char **argv)
     const PredictorKind kind = kindByName.at(predictor);
     const DelayMode delay_mode = modeByName.at(mode);
 
+    session.report().opsPerWorkload = trace.size();
+    session.report().seed = seed;
+
     // --- accuracy ------------------------------------------------------
     auto pred = makePredictor(kind, budget_kb * 1024);
     const auto acc = runAccuracy(*pred, trace);
@@ -157,13 +166,21 @@ main(int argc, char **argv)
                 pred->storageBytes() / 1024,
                 static_cast<unsigned long long>(acc.branches),
                 acc.percent());
+    if (!timing && session.wantReport())
+        session.report().rows.push_back(
+            reportRow(workload, predictor, budget_kb * 1024, acc));
 
     // --- timing --------------------------------------------------------
     if (timing) {
         CoreConfig cfg;
         auto fp =
             makeFetchPredictor(kind, budget_kb * 1024, delay_mode);
-        const auto r = runTiming(cfg, *fp, trace);
+        const auto r = runTiming(cfg, *fp, trace, session.tracer());
+        if (session.wantReport()) {
+            session.report().rows.push_back(reportRow(
+                workload, predictor, mode, budget_kb * 1024, cfg, r));
+            r.publishMetrics(session.metrics(), workload);
+        }
         std::printf(
             "timing (%s, latency %u): IPC %.3f over %llu cycles\n",
             mode.c_str(), predictorLatencyCycles(kind, budget_kb * 1024),
@@ -176,5 +193,5 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.frontEndStallCycles),
             static_cast<unsigned long long>(r.overridingBubbleCycles));
     }
-    return 0;
+    return session.finish() ? 0 : 1;
 }

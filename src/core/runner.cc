@@ -27,17 +27,72 @@ SimResult
 runTiming(const CoreConfig &cfg, FetchPredictor &pred,
           const TraceBuffer &trace)
 {
+    return runTiming(cfg, pred, trace, nullptr);
+}
+
+SimResult
+runTiming(const CoreConfig &cfg, FetchPredictor &pred,
+          const TraceBuffer &trace, obs::EventTracer *tracer)
+{
     OooCore core(cfg, pred);
+    core.attachTracer(tracer);
     return core.run(trace);
 }
 
+obs::RunReport::Row
+reportRow(const std::string &workload, const std::string &predictor,
+          std::size_t budget_bytes, const AccuracyResult &r)
+{
+    obs::RunReport::Row row;
+    row.workload = workload;
+    row.predictor = predictor;
+    row.budgetBytes = budget_bytes;
+    row.branches = r.branches;
+    row.mispredictions = r.mispredictions;
+    return row;
+}
+
+obs::RunReport::Row
+reportRow(const std::string &workload, const std::string &predictor,
+          const std::string &mode, std::size_t budget_bytes,
+          const CoreConfig &cfg, const SimResult &r)
+{
+    obs::RunReport::Row row;
+    row.workload = workload;
+    row.predictor = predictor;
+    row.mode = mode;
+    row.budgetBytes = budget_bytes;
+    row.branches = r.condBranches;
+    row.mispredictions = r.mispredictions;
+    row.hasTiming = true;
+    row.issueWidth = cfg.issueWidth;
+    row.cycles = r.cycles;
+    row.instructions = r.instructions;
+    row.squashedUops = r.squashedUops;
+    row.flushes = r.flushes;
+    row.flushCyclesOverride = r.overrideStallCycles;
+    row.flushCyclesMispredict = r.mispredictWaitCycles;
+    row.stallCyclesIcache = r.icacheStallCycles;
+    row.stallCyclesBtb = r.btbStallCycles;
+    row.robStallCycles = r.robStallCycles;
+    return row;
+}
+
 SuiteTraces::SuiteTraces(Counter ops_per_workload, std::uint64_t seed)
+    : opsPerWorkload_(ops_per_workload), seed_(seed)
 {
     for (const auto &name : specint2000Names()) {
         const auto w = makeWorkload(name);
         names_.push_back(name);
         traces_.push_back(generateTrace(*w, ops_per_workload, seed));
     }
+}
+
+void
+SuiteTraces::describe(obs::RunReport &report) const
+{
+    report.opsPerWorkload = opsPerWorkload_;
+    report.seed = seed_;
 }
 
 std::vector<AccuracyResult>
@@ -70,6 +125,87 @@ suiteTiming(const SuiteTraces &suite, const CoreConfig &cfg,
         auto pred = make();
         results.push_back(runTiming(cfg, *pred, suite.trace(i)));
         ipcs.push_back(results.back().ipc());
+    }
+    if (harmonic_mean_ipc)
+        *harmonic_mean_ipc = harmonicMean(ipcs);
+    return results;
+}
+
+namespace {
+
+/** Publish describeStats() gauges, tagging names with the workload. */
+template <typename Pred>
+void
+publishPredictorStats(obs::MetricRegistry &reg, const Pred &pred,
+                      const std::string &workload)
+{
+    for (const PredictorStat &s : pred.describeStats()) {
+        // Splice the workload label into an existing {label} suffix
+        // or append a fresh one.
+        std::string name = s.name;
+        if (!name.empty() && name.back() == '}')
+            name.insert(name.size() - 1, ",workload=" + workload);
+        else
+            name += "{workload=" + workload + "}";
+        reg.gauge(name).set(s.value);
+    }
+}
+
+} // namespace
+
+std::vector<AccuracyResult>
+suiteAccuracyReport(const SuiteTraces &suite,
+                    const std::function<
+                        std::unique_ptr<DirectionPredictor>()> &make,
+                    double *mean_percent, obs::RunReport &report,
+                    const std::string &predictor_name,
+                    std::size_t budget_bytes,
+                    obs::MetricRegistry *metrics)
+{
+    suite.describe(report);
+    std::vector<AccuracyResult> results;
+    std::vector<double> percents;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        auto pred = make();
+        results.push_back(runAccuracy(*pred, suite.trace(i)));
+        percents.push_back(results.back().percent());
+        report.rows.push_back(reportRow(suite.name(i),
+                                        predictor_name, budget_bytes,
+                                        results.back()));
+        if (metrics)
+            publishPredictorStats(*metrics, *pred, suite.name(i));
+    }
+    if (mean_percent)
+        *mean_percent = arithmeticMean(percents);
+    return results;
+}
+
+std::vector<SimResult>
+suiteTimingReport(const SuiteTraces &suite, const CoreConfig &cfg,
+                  const std::function<
+                      std::unique_ptr<FetchPredictor>()> &make,
+                  double *harmonic_mean_ipc, obs::RunReport &report,
+                  const std::string &predictor_name,
+                  const std::string &mode, std::size_t budget_bytes,
+                  obs::MetricRegistry *metrics,
+                  obs::EventTracer *tracer)
+{
+    suite.describe(report);
+    std::vector<SimResult> results;
+    std::vector<double> ipcs;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        auto pred = make();
+        results.push_back(
+            runTiming(cfg, *pred, suite.trace(i), tracer));
+        ipcs.push_back(results.back().ipc());
+        report.rows.push_back(reportRow(suite.name(i),
+                                        predictor_name, mode,
+                                        budget_bytes, cfg,
+                                        results.back()));
+        if (metrics) {
+            results.back().publishMetrics(*metrics, suite.name(i));
+            publishPredictorStats(*metrics, *pred, suite.name(i));
+        }
     }
     if (harmonic_mean_ipc)
         *harmonic_mean_ipc = harmonicMean(ipcs);

@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "core/factory.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/run_report.hh"
 #include "pipeline/fetch_predictor.hh"
 #include "predictors/predictor.hh"
 #include "sim/core_config.hh"
@@ -47,6 +50,26 @@ AccuracyResult runAccuracy(DirectionPredictor &pred,
 SimResult runTiming(const CoreConfig &cfg, FetchPredictor &pred,
                     const TraceBuffer &trace);
 
+/** As above, with per-cycle events recorded into @p tracer
+ *  (ignored when nullptr). */
+SimResult runTiming(const CoreConfig &cfg, FetchPredictor &pred,
+                    const TraceBuffer &trace,
+                    obs::EventTracer *tracer);
+
+/** Build a RunReport row from one accuracy run. */
+obs::RunReport::Row reportRow(const std::string &workload,
+                              const std::string &predictor,
+                              std::size_t budget_bytes,
+                              const AccuracyResult &r);
+
+/** Build a RunReport row from one timing run. */
+obs::RunReport::Row reportRow(const std::string &workload,
+                              const std::string &predictor,
+                              const std::string &mode,
+                              std::size_t budget_bytes,
+                              const CoreConfig &cfg,
+                              const SimResult &r);
+
 /**
  * Generates and caches one trace per SPECint workload so that every
  * predictor configuration in an experiment sees the same streams
@@ -66,10 +89,17 @@ class SuiteTraces
     std::size_t size() const { return traces_.size(); }
     const std::string &name(std::size_t i) const { return names_[i]; }
     const TraceBuffer &trace(std::size_t i) const { return traces_[i]; }
+    Counter opsPerWorkload() const { return opsPerWorkload_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Stamp generation parameters into @p report 's header. */
+    void describe(obs::RunReport &report) const;
 
   private:
     std::vector<std::string> names_;
     std::vector<TraceBuffer> traces_;
+    Counter opsPerWorkload_;
+    std::uint64_t seed_;
 };
 
 /**
@@ -94,6 +124,38 @@ suiteTiming(const SuiteTraces &suite, const CoreConfig &cfg,
             const std::function<std::unique_ptr<FetchPredictor>()>
                 &make,
             double *harmonic_mean_ipc = nullptr);
+
+/**
+ * suiteAccuracy plus reporting: appends one row per workload to
+ * @p report under @p predictor_name / @p budget_bytes, and (end of
+ * suite) publishes the last predictor instance's describeStats()
+ * gauges into @p metrics when non-null.
+ */
+std::vector<AccuracyResult>
+suiteAccuracyReport(const SuiteTraces &suite,
+                    const std::function<
+                        std::unique_ptr<DirectionPredictor>()> &make,
+                    double *mean_percent, obs::RunReport &report,
+                    const std::string &predictor_name,
+                    std::size_t budget_bytes,
+                    obs::MetricRegistry *metrics = nullptr);
+
+/**
+ * suiteTiming plus reporting: appends one row per workload to
+ * @p report, publishes each run's SimResult counters into
+ * @p metrics (when non-null) under `{workload=...}` labels, records
+ * events into @p tracer (when non-null), and publishes the fetch
+ * predictor's describeStats() gauges.
+ */
+std::vector<SimResult>
+suiteTimingReport(const SuiteTraces &suite, const CoreConfig &cfg,
+                  const std::function<
+                      std::unique_ptr<FetchPredictor>()> &make,
+                  double *harmonic_mean_ipc, obs::RunReport &report,
+                  const std::string &predictor_name,
+                  const std::string &mode, std::size_t budget_bytes,
+                  obs::MetricRegistry *metrics = nullptr,
+                  obs::EventTracer *tracer = nullptr);
 
 /**
  * Default trace length for benches; reads BPSIM_OPS_PER_WORKLOAD

@@ -1,0 +1,115 @@
+#include "obs/event_trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace bpsim::obs {
+
+const char *
+eventName(SimEvent e)
+{
+    switch (e) {
+      case SimEvent::Fetch: return "fetch";
+      case SimEvent::Predict: return "predict";
+      case SimEvent::OverrideDisagree: return "override_disagree";
+      case SimEvent::MispredictResolve: return "mispredict_resolve";
+      case SimEvent::RobStall: return "rob_stall";
+      case SimEvent::CacheMiss: return "cache_miss";
+      case SimEvent::BtbMiss: return "btb_miss";
+      case SimEvent::Flush: return "flush";
+    }
+    return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+void
+EventTracer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+}
+
+void
+EventTracer::exportJsonl(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < size_; ++i) {
+        const TraceEvent &e = at(i);
+        Json line = Json::object();
+        line.set("cycle", Json(e.cycle));
+        line.set("event", Json(eventName(e.type)));
+        line.set("pc", Json(e.pc));
+        line.set("arg", Json(e.arg));
+        os << line.dump() << '\n';
+    }
+}
+
+void
+EventTracer::exportChromeTrace(std::ostream &os) const
+{
+    Json events = Json::array();
+    // One metadata row per event type so Perfetto shows a named
+    // track for each.
+    for (unsigned t = 0; t < kSimEventCount; ++t) {
+        Json meta = Json::object();
+        meta.set("name", Json("thread_name"));
+        meta.set("ph", Json("M"));
+        meta.set("pid", Json(1));
+        meta.set("tid", Json(t + 1));
+        Json args = Json::object();
+        args.set("name",
+                 Json(eventName(static_cast<SimEvent>(t))));
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+    }
+    for (std::size_t i = 0; i < size_; ++i) {
+        const TraceEvent &e = at(i);
+        Json ev = Json::object();
+        ev.set("name", Json(eventName(e.type)));
+        ev.set("cat", Json("sim"));
+        // Complete ("X") events need a duration; point events get
+        // one cycle, stall-style events carry theirs in arg.
+        ev.set("ph", Json("X"));
+        ev.set("ts", Json(e.cycle));         // 1 cycle -> 1 us
+        ev.set("dur", Json(e.arg ? e.arg : 1));
+        ev.set("pid", Json(1));
+        ev.set("tid", Json(static_cast<unsigned>(e.type) + 1));
+        Json args = Json::object();
+        args.set("pc", Json(e.pc));
+        args.set("arg", Json(e.arg));
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", Json("ms"));
+    os << doc.dump(2) << '\n';
+}
+
+bool
+EventTracer::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "obs: cannot open trace file '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    const bool jsonl =
+        path.size() >= 6 &&
+        path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    if (jsonl)
+        exportJsonl(os);
+    else
+        exportChromeTrace(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace bpsim::obs

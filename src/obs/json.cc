@@ -1,0 +1,482 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bpsim::obs {
+
+namespace {
+
+const char *
+typeName(Json::Type t)
+{
+    switch (t) {
+      case Json::Type::Null: return "null";
+      case Json::Type::Bool: return "bool";
+      case Json::Type::Number: return "number";
+      case Json::Type::String: return "string";
+      case Json::Type::Array: return "array";
+      case Json::Type::Object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+typeError(const char *want, Json::Type got)
+{
+    throw JsonError(std::string("expected ") + want + ", got " +
+                    typeName(got));
+}
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+numberTo(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null like most tools do.
+        out += "null";
+        return;
+    }
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out += buf;
+    }
+}
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        const Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        const char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Json();
+          default:
+            return number();
+        }
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        const std::string tok(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("malformed number '" + tok + "'");
+        return Json(v);
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are not joined; reports never emit them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json a = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return a;
+        }
+        while (true) {
+            a.push(value());
+            skipWs();
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return a;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json o = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return o;
+        }
+        while (true) {
+            skipWs();
+            const std::string key = string();
+            skipWs();
+            expect(':');
+            o.set(key, value());
+            skipWs();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return o;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        typeError("bool", type_);
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    if (type_ != Type::Number)
+        typeError("number", type_);
+    return num_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    const double v = asNumber();
+    if (v < 0)
+        throw JsonError("expected a non-negative counter");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        typeError("string", type_);
+    return str_;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ != Type::Array)
+        typeError("array", type_);
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    typeError("array or object", type_);
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (type_ != Type::Array)
+        typeError("array", type_);
+    if (i >= arr_.size())
+        throw JsonError("array index out of range");
+    return arr_[i];
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    if (type_ != Type::Array)
+        typeError("array", type_);
+    return arr_;
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ != Type::Object)
+        typeError("object", type_);
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    if (const Json *v = find(key))
+        return *v;
+    throw JsonError("missing key '" + key + "'");
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        typeError("object", type_);
+    return obj_;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent * d), ' ');
+        }
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        numberTo(out, num_);
+        break;
+      case Type::String:
+        escapeTo(out, str_);
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            escapeTo(out, obj_[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace bpsim::obs

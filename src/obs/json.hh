@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability layer: enough to
+ * emit RunReports, metric snapshots and Chrome trace files, and to
+ * parse them back (bpstat, round-trip tests). Insertion order of
+ * object keys is preserved so emitted reports are stable and
+ * diffable. Numbers are stored as double; simulator counters stay
+ * exact up to 2^53, far beyond any run length we simulate.
+ */
+
+#ifndef BPSIM_OBS_JSON_HH
+#define BPSIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bpsim::obs {
+
+/** Thrown on malformed JSON input or type-mismatched access. */
+class JsonError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), num_(n) {}
+    Json(int n) : type_(Type::Number), num_(n) {}
+    Json(unsigned n) : type_(Type::Number), num_(n) {}
+    Json(std::int64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    Json(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    /** Number as an unsigned counter (negative values throw). */
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+
+    // --- array access -------------------------------------------------
+    void push(Json v);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+    const std::vector<Json> &items() const;
+
+    // --- object access ------------------------------------------------
+    void set(const std::string &key, Json v);
+    /** nullptr when @p key is absent (or not an object). */
+    const Json *find(const std::string &key) const;
+    /** Throws JsonError when @p key is absent. */
+    const Json &get(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key); }
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Parse @p text; throws JsonError on malformed input. */
+    static Json parse(std::string_view text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace bpsim::obs
+
+#endif // BPSIM_OBS_JSON_HH

@@ -1,0 +1,135 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+namespace bpsim::obs {
+
+int
+Log2Histogram::maxBucket() const
+{
+    for (int i = kBuckets - 1; i >= 0; --i)
+        if (counts_[i])
+            return i;
+    return -1;
+}
+
+void
+Log2Histogram::reset()
+{
+    std::fill(std::begin(counts_), std::end(counts_), Counter{0});
+    total_ = 0;
+    sum_ = 0;
+}
+
+CounterMetric &
+MetricRegistry::counter(const std::string &name)
+{
+    if (!enabled_)
+        return sinkCounter_;
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        return *it->second;
+    counterStore_.emplace_back();
+    counters_[name] = &counterStore_.back();
+    return counterStore_.back();
+}
+
+GaugeMetric &
+MetricRegistry::gauge(const std::string &name)
+{
+    if (!enabled_)
+        return sinkGauge_;
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end())
+        return *it->second;
+    gaugeStore_.emplace_back();
+    gauges_[name] = &gaugeStore_.back();
+    return gaugeStore_.back();
+}
+
+Log2Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    if (!enabled_)
+        return sinkHistogram_;
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return *it->second;
+    histogramStore_.emplace_back();
+    histograms_[name] = &histogramStore_.back();
+    return histogramStore_.back();
+}
+
+const CounterMetric *
+MetricRegistry::findCounter(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second;
+}
+
+const GaugeMetric *
+MetricRegistry::findGauge(const std::string &name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second;
+}
+
+const Log2Histogram *
+MetricRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string>
+MetricRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(size());
+    for (const auto &[n, m] : counters_)
+        out.push_back(n);
+    for (const auto &[n, m] : gauges_)
+        out.push_back(n);
+    for (const auto &[n, m] : histograms_)
+        out.push_back(n);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Json
+MetricRegistry::toJson() const
+{
+    Json out = Json::object();
+    for (const auto &[name, m] : counters_)
+        out.set(name, Json(m->value()));
+    for (const auto &[name, m] : gauges_)
+        out.set(name, Json(m->value()));
+    for (const auto &[name, m] : histograms_) {
+        Json h = Json::object();
+        h.set("total", Json(m->total()));
+        h.set("sum", Json(m->sum()));
+        h.set("mean", Json(m->mean()));
+        Json buckets = Json::object();
+        for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b)
+            if (m->count(b))
+                buckets.set(
+                    std::to_string(Log2Histogram::bucketLow(b)),
+                    Json(m->count(b)));
+        h.set("buckets", std::move(buckets));
+        out.set(name, std::move(h));
+    }
+    return out;
+}
+
+void
+MetricRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    counterStore_.clear();
+    gaugeStore_.clear();
+    histogramStore_.clear();
+}
+
+} // namespace bpsim::obs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Named-metric registry for the simulator: counters, gauges and
+ * log2-bucketed histograms, addressed by convention-structured names
+ * such as `sim.core.flush_cycles{cause=override}` (dotted subsystem
+ * path, optional {key=value} label suffix; see docs/OBSERVABILITY.md).
+ *
+ * Zero overhead when disabled: a disabled registry hands out a
+ * shared *sink* metric of each type, so instrumented code increments
+ * unconditionally (no branch on the hot path) while the sink never
+ * registers, never exports and is periodically ignored. Handles
+ * returned by counter()/gauge()/histogram() are stable for the
+ * registry's lifetime, so call sites resolve the name once and keep
+ * the reference.
+ */
+
+#ifndef BPSIM_OBS_METRICS_HH
+#define BPSIM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/json.hh"
+
+namespace bpsim::obs {
+
+/** Monotonic event counter. */
+class CounterMetric
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-write-wins scalar (occupancy, rates, config echoes). */
+class GaugeMetric
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Power-of-two-bucketed histogram: bucket i counts samples whose
+ * floor(log2(sample)) == i, with 0 and 1 sharing bucket 0. 64
+ * buckets cover the full uint64 range, so record() never clamps.
+ */
+class Log2Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    /** Bucket index a sample lands in. */
+    static unsigned
+    bucketOf(std::uint64_t sample)
+    {
+        if (sample < 2)
+            return 0;
+        unsigned b = 0;
+        while (sample >>= 1)
+            ++b;
+        return b;
+    }
+
+    /** Smallest sample value bucket @p i holds. */
+    static std::uint64_t
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << i;
+    }
+
+    void
+    record(std::uint64_t sample)
+    {
+        ++counts_[bucketOf(sample)];
+        ++total_;
+        sum_ += sample;
+    }
+
+    Counter count(unsigned bucket) const { return counts_[bucket]; }
+    Counter total() const { return total_; }
+    std::uint64_t sum() const { return sum_; }
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+    /** Highest non-empty bucket index, or -1 when empty. */
+    int maxBucket() const;
+    void reset();
+
+  private:
+    Counter counts_[kBuckets] = {};
+    Counter total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** Registry of named metrics; see file comment for the contract. */
+class MetricRegistry
+{
+  public:
+    explicit MetricRegistry(bool enabled = true) : enabled_(enabled) {}
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Find-or-create; the returned reference stays valid. */
+    CounterMetric &counter(const std::string &name);
+    GaugeMetric &gauge(const std::string &name);
+    Log2Histogram &histogram(const std::string &name);
+
+    /** nullptr when no metric of that name/type was registered. */
+    const CounterMetric *findCounter(const std::string &name) const;
+    const GaugeMetric *findGauge(const std::string &name) const;
+    const Log2Histogram *findHistogram(const std::string &name) const;
+
+    /** All registered metric names, sorted. */
+    std::vector<std::string> names() const;
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /**
+     * Snapshot as a JSON object keyed by metric name. Counters and
+     * gauges map to their value; histograms to
+     * {"total", "sum", "mean", "buckets": {"<low>": count, ...}}.
+     */
+    Json toJson() const;
+
+    /** Drop every registered metric (sinks are unaffected). */
+    void clear();
+
+  private:
+    bool enabled_;
+    // deques give pointer stability as metrics are added.
+    std::deque<CounterMetric> counterStore_;
+    std::deque<GaugeMetric> gaugeStore_;
+    std::deque<Log2Histogram> histogramStore_;
+    std::map<std::string, CounterMetric *> counters_;
+    std::map<std::string, GaugeMetric *> gauges_;
+    std::map<std::string, Log2Histogram *> histograms_;
+    CounterMetric sinkCounter_;
+    GaugeMetric sinkGauge_;
+    Log2Histogram sinkHistogram_;
+};
+
+/** `base{key=value}` — the registry's label naming convention. */
+inline std::string
+labeledName(const std::string &base, const std::string &key,
+            const std::string &value)
+{
+    return base + "{" + key + "=" + value + "}";
+}
+
+} // namespace bpsim::obs
+
+#endif // BPSIM_OBS_METRICS_HH

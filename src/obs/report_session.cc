@@ -1,0 +1,77 @@
+#include "obs/report_session.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bpsim::obs {
+
+namespace {
+
+/**
+ * Remove "--<flag> value" pairs from argv in place; returns the
+ * value of the last occurrence (or "").
+ */
+std::string
+stripFlag(int &argc, char **argv, const char *flag)
+{
+    std::string value;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+            value = argv[i + 1];
+            ++i;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return value;
+}
+
+} // namespace
+
+ReportSession::ReportSession(int &argc, char **argv,
+                             const std::string &experiment)
+    : reportPath_(stripFlag(argc, argv, "--report")),
+      tracePath_(stripFlag(argc, argv, "--trace")),
+      metrics_(/*enabled=*/true)
+{
+    report_.experiment = experiment;
+    if (!tracePath_.empty())
+        tracer_ = std::make_unique<EventTracer>();
+}
+
+ReportSession::~ReportSession()
+{
+    finish();
+}
+
+bool
+ReportSession::finish()
+{
+    if (finished_)
+        return true;
+    finished_ = true;
+    bool ok = true;
+    if (!reportPath_.empty()) {
+        if (metrics_.size() > 0)
+            report_.metrics = metrics_.toJson();
+        ok = report_.writeFile(reportPath_) && ok;
+        if (ok)
+            std::fprintf(stderr, "obs: wrote report %s (%zu rows)\n",
+                         reportPath_.c_str(), report_.rows.size());
+    }
+    if (tracer_ && !tracePath_.empty()) {
+        const bool tok = tracer_->writeFile(tracePath_);
+        if (tok)
+            std::fprintf(
+                stderr,
+                "obs: wrote trace %s (%zu events, %llu dropped)\n",
+                tracePath_.c_str(), tracer_->size(),
+                static_cast<unsigned long long>(tracer_->dropped()));
+        ok = tok && ok;
+    }
+    return ok;
+}
+
+} // namespace bpsim::obs

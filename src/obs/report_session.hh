@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The one shared way a binary grows observability flags. Every
+ * bench, study and example accepts the same pair:
+ *
+ *   --report <path>   write a RunReport JSON when the run finishes
+ *   --trace  <path>   record simulator events and write them out
+ *                     (.jsonl -> JSONL, anything else Chrome trace)
+ *
+ * ReportSession::stripArgs() removes the pair from argv *in place*
+ * before the binary's own argument handling runs, so no binary
+ * hand-rolls these flags and unknown-argument checks keep working.
+ * The session owns the RunReport, a MetricRegistry and (only when
+ * --trace was given) an EventTracer; finish() writes the files and
+ * is idempotent, and the destructor calls it as a backstop.
+ */
+
+#ifndef BPSIM_OBS_REPORT_SESSION_HH
+#define BPSIM_OBS_REPORT_SESSION_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/run_report.hh"
+
+namespace bpsim::obs {
+
+/** Per-binary observability session; see file comment. */
+class ReportSession
+{
+  public:
+    /**
+     * Parses and strips --report/--trace from @p argv (mutating
+     * @p argc), and names the report after @p experiment.
+     */
+    ReportSession(int &argc, char **argv,
+                  const std::string &experiment);
+
+    ReportSession(const ReportSession &) = delete;
+    ReportSession &operator=(const ReportSession &) = delete;
+
+    ~ReportSession();
+
+    RunReport &report() { return report_; }
+    MetricRegistry &metrics() { return metrics_; }
+
+    /** Event sink for the timing core; nullptr without --trace. */
+    EventTracer *tracer() { return tracer_.get(); }
+
+    bool wantReport() const { return !reportPath_.empty(); }
+    bool wantTrace() const { return !tracePath_.empty(); }
+    const std::string &reportPath() const { return reportPath_; }
+    const std::string &tracePath() const { return tracePath_; }
+
+    /**
+     * Write the requested files (report with the metric snapshot
+     * attached, then the event trace). Returns false if any write
+     * failed. Safe to call when nothing was requested; runs once.
+     */
+    bool finish();
+
+  private:
+    std::string reportPath_;
+    std::string tracePath_;
+    RunReport report_;
+    MetricRegistry metrics_;
+    std::unique_ptr<EventTracer> tracer_;
+    bool finished_ = false;
+};
+
+} // namespace bpsim::obs
+
+#endif // BPSIM_OBS_REPORT_SESSION_HH

@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 #include "predictors/predictor.hh"
@@ -51,6 +52,16 @@ class FetchPredictor
     virtual std::size_t storageBits() const = 0;
     virtual FetchPrediction predict(Addr pc) = 0;
     virtual void update(Addr pc, bool taken) = 0;
+
+    /**
+     * Internal statistics for reports: wrappers forward their inner
+     * predictor's describeStats() and add their own delay-hiding
+     * counters (disagreements, pipeline restarts).
+     */
+    virtual std::vector<PredictorStat> describeStats() const
+    {
+        return {};
+    }
 };
 
 /** Zero-bubble wrapper: ideal predictors and gshare.fast. */
@@ -79,6 +90,11 @@ class SingleCycleFetchPredictor : public FetchPredictor
     void update(Addr pc, bool taken) override
     {
         pred_->update(pc, taken);
+    }
+
+    std::vector<PredictorStat> describeStats() const override
+    {
+        return pred_->describeStats();
     }
 
     DirectionPredictor &inner() { return *pred_; }
@@ -134,8 +150,24 @@ class OverridingFetchPredictor : public FetchPredictor
         slow_->update(pc, taken);
     }
 
+    std::vector<PredictorStat>
+    describeStats() const override
+    {
+        std::vector<PredictorStat> stats = slow_->describeStats();
+        stats.push_back({"fetch.overriding.disagree_rate",
+                         disagreements_.rate()});
+        stats.push_back(
+            {"fetch.overriding.pipeline_restarts",
+             static_cast<double>(disagreements_.hits())});
+        stats.push_back({"fetch.overriding.slow_latency_cycles",
+                         static_cast<double>(slowLatency_)});
+        return stats;
+    }
+
     /** Fraction of predictions the slow predictor overrode (E10). */
     const RateStat &disagreements() const { return disagreements_; }
+    /** Fetch-pipeline restarts caused by overrides (== hits()). */
+    Counter pipelineRestarts() const { return disagreements_.hits(); }
     unsigned slowLatency() const { return slowLatency_; }
     DirectionPredictor &slow() { return *slow_; }
     DirectionPredictor &quick() { return *quick_; }
@@ -176,6 +208,11 @@ class DelayedFetchPredictor : public FetchPredictor
     void update(Addr pc, bool taken) override
     {
         pred_->update(pc, taken);
+    }
+
+    std::vector<PredictorStat> describeStats() const override
+    {
+        return pred_->describeStats();
     }
 
   private:

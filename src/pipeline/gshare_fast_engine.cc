@@ -101,12 +101,15 @@ GshareFastEngine::resolve(bool taken)
     }
     nonspecHistory_ = ((nonspecHistory_ << 1) | (taken ? 1 : 0)) &
                       loMask(historyBits_);
+    ++resolves_;
+    disagreements_ += o.predicted == taken ? 0 : 1;
     return o.predicted == taken;
 }
 
 void
 GshareFastEngine::recover()
 {
+    ++restarts_;
     // Squash wrong-path predictions and overwrite the speculative
     // history with the non-speculative one (Section 3.2).
     outstanding_.clear();

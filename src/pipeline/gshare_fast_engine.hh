@@ -103,6 +103,13 @@ class GshareFastEngine
     unsigned selectBits() const { return selBits_; }
     /** Current cycle number. */
     Cycle cycle() const { return cycle_; }
+    /** Resolved predictions so far. */
+    Counter resolves() const { return resolves_; }
+    /** Resolutions that disagreed with the prediction. */
+    Counter disagreements() const { return disagreements_; }
+    /** Pipeline restarts (recover() calls — one per misprediction
+     *  the fetch engine acted on). */
+    Counter pipelineRestarts() const { return restarts_; }
     /** Predictor storage in bits (PHT + history), as budgeted. */
     std::size_t storageBits() const
     {
@@ -151,6 +158,11 @@ class GshareFastEngine
 
     Cycle cycle_ = 0;
     unsigned branchesThisCycle_ = 0;
+
+    // observability counters
+    Counter resolves_ = 0;
+    Counter disagreements_ = 0;
+    Counter restarts_ = 0;
 };
 
 } // namespace bpsim

@@ -40,4 +40,27 @@ GsharePredictor::update(Addr pc, bool taken)
     history_.shiftIn(taken);
 }
 
+std::vector<PredictorStat>
+GsharePredictor::describeStats() const
+{
+    // Occupancy = counters that have left the reset state; strong =
+    // counters saturated in either direction. Both scan the PHT, so
+    // callers only invoke this at end of run.
+    std::size_t touched = 0, strong = 0;
+    for (const TwoBitCounter &c : pht_) {
+        touched += c.value() != 1 ? 1 : 0;
+        strong += !c.weak() ? 1 : 0;
+    }
+    const double n = static_cast<double>(pht_.size());
+    return {
+        {"pred.gshare.pht_entries", n},
+        {"pred.gshare.pht_occupancy",
+         static_cast<double>(touched) / n},
+        {"pred.gshare.pht_strong_fraction",
+         static_cast<double>(strong) / n},
+        {"pred.gshare.history_bits",
+         static_cast<double>(history_.length())},
+    };
+}
+
 } // namespace bpsim

@@ -34,6 +34,7 @@ MultiComponentPredictor::MultiComponentPredictor(
     selector_.assign(selector_entries * components_.size(),
                      SatCounter(2, 3));
     componentPreds_.resize(components_.size());
+    chosenCounts_.assign(components_.size(), 0);
 }
 
 std::size_t
@@ -70,6 +71,8 @@ MultiComponentPredictor::predict(Addr pc)
     }
     chosen_ = best;
     lastPrediction_ = componentPreds_[chosen_];
+    ++predicts_;
+    ++chosenCounts_[chosen_];
     return lastPrediction_;
 }
 
@@ -95,6 +98,25 @@ MultiComponentPredictor::update(Addr pc, bool taken)
         }
         components_[c]->update(pc, taken);
     }
+}
+
+std::vector<PredictorStat>
+MultiComponentPredictor::describeStats() const
+{
+    // Per-table contribution: how often the selector predicted with
+    // each component. Component 0 is bimodal, 1 the local-history
+    // component (when present), the rest ascending global history.
+    std::vector<PredictorStat> stats;
+    const double n = predicts_ ? static_cast<double>(predicts_) : 1.0;
+    for (std::size_t c = 0; c < components_.size(); ++c)
+        stats.push_back(
+            {"pred.multicomponent.contribution{component=" +
+                 std::to_string(c) + ":" + components_[c]->name() +
+                 "}",
+             static_cast<double>(chosenCounts_[c]) / n});
+    stats.push_back({"pred.multicomponent.predicts",
+                     static_cast<double>(predicts_)});
+    return stats;
 }
 
 } // namespace bpsim

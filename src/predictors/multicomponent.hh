@@ -63,6 +63,7 @@ class MultiComponentPredictor : public DirectionPredictor
     std::size_t storageBits() const override;
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    std::vector<PredictorStat> describeStats() const override;
 
     /** Number of components including the bimodal one. */
     std::size_t numComponents() const { return components_.size(); }
@@ -79,6 +80,10 @@ class MultiComponentPredictor : public DirectionPredictor
     std::vector<bool> componentPreds_;
     std::size_t chosen_ = 0;
     bool lastPrediction_ = false;
+
+    // per-component selection accounting (describeStats)
+    std::vector<Counter> chosenCounts_;
+    Counter predicts_ = 0;
 };
 
 } // namespace bpsim

@@ -22,10 +22,24 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
 namespace bpsim {
+
+/**
+ * One named internal statistic a predictor chooses to expose —
+ * table occupancy, per-component contribution of a hybrid, history
+ * length. Names follow the observability convention
+ * (`pred.<family>.<stat>{label=value}`, docs/OBSERVABILITY.md) so
+ * they drop straight into a MetricRegistry or RunReport.
+ */
+struct PredictorStat
+{
+    std::string name;
+    double value = 0.0;
+};
 
 /** Abstract conditional-branch direction predictor. */
 class DirectionPredictor
@@ -50,6 +64,17 @@ class DirectionPredictor
 
     /** Hardware budget in bytes (rounded up). */
     std::size_t storageBytes() const { return (storageBits() + 7) / 8; }
+
+    /**
+     * Describe internal state for reports: table occupancy,
+     * per-table contribution for hybrids, adaptation counters.
+     * Called at end of run — implementations may scan their tables.
+     * The default exposes nothing.
+     */
+    virtual std::vector<PredictorStat> describeStats() const
+    {
+        return {};
+    }
 
   protected:
     /**

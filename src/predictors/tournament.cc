@@ -48,6 +48,8 @@ TournamentPredictor::predict(Addr pc)
     pGlobal_ = globalPht_[globalIndex()].taken();
     pLocal_ = local_.predict(pc);
     pChoseGlobal_ = chooser_[chooserIndex()].taken();
+    ++predicts_;
+    choseGlobal_ += pChoseGlobal_ ? 1 : 0;
     return pChoseGlobal_ ? pGlobal_ : pLocal_;
 }
 
@@ -60,6 +62,27 @@ TournamentPredictor::update(Addr pc, bool taken)
     globalPht_[globalIndex()].update(taken);
     local_.update(pc, taken);
     history_.shiftIn(taken);
+}
+
+std::vector<PredictorStat>
+TournamentPredictor::describeStats() const
+{
+    const double n = predicts_ ? static_cast<double>(predicts_) : 1.0;
+    const double global_share = static_cast<double>(choseGlobal_) / n;
+    std::size_t chooser_strong = 0;
+    for (const TwoBitCounter &c : chooser_)
+        chooser_strong += !c.weak() ? 1 : 0;
+    return {
+        {"pred.tournament.contribution{component=global}",
+         global_share},
+        {"pred.tournament.contribution{component=local}",
+         1.0 - global_share},
+        {"pred.tournament.chooser_strong_fraction",
+         static_cast<double>(chooser_strong) /
+             static_cast<double>(chooser_.size())},
+        {"pred.tournament.predicts",
+         static_cast<double>(predicts_)},
+    };
 }
 
 } // namespace bpsim

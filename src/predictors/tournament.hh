@@ -36,6 +36,7 @@ class TournamentPredictor : public DirectionPredictor
     std::size_t storageBits() const override;
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    std::vector<PredictorStat> describeStats() const override;
 
   private:
     std::size_t globalIndex() const;
@@ -49,6 +50,10 @@ class TournamentPredictor : public DirectionPredictor
     HistoryRegister history_;
 
     bool pGlobal_ = false, pLocal_ = false, pChoseGlobal_ = false;
+
+    // per-table contribution accounting (describeStats)
+    Counter predicts_ = 0;
+    Counter choseGlobal_ = 0;
 };
 
 } // namespace bpsim

@@ -4,6 +4,46 @@
 
 namespace bpsim {
 
+void
+SimResult::publishMetrics(obs::MetricRegistry &reg,
+                          const std::string &workload) const
+{
+    // `sim.core.<counter>{workload=w}` for plain counters and
+    // `sim.core.<counter>{cause=c,workload=w}` for attributed ones;
+    // counters accumulate, so publishing a whole suite into one
+    // registry yields suite totals alongside the per-workload lines.
+    const std::string wl =
+        workload.empty() ? "" : "workload=" + workload;
+    const auto plain = [&](const char *base) {
+        return wl.empty() ? "sim.core." + std::string(base)
+                          : "sim.core." + std::string(base) + "{" +
+                                wl + "}";
+    };
+    const auto caused = [&](const char *base, const char *cause) {
+        std::string labels = std::string("cause=") + cause;
+        if (!wl.empty())
+            labels += "," + wl;
+        return "sim.core." + std::string(base) + "{" + labels + "}";
+    };
+    reg.counter(plain("cycles")).add(cycles);
+    reg.counter(plain("instructions")).add(instructions);
+    reg.counter(plain("cond_branches")).add(condBranches);
+    reg.counter(plain("mispredictions")).add(mispredictions);
+    reg.counter(plain("flushes")).add(flushes);
+    reg.counter(plain("squashed_uops")).add(squashedUops);
+    reg.counter(plain("overriding_bubbles")).add(overridingBubbleCycles);
+    reg.counter(caused("flush_cycles", "override"))
+        .add(overrideStallCycles);
+    reg.counter(caused("flush_cycles", "mispredict"))
+        .add(mispredictWaitCycles);
+    reg.counter(caused("stall_cycles", "icache"))
+        .add(icacheStallCycles);
+    reg.counter(caused("stall_cycles", "btb")).add(btbStallCycles);
+    reg.counter(caused("stall_cycles", "rob")).add(robStallCycles);
+    reg.gauge(plain("ipc")).set(ipc());
+    reg.gauge(plain("mispredict_percent")).set(mispredictionPercent());
+}
+
 OooCore::OooCore(const CoreConfig &cfg, FetchPredictor &predictor)
     : cfg_(cfg),
       predictor_(predictor),
@@ -51,16 +91,34 @@ void
 OooCore::fetchStage(const TraceBuffer &trace)
 {
     if (fetchBlocked_) {
+        // Waiting on a mispredicted branch: these are misprediction
+        // recovery cycles, and every one squashes a fetch group's
+        // worth of wrong-path micro-ops.
         ++result_.mispredictWaitCycles;
+        result_.squashedUops += cfg_.issueWidth;
         return;
     }
     if (cycle_ < fetchStallUntil_) {
-        if (stallReason_ == StallReason::Icache)
+        switch (stallReason_) {
+          case StallReason::Icache:
             ++result_.icacheStallCycles;
-        else if (stallReason_ == StallReason::FrontEnd)
+            break;
+          case StallReason::Override:
             ++result_.frontEndStallCycles;
-        else if (stallReason_ == StallReason::Redirect)
+            ++result_.overrideStallCycles;
+            result_.squashedUops += cfg_.issueWidth;
+            break;
+          case StallReason::BtbMiss:
+            ++result_.frontEndStallCycles;
+            ++result_.btbStallCycles;
+            break;
+          case StallReason::Redirect:
             ++result_.mispredictWaitCycles;
+            result_.squashedUops += cfg_.issueWidth;
+            break;
+          case StallReason::None:
+            break;
+        }
         return;
     }
     stallReason_ = StallReason::None;
@@ -82,6 +140,9 @@ OooCore::fetchStage(const TraceBuffer &trace)
                                            : cfg_.ifetchMemoryCycles;
                 fetchStallUntil_ = cycle_ + stall;
                 stallReason_ = StallReason::Icache;
+                if (tracer_)
+                    tracer_->record(cycle_, obs::SimEvent::CacheMiss,
+                                    op.pc, stall);
                 return; // refetch this op after the miss resolves
             }
         }
@@ -93,16 +154,25 @@ OooCore::fetchStage(const TraceBuffer &trace)
             const FetchPrediction fp = predictor_.predict(op.pc);
             predictor_.update(op.pc, op.taken);
             ++result_.condBranches;
+            if (tracer_)
+                tracer_->record(cycle_, obs::SimEvent::Predict,
+                                op.pc, fp.taken == op.taken ? 0 : 1);
             if (fp.bubbleCycles > 0) {
                 // Overriding disagreement (or stall-style delay):
                 // the fetches behind this branch are squashed.
                 fetchStallUntil_ = cycle_ + 1 + fp.bubbleCycles;
-                stallReason_ = StallReason::FrontEnd;
+                stallReason_ = StallReason::Override;
                 result_.overridingBubbleCycles += fp.bubbleCycles;
+                ++result_.flushes;
+                if (tracer_)
+                    tracer_->record(cycle_,
+                                    obs::SimEvent::OverrideDisagree,
+                                    op.pc, fp.bubbleCycles);
                 ends_fetch_block = true;
             }
             if (fp.taken != op.taken) {
                 ++result_.mispredictions;
+                ++result_.flushes;
                 mispredicted = true;
                 fetchBlocked_ = true;
                 ends_fetch_block = true;
@@ -112,9 +182,13 @@ OooCore::fetchStage(const TraceBuffer &trace)
                 if (!target || *target != op.extra) {
                     fetchStallUntil_ =
                         cycle_ + 1 + cfg_.btbMissPenalty;
-                    stallReason_ = StallReason::FrontEnd;
+                    stallReason_ = StallReason::BtbMiss;
                     result_.btbMissPenaltyCycles +=
                         cfg_.btbMissPenalty;
+                    if (tracer_)
+                        tracer_->record(cycle_,
+                                        obs::SimEvent::BtbMiss,
+                                        op.pc, cfg_.btbMissPenalty);
                 }
                 btb_.update(op.pc, op.extra);
                 ends_fetch_block = true; // discontinuous fetch
@@ -123,13 +197,18 @@ OooCore::fetchStage(const TraceBuffer &trace)
             const auto target = btb_.lookup(op.pc);
             if (!target || *target != op.extra) {
                 fetchStallUntil_ = cycle_ + 1 + cfg_.btbMissPenalty;
-                stallReason_ = StallReason::FrontEnd;
+                stallReason_ = StallReason::BtbMiss;
                 result_.btbMissPenaltyCycles += cfg_.btbMissPenalty;
+                if (tracer_)
+                    tracer_->record(cycle_, obs::SimEvent::BtbMiss,
+                                    op.pc, cfg_.btbMissPenalty);
             }
             btb_.update(op.pc, op.extra);
             ends_fetch_block = true;
         }
 
+        if (tracer_ && n == 0)
+            tracer_->record(cycle_, obs::SimEvent::Fetch, op.pc);
         fetchBuffer_.push_back(
             {static_cast<std::uint32_t>(fetchIndex_),
              cycle_ + cfg_.frontEndDepth, mispredicted});
@@ -143,6 +222,14 @@ OooCore::fetchStage(const TraceBuffer &trace)
 void
 OooCore::dispatchStage(const TraceBuffer &trace)
 {
+    if (robCount_ >= rob_.size() && !fetchBuffer_.empty() &&
+        fetchBuffer_.front().dispatchReady <= cycle_) {
+        ++result_.robStallCycles;
+        if (tracer_)
+            tracer_->record(
+                cycle_, obs::SimEvent::RobStall,
+                trace[fetchBuffer_.front().traceIndex].pc, robCount_);
+    }
     for (unsigned n = 0; n < cfg_.issueWidth; ++n) {
         if (fetchBuffer_.empty() || robCount_ >= rob_.size())
             return;
@@ -226,8 +313,9 @@ OooCore::issueStage(const TraceBuffer &trace)
 }
 
 void
-OooCore::completeStage()
+OooCore::completeStage(const TraceBuffer &trace)
 {
+    (void)trace; // used only when a tracer is attached
     if (issuedNotDone_ == 0 || cycle_ < nextCompleteCycle_)
         return;
     Cycle next_min = ~Cycle{0};
@@ -244,6 +332,10 @@ OooCore::completeStage()
             if (e.mispredictedBranch) {
                 // Branch resolution redirects fetch next cycle; the
                 // redirect gap is part of the misprediction cost.
+                if (tracer_)
+                    tracer_->record(cycle_,
+                                    obs::SimEvent::MispredictResolve,
+                                    trace[e.traceIndex].pc);
                 fetchBlocked_ = false;
                 if (fetchStallUntil_ <= cycle_)
                     fetchStallUntil_ = cycle_ + 1;
@@ -290,7 +382,7 @@ OooCore::run(const TraceBuffer &trace)
             !fetchBuffer_.empty()) &&
            cycle_ < max_cycles) {
         commitStage(trace);
-        completeStage();
+        completeStage(trace);
         issueStage(trace);
         dispatchStage(trace);
         fetchStage(trace);

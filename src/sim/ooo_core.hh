@@ -34,6 +34,8 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 #include "pipeline/fetch_predictor.hh"
 #include "sim/btb.hh"
 #include "sim/cache.hh"
@@ -57,6 +59,19 @@ struct SimResult
     Counter icacheStallCycles = 0;
     /** Cycles fetch was stalled on predictor bubbles / BTB misses. */
     Counter frontEndStallCycles = 0;
+    /** frontEndStallCycles split by cause: overriding-disagreement
+     *  squash stalls vs. BTB-miss stalls. Their sum equals
+     *  frontEndStallCycles. */
+    Counter overrideStallCycles = 0;
+    Counter btbStallCycles = 0;
+    /** Cycles dispatch was blocked by a full ROB with insts waiting. */
+    Counter robStallCycles = 0;
+    /** Front-end restarts: mispredictions + overriding squashes. */
+    Counter flushes = 0;
+    /** Fetch slots lost to flush-caused stalls (wrong-path /
+     *  squashed micro-ops, counted as issueWidth per lost cycle).
+     *  Invariant: squashedUops == issueWidth * flushCycles(). */
+    Counter squashedUops = 0;
     double l1iMissRate = 0.0;
     double l1dMissRate = 0.0;
     double l2MissRate = 0.0;
@@ -80,6 +95,21 @@ struct SimResult
     {
         return 100.0 * mispredictionRate();
     }
+    /** Total cycles fetch lost to squash-causing flushes: the
+     *  per-cause attribution (override + mispredict recovery) sums
+     *  to this by construction. */
+    Counter flushCycles() const
+    {
+        return overrideStallCycles + mispredictWaitCycles;
+    }
+
+    /**
+     * Publish every counter into @p reg under the metric naming
+     * convention (`sim.core.flush_cycles{cause=override}`, ...),
+     * optionally tagging names with `{workload=...}`.
+     */
+    void publishMetrics(obs::MetricRegistry &reg,
+                        const std::string &workload = "") const;
 };
 
 /** The out-of-order core. One instance simulates one trace run. */
@@ -94,6 +124,16 @@ class OooCore
 
     /** Run the whole @p trace to completion and return the stats. */
     SimResult run(const TraceBuffer &trace);
+
+    /**
+     * Attach an event tracer (not owned; may be nullptr to detach).
+     * When attached, the core records per-cycle pipeline events —
+     * override disagreements, mispredict resolutions, ROB-full
+     * stalls, i-cache and BTB misses — into its ring buffer. An
+     * unattached core pays one null check per *event*, never per
+     * cycle.
+     */
+    void attachTracer(obs::EventTracer *tracer) { tracer_ = tracer; }
 
   private:
     struct Producer
@@ -128,7 +168,7 @@ class OooCore
     void fetchStage(const TraceBuffer &trace);
     void dispatchStage(const TraceBuffer &trace);
     void issueStage(const TraceBuffer &trace);
-    void completeStage();
+    void completeStage(const TraceBuffer &trace);
     void commitStage(const TraceBuffer &trace);
 
     unsigned loadLatency(Addr addr);
@@ -146,7 +186,8 @@ class OooCore
     enum class StallReason : std::uint8_t {
         None,
         Icache,
-        FrontEnd, ///< predictor bubble or BTB miss
+        Override, ///< overriding-predictor disagreement squash
+        BtbMiss,  ///< taken branch without a BTB target
         Redirect, ///< post-resolution redirect gap
     };
 
@@ -172,6 +213,7 @@ class OooCore
     Cycle nextCompleteCycle_ = 0;
     std::size_t unissuedCount_ = 0;
 
+    obs::EventTracer *tracer_ = nullptr;
     SimResult result_;
 };
 

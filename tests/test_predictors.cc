@@ -144,7 +144,7 @@ TEST(Gshare, HistoryDisambiguatesSameAddress)
 {
     // One branch whose outcome is the outcome of 4 branches ago:
     // bimodal stays near 50%, gshare learns it.
-    auto pattern = [](std::uint64_t i, Rng &rng) {
+    auto pattern = [](std::uint64_t /*i*/, Rng &rng) {
         static thread_local std::vector<bool> hist;
         bool out;
         if (hist.size() < 4) {

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * bpstat — inspect, validate and diff bpsim RunReport JSON files.
+ *
+ *   bpstat show   REPORT.json            summarise one report
+ *   bpstat check  REPORT.json            validate schema + invariants
+ *   bpstat --check REPORT.json           (same; flag spelling)
+ *   bpstat diff   OLD.json NEW.json      per-cell deltas
+ *
+ * `check` exits 1 when the report violates its invariants (duplicate
+ * row keys, squashed-uop/flush-cycle accounting, schema version), so
+ * CI can gate on it. `diff` matches rows across the two reports by
+ * (workload, predictor, mode, budget) key and prints misprediction,
+ * IPC and penalty-attribution deltas — the standing perf-regression
+ * workflow: save a report on main, save one on your branch, diff.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/run_report.hh"
+
+using bpsim::obs::RunReport;
+using bpsim::obs::RunReportError;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bpstat show REPORT.json\n"
+                 "       bpstat check REPORT.json   (or --check)\n"
+                 "       bpstat diff OLD.json NEW.json\n");
+    return 2;
+}
+
+RunReport
+load(const char *path)
+{
+    return RunReport::readFile(path);
+}
+
+void
+header(const RunReport &r, const char *path)
+{
+    std::printf("%s: experiment '%s' (schema v%d), %zu rows, "
+                "%llu ops/workload, seed %llu\n",
+                path, r.experiment.c_str(), r.schemaVersion,
+                r.rows.size(),
+                static_cast<unsigned long long>(r.opsPerWorkload),
+                static_cast<unsigned long long>(r.seed));
+}
+
+int
+cmdShow(const char *path)
+{
+    const RunReport r = load(path);
+    header(r, path);
+    std::printf("%-44s %10s %8s %12s %12s\n", "cell (wl|pred|mode|kB)",
+                "misp %", "IPC", "flush cyc", "of which ovr");
+    for (const auto &row : r.rows) {
+        std::printf("%-44s %10.2f", row.key().c_str(),
+                    row.mispredictPercent());
+        if (row.hasTiming)
+            std::printf(" %8.3f %12llu %12llu\n", row.ipc(),
+                        static_cast<unsigned long long>(
+                            row.flushCyclesTotal()),
+                        static_cast<unsigned long long>(
+                            row.flushCyclesOverride));
+        else
+            std::printf(" %8s %12s %12s\n", "-", "-", "-");
+    }
+    return 0;
+}
+
+int
+cmdCheck(const char *path)
+{
+    const RunReport r = load(path);
+    const auto problems = r.validate();
+    if (problems.empty()) {
+        std::printf("%s: OK (%zu rows, schema v%d)\n", path,
+                    r.rows.size(), r.schemaVersion);
+        return 0;
+    }
+    std::fprintf(stderr, "%s: %zu problem(s)\n", path, problems.size());
+    for (const auto &p : problems)
+        std::fprintf(stderr, "  - %s\n", p.c_str());
+    return 1;
+}
+
+/** Penalty attribution of a timing row as a fraction of cycles. */
+double
+penaltyShare(const RunReport::Row &r)
+{
+    return r.cycles ? static_cast<double>(r.flushCyclesTotal()) /
+                          static_cast<double>(r.cycles)
+                    : 0.0;
+}
+
+int
+cmdDiff(const char *old_path, const char *new_path)
+{
+    const RunReport a = load(old_path);
+    const RunReport b = load(new_path);
+    header(a, old_path);
+    header(b, new_path);
+
+    std::map<std::string, const RunReport::Row *> olds;
+    for (const auto &row : a.rows)
+        olds.emplace(row.key(), &row);
+
+    std::printf("\n%-44s %10s %10s %12s\n", "cell (wl|pred|mode|kB)",
+                "d misp pp", "d IPC %", "d penalty pp");
+
+    std::size_t matched = 0, regressions = 0;
+    for (const auto &nw : b.rows) {
+        const auto it = olds.find(nw.key());
+        if (it == olds.end()) {
+            std::printf("%-44s %34s\n", nw.key().c_str(),
+                        "(new cell)");
+            continue;
+        }
+        const RunReport::Row &od = *it->second;
+        ++matched;
+        const double d_misp =
+            nw.mispredictPercent() - od.mispredictPercent();
+        std::printf("%-44s %+10.3f", nw.key().c_str(), d_misp);
+        double d_ipc = 0.0;
+        if (nw.hasTiming && od.hasTiming && od.ipc() > 0.0) {
+            d_ipc = 100.0 * (nw.ipc() - od.ipc()) / od.ipc();
+            const double d_pen =
+                100.0 * (penaltyShare(nw) - penaltyShare(od));
+            std::printf(" %+10.3f %+12.3f\n", d_ipc, d_pen);
+        } else {
+            std::printf(" %10s %12s\n", "-", "-");
+        }
+        if (d_misp > 0.05 || d_ipc < -0.5)
+            ++regressions;
+        olds.erase(it);
+    }
+    for (const auto &[key, row] : olds) {
+        (void)row;
+        std::printf("%-44s %34s\n", key.c_str(), "(cell removed)");
+    }
+
+    std::printf("\n%zu cell(s) matched, %zu regression(s) "
+                "(misp +0.05pp or IPC -0.5%%)\n",
+                matched, regressions);
+    return regressions ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if ((cmd == "check" || cmd == "--check") && argc == 3)
+            return cmdCheck(argv[2]);
+        if (cmd == "show" && argc == 3)
+            return cmdShow(argv[2]);
+        if (cmd == "diff" && argc == 4)
+            return cmdDiff(argv[2], argv[3]);
+    } catch (const RunReportError &e) {
+        std::fprintf(stderr, "bpstat: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
