@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "ablation_delay_hiding");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(600000);
     benchHeader("Section 2.6 ablation",
                 "delay-hiding schemes for the perceptron predictor",

@@ -67,6 +67,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "ablation_pipeline");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(400000);
     benchHeader("Pipeline ablation (Sections 3.1/3.3.1)",
                 "engine fidelity, buffer sizing, staleness cost", ops);

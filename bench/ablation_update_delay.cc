@@ -26,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "ablation_update_delay");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Section 3.2 ablation",
                 "gshare.fast (256KB) accuracy/IPC vs PHT update delay",

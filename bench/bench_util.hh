@@ -17,6 +17,7 @@
 #define BPSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/factory.hh"
@@ -24,6 +25,30 @@
 #include "obs/report_session.hh"
 
 namespace bpsim {
+
+/**
+ * Uniform CLI error handling for the bench binaries: after
+ * BenchSession has stripped --report/--trace and the bench has
+ * consumed its own flags, anything left in argv is unknown (this
+ * also catches a trailing `--report` with no value, which the
+ * session leaves in place). Prints a one-line error plus usage to
+ * stderr and exits 2, matching the bpstat usage exit code.
+ * @p extra_usage names bench-specific flags, e.g.
+ * "[--manifest FILE]".
+ */
+inline void
+requireNoExtraArgs(int argc, char **argv,
+                   const std::string &extra_usage = "")
+{
+    if (argc <= 1)
+        return;
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                 argv[1]);
+    std::fprintf(stderr, "usage: %s [--report FILE] [--trace FILE]%s%s\n",
+                 argv[0], extra_usage.empty() ? "" : " ",
+                 extra_usage.c_str());
+    std::exit(2);
+}
 
 /**
  * Every bench binary constructs one of these first: it strips the

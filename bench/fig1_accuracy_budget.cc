@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "fig1_accuracy_budget");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(1200000);
     benchHeader("Figure 1",
                 "arithmetic-mean misprediction (%) vs hardware budget",

@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "fig2_ideal_vs_overriding");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 2",
                 "harmonic-mean IPC: zero-delay vs overriding", ops);

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "fig5_accuracy_large");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(1200000);
     benchHeader("Figure 5",
                 "arithmetic-mean misprediction (%) of the four large "

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "fig6_per_benchmark_accuracy");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(1200000);
     benchHeader("Figure 6",
                 "per-benchmark misprediction (%) at the 64KB budget",

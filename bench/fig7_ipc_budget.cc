@@ -51,6 +51,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "fig7_ipc_budget");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 7", "harmonic-mean IPC vs hardware budget",
                 ops);

@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "fig8_per_benchmark_ipc");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 8",
                 "per-benchmark IPC at the 53KB/64KB budget "

@@ -56,6 +56,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "study_context_switch");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(400000);
     std::printf("==============================================================\n");
     std::printf("Context-switch study — interleaved gcc+crafty at 64KB\n");

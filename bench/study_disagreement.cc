@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "study_disagreement");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Section 4.5 study",
                 "overriding disagreement rates at 64KB", ops);

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "study_pipeline_depth");
+    requireNoExtraArgs(argc, argv);
     const Counter ops = benchOpsPerWorkload(600000);
     benchHeader("Pipeline-depth study",
                 "512KB predictors vs front-end depth", ops);

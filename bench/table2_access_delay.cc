@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchSession session(argc, argv, "table2_access_delay");
+    requireNoExtraArgs(argc, argv);
     const ClockModel clock;
     const SramModel sram;
 

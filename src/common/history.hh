@@ -65,6 +65,23 @@ class HistoryRegister
         return (words_[i / 64] >> (i % 64)) & 1;
     }
 
+    /**
+     * Overwrite one history bit in place. Normal operation only ever
+     * shifts; this exists for fault injection (soft-error studies)
+     * and state-audit tooling, which need to corrupt or patch
+     * arbitrary positions.
+     */
+    void
+    setBit(unsigned i, bool v)
+    {
+        assert(i < length_);
+        const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+        if (v)
+            words_[i / 64] |= mask;
+        else
+            words_[i / 64] &= ~mask;
+    }
+
     /** The newest min(64, length) history bits as an integer. */
     std::uint64_t
     low64() const

@@ -161,6 +161,14 @@ class SignedWeight
         }
     }
 
+    /** Overwrite the raw value (fault injection / tests). */
+    void
+    set(std::int16_t value)
+    {
+        assert(value >= min_ && value <= max_);
+        value_ = value;
+    }
+
   private:
     std::int16_t value_;
     std::int16_t min_;

@@ -23,6 +23,28 @@ runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace)
     return r;
 }
 
+AccuracyResult
+runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace,
+            const std::function<void()> &poll, Counter poll_interval)
+{
+    AccuracyResult r;
+    Counter untilPoll = poll_interval;
+    for (const MicroOp &op : trace) {
+        if (op.cls != InstClass::CondBranch)
+            continue;
+        const bool predicted = pred.predict(op.pc);
+        pred.update(op.pc, op.taken);
+        ++r.branches;
+        if (predicted != op.taken)
+            ++r.mispredictions;
+        if (--untilPoll == 0) {
+            poll();
+            untilPoll = poll_interval;
+        }
+    }
+    return r;
+}
+
 SimResult
 runTiming(const CoreConfig &cfg, FetchPredictor &pred,
           const TraceBuffer &trace)

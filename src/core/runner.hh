@@ -46,6 +46,17 @@ struct AccuracyResult
 AccuracyResult runAccuracy(DirectionPredictor &pred,
                            const TraceBuffer &trace);
 
+/**
+ * As above, invoking @p poll every @p poll_interval conditional
+ * branches. Intended for cooperative watchdogs: a suite cell passes
+ * a closure that calls Deadline::check() so a wedged or oversized
+ * run aborts with DeadlineExceeded instead of hanging the campaign.
+ */
+AccuracyResult runAccuracy(DirectionPredictor &pred,
+                           const TraceBuffer &trace,
+                           const std::function<void()> &poll,
+                           Counter poll_interval = 65536);
+
 /** Run the timing simulator over @p trace with @p pred. */
 SimResult runTiming(const CoreConfig &cfg, FetchPredictor &pred,
                     const TraceBuffer &trace);

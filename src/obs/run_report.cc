@@ -14,11 +14,10 @@ RunReport::Row::key() const
            std::to_string(budgetBytes);
 }
 
-namespace {
-
 Json
-rowToJson(const RunReport::Row &r)
+RunReport::Row::toJson() const
 {
+    const Row &r = *this;
     Json j = Json::object();
     j.set("workload", Json(r.workload));
     j.set("predictor", Json(r.predictor));
@@ -51,8 +50,8 @@ rowToJson(const RunReport::Row &r)
 }
 
 RunReport::Row
-rowFromJson(const Json &j)
-{
+RunReport::Row::fromJson(const Json &j)
+try {
     RunReport::Row r;
     r.workload = j.get("workload").asString();
     r.predictor = j.get("predictor").asString();
@@ -78,9 +77,10 @@ rowFromJson(const Json &j)
         r.robStallCycles = sc.get("rob").asU64();
     }
     return r;
+} catch (const JsonError &e) {
+    throw RunReportParseError(std::string("malformed row: ") +
+                              e.what());
 }
-
-} // namespace
 
 Json
 RunReport::toJson() const
@@ -93,8 +93,18 @@ RunReport::toJson() const
     j.set("seed", Json(seed));
     Json arr = Json::array();
     for (const Row &r : rows)
-        arr.push(rowToJson(r));
+        arr.push(r.toJson());
     j.set("rows", std::move(arr));
+    if (!annotations.empty()) {
+        Json ann = Json::array();
+        for (const Annotation &a : annotations) {
+            Json e = Json::object();
+            e.set("key", Json(a.key));
+            e.set("message", Json(a.message));
+            ann.push(std::move(e));
+        }
+        j.set("annotations", std::move(ann));
+    }
     if (!metrics.isNull())
         j.set("metrics", metrics);
     return j;
@@ -108,7 +118,7 @@ RunReport::fromJson(const Json &j)
         rep.schemaVersion =
             static_cast<int>(j.get("schema_version").asNumber());
         if (rep.schemaVersion != kSchemaVersion)
-            throw RunReportError(
+            throw RunReportSchemaError(
                 "unsupported schema_version " +
                 std::to_string(rep.schemaVersion) + " (reader is v" +
                 std::to_string(kSchemaVersion) + ")");
@@ -117,13 +127,18 @@ RunReport::fromJson(const Json &j)
         rep.opsPerWorkload = j.get("ops_per_workload").asU64();
         rep.seed = j.get("seed").asU64();
         for (const Json &row : j.get("rows").items())
-            rep.rows.push_back(rowFromJson(row));
+            rep.rows.push_back(Row::fromJson(row));
+        if (const Json *ann = j.find("annotations"))
+            for (const Json &e : ann->items())
+                rep.annotations.push_back(
+                    {e.get("key").asString(),
+                     e.get("message").asString()});
         if (const Json *m = j.find("metrics"))
             rep.metrics = *m;
         return rep;
     } catch (const JsonError &e) {
-        throw RunReportError(std::string("malformed report: ") +
-                             e.what());
+        throw RunReportParseError(std::string("malformed report: ") +
+                                  e.what());
     }
 }
 
@@ -145,14 +160,14 @@ RunReport::readFile(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        throw RunReportError("cannot open report file '" + path +
-                             "'");
+        throw RunReportIoError("cannot open report file '" + path +
+                               "'");
     std::ostringstream buf;
     buf << is.rdbuf();
     try {
         return fromJson(Json::parse(buf.str()));
     } catch (const JsonError &e) {
-        throw RunReportError(path + ": " + e.what());
+        throw RunReportParseError(path + ": " + e.what());
     }
 }
 

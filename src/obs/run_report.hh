@@ -40,6 +40,28 @@ class RunReportError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/** The file is missing or unreadable. */
+class RunReportIoError : public RunReportError
+{
+  public:
+    using RunReportError::RunReportError;
+};
+
+/** The file is not valid JSON or lacks required fields (truncation
+ *  lands here too). */
+class RunReportParseError : public RunReportError
+{
+  public:
+    using RunReportError::RunReportError;
+};
+
+/** The file parsed but its schema_version is not supported. */
+class RunReportSchemaError : public RunReportError
+{
+  public:
+    using RunReportError::RunReportError;
+};
+
 /** One experiment's machine-readable results. */
 struct RunReport
 {
@@ -92,6 +114,23 @@ struct RunReport
         }
         /** Key identifying this cell across two reports. */
         std::string key() const;
+
+        /** Serialize this row alone (RunManifest cell caching). */
+        Json toJson() const;
+        /** Throws RunReportParseError on shape problems. */
+        static Row fromJson(const Json &j);
+    };
+
+    /**
+     * A per-cell failure note attached by hardened suite execution:
+     * the cell's key plus what went wrong (timeout, exhausted
+     * retries). A report with annotations is *partial* — the listed
+     * cells have no row — but still validates and diffs.
+     */
+    struct Annotation
+    {
+        std::string key;
+        std::string message;
     };
 
     int schemaVersion = kSchemaVersion;
@@ -100,6 +139,8 @@ struct RunReport
     Counter opsPerWorkload = 0;
     std::uint64_t seed = 0;
     std::vector<Row> rows;
+    /** Failure annotations from hardened runs (usually empty). */
+    std::vector<Annotation> annotations;
     /** Metric-registry snapshot (object), or null when absent. */
     Json metrics;
 

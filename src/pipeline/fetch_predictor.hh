@@ -62,6 +62,13 @@ class FetchPredictor
     {
         return {};
     }
+
+    /**
+     * Expose the wrapped predictors' SRAM state for fault injection
+     * (robust/state_visitor.hh); wrappers forward to every inner
+     * predictor. Default exposes nothing.
+     */
+    virtual void visitState(robust::StateVisitor &v) { (void)v; }
 };
 
 /** Zero-bubble wrapper: ideal predictors and gshare.fast. */
@@ -95,6 +102,11 @@ class SingleCycleFetchPredictor : public FetchPredictor
     std::vector<PredictorStat> describeStats() const override
     {
         return pred_->describeStats();
+    }
+
+    void visitState(robust::StateVisitor &v) override
+    {
+        pred_->visitState(v);
     }
 
     DirectionPredictor &inner() { return *pred_; }
@@ -164,6 +176,12 @@ class OverridingFetchPredictor : public FetchPredictor
         return stats;
     }
 
+    void visitState(robust::StateVisitor &v) override
+    {
+        quick_->visitState(v);
+        slow_->visitState(v);
+    }
+
     /** Fraction of predictions the slow predictor overrode (E10). */
     const RateStat &disagreements() const { return disagreements_; }
     /** Fetch-pipeline restarts caused by overrides (== hits()). */
@@ -213,6 +231,11 @@ class DelayedFetchPredictor : public FetchPredictor
     std::vector<PredictorStat> describeStats() const override
     {
         return pred_->describeStats();
+    }
+
+    void visitState(robust::StateVisitor &v) override
+    {
+        pred_->visitState(v);
     }
 
   private:

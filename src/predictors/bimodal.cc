@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -28,6 +29,12 @@ void
 BimodalPredictor::update(Addr pc, bool taken)
 {
     pht_[index(pc)].update(taken);
+}
+
+void
+BimodalPredictor::visitState(robust::StateVisitor &v)
+{
+    v.visit(robust::counterField("pred.bimodal.pht", pht_));
 }
 
 } // namespace bpsim

@@ -28,6 +28,7 @@ class BimodalPredictor : public DirectionPredictor
     std::size_t storageBits() const override { return pht_.size() * 2; }
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    void visitState(robust::StateVisitor &v) override;
 
     /** Direct table peek for composite predictors and tests. */
     const TwoBitCounter &counterAt(std::size_t i) const { return pht_[i]; }

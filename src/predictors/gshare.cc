@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -38,6 +39,13 @@ GsharePredictor::update(Addr pc, bool taken)
 {
     pht_[index(pc)].update(taken);
     history_.shiftIn(taken);
+}
+
+void
+GsharePredictor::visitState(robust::StateVisitor &v)
+{
+    v.visit(robust::counterField("pred.gshare.pht", pht_));
+    v.visit(robust::historyField("pred.gshare.history", history_));
 }
 
 std::vector<PredictorStat>

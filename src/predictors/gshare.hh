@@ -38,6 +38,7 @@ class GsharePredictor : public DirectionPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
     std::vector<PredictorStat> describeStats() const override;
+    void visitState(robust::StateVisitor &v) override;
 
     /** Current global history (tests and composite predictors). */
     const HistoryRegister &history() const { return history_; }

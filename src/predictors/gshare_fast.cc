@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -69,6 +70,18 @@ bool
 GshareFastPredictor::predict(Addr pc)
 {
     return pht_[indexFor(pc)].taken();
+}
+
+void
+GshareFastPredictor::visitState(robust::StateVisitor &v)
+{
+    // The budgeted SRAM is the PHT plus the speculative history
+    // register. (The history ring and pending-update queue are
+    // pipeline latches, not part of the predictor's storage budget;
+    // an upset there is a re-steer, not a table corruption.)
+    v.visit(robust::counterField("pred.gshare.fast.pht", pht_));
+    v.visit(robust::wordField("pred.gshare.fast.history", history_,
+                              historyBits_));
 }
 
 void

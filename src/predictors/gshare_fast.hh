@@ -62,6 +62,7 @@ class GshareFastPredictor : public DirectionPredictor
     }
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    void visitState(robust::StateVisitor &v) override;
 
     /** History length (== log2 entries, as for gshare). */
     unsigned historyBits() const { return historyBits_; }

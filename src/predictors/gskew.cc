@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -118,6 +119,16 @@ GskewPredictor::update(Addr pc, bool taken)
     }
 
     history_.shiftIn(taken);
+}
+
+void
+GskewPredictor::visitState(robust::StateVisitor &v)
+{
+    v.visit(robust::counterField("pred.2bc-gskew.bim", bim_));
+    v.visit(robust::counterField("pred.2bc-gskew.g0", g0_));
+    v.visit(robust::counterField("pred.2bc-gskew.g1", g1_));
+    v.visit(robust::counterField("pred.2bc-gskew.meta", meta_));
+    v.visit(robust::historyField("pred.2bc-gskew.history", history_));
 }
 
 } // namespace bpsim

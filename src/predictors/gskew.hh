@@ -48,6 +48,7 @@ class GskewPredictor : public DirectionPredictor
     }
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    void visitState(robust::StateVisitor &v) override;
 
   private:
     struct Indices

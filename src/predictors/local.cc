@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -57,6 +58,15 @@ LocalPredictor::update(Addr pc, bool taken)
     pht_[phtIndex(pc)].update(taken);
     auto &h = histories_[historyIndex(pc)];
     h = ((h << 1) | (taken ? 1 : 0)) & loMask(historyBits_);
+}
+
+void
+LocalPredictor::visitState(robust::StateVisitor &v)
+{
+    v.visit(robust::wordArrayField("pred.local.histories",
+                                   histories_, historyBits_));
+    v.visit(robust::satCounterField("pred.local.pht", pht_,
+                                    counterBits_));
 }
 
 } // namespace bpsim

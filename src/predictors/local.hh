@@ -41,6 +41,7 @@ class LocalPredictor : public DirectionPredictor
     }
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    void visitState(robust::StateVisitor &v) override;
 
     /** Raw local history of @p pc's entry (for the perceptron). */
     std::uint64_t localHistory(Addr pc) const;

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.hh"
 #include "predictors/local.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -98,6 +99,18 @@ MultiComponentPredictor::update(Addr pc, bool taken)
         }
         components_[c]->update(pc, taken);
     }
+}
+
+void
+MultiComponentPredictor::visitState(robust::StateVisitor &v)
+{
+    // Selector confidences are two-bit SatCounters; every component
+    // then exposes its own tables, so the walk covers the full
+    // storageBits() budget.
+    v.visit(robust::satCounterField("pred.multicomponent.selector",
+                                    selector_, 2));
+    for (auto &c : components_)
+        c->visitState(v);
 }
 
 std::vector<PredictorStat>

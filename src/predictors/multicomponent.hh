@@ -64,6 +64,7 @@ class MultiComponentPredictor : public DirectionPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
     std::vector<PredictorStat> describeStats() const override;
+    void visitState(robust::StateVisitor &v) override;
 
     /** Number of components including the bimodal one. */
     std::size_t numComponents() const { return components_.size(); }

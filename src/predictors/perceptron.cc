@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "robust/state_visitor.hh"
 
 namespace bpsim {
 
@@ -49,6 +50,19 @@ std::size_t
 PerceptronPredictor::localIndex(Addr pc) const
 {
     return static_cast<std::size_t>(indexPc(pc)) & localMask_;
+}
+
+void
+PerceptronPredictor::visitState(robust::StateVisitor &v)
+{
+    v.visit(robust::weightField("pred.perceptron.weights", weights_,
+                                weightBits_));
+    if (!localHistories_.empty())
+        v.visit(robust::wordArrayField(
+            "pred.perceptron.local_histories", localHistories_,
+            localBits_));
+    v.visit(robust::historyField("pred.perceptron.global_history",
+                                 globalHistory_));
 }
 
 bool

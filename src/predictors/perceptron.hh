@@ -48,6 +48,7 @@ class PerceptronPredictor : public DirectionPredictor
     std::size_t storageBits() const override;
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    void visitState(robust::StateVisitor &v) override;
 
     /** Training threshold theta = 1.93 h + 14 (from the TOCS paper). */
     int threshold() const { return threshold_; }

@@ -28,6 +28,10 @@
 
 namespace bpsim {
 
+namespace robust {
+class StateVisitor;
+} // namespace robust
+
 /**
  * One named internal statistic a predictor chooses to expose —
  * table occupancy, per-component contribution of a hybrid, history
@@ -75,6 +79,15 @@ class DirectionPredictor
     {
         return {};
     }
+
+    /**
+     * Expose every bit of SRAM state to @p v (robust/state_visitor.hh)
+     * for fault injection and state audits. Implementations present
+     * the exact storage storageBits() charges, as named fields. The
+     * default exposes nothing (predictors without the hook simply
+     * cannot be bombarded).
+     */
+    virtual void visitState(robust::StateVisitor &v) { (void)v; }
 
   protected:
     /**

@@ -1,0 +1,126 @@
+#include "robust/fault_injector.hh"
+
+#include <cmath>
+
+namespace bpsim::robust {
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed)
+{
+}
+
+std::size_t
+FaultInjector::sampleFlipCount(std::size_t total_bits)
+{
+    const double lambda =
+        plan_.upsetRatePerBit * static_cast<double>(total_bits);
+    if (lambda <= 0.0)
+        return 0;
+
+    std::size_t n;
+    if (lambda < 32.0) {
+        // Knuth: multiply uniforms until the product drops below
+        // e^-lambda. Exact Poisson, O(lambda) draws.
+        const double limit = std::exp(-lambda);
+        double prod = rng_.nextDouble();
+        n = 0;
+        while (prod > limit) {
+            prod *= rng_.nextDouble();
+            ++n;
+        }
+    } else {
+        // Gaussian approximation for large means; the study sweeps
+        // care about the expected flip mass, not tail exactness.
+        const double g =
+            lambda + std::sqrt(lambda) * rng_.nextGaussian();
+        n = g <= 0.0 ? 0 : static_cast<std::size_t>(g + 0.5);
+    }
+    return n < total_bits ? n : total_bits;
+}
+
+void
+FaultInjector::visit(const StateField &field)
+{
+    if (!plan_.targetPrefix.empty() &&
+        field.name.compare(0, plan_.targetPrefix.size(),
+                           plan_.targetPrefix) != 0)
+        return;
+
+    const std::size_t total = field.totalBits();
+    if (total == 0)
+        return;
+    bitsVisited_ += total;
+
+    const std::size_t n = sampleFlipCount(total);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t pos = rng_.nextRange(total);
+        const std::size_t elem =
+            static_cast<std::size_t>(pos / field.bits);
+        const unsigned bit = static_cast<unsigned>(pos % field.bits);
+        field.store(elem,
+                    field.load(elem) ^ (std::uint64_t{1} << bit));
+    }
+    flips_ += n;
+    if (n)
+        flipsByField_[field.name] += n;
+}
+
+FaultInjectingPredictor::FaultInjectingPredictor(
+    std::unique_ptr<DirectionPredictor> inner, const FaultPlan &plan)
+    : inner_(std::move(inner)), injector_(plan)
+{
+}
+
+void
+FaultInjectingPredictor::update(Addr pc, bool taken)
+{
+    inner_->update(pc, taken);
+    const Counter interval = injector_.plan().intervalBranches;
+    if (interval > 0 && ++updates_ % interval == 0) {
+        injector_.beginEvent();
+        inner_->visitState(injector_);
+    }
+}
+
+std::vector<PredictorStat>
+FaultInjectingPredictor::describeStats() const
+{
+    std::vector<PredictorStat> stats = inner_->describeStats();
+    stats.push_back({"robust.faults.flips",
+                     static_cast<double>(injector_.flips())});
+    stats.push_back({"robust.faults.events",
+                     static_cast<double>(injector_.events())});
+    stats.push_back({"robust.faults.upset_rate_per_bit",
+                     injector_.plan().upsetRatePerBit});
+    return stats;
+}
+
+FaultInjectingFetchPredictor::FaultInjectingFetchPredictor(
+    std::unique_ptr<FetchPredictor> inner, const FaultPlan &plan)
+    : inner_(std::move(inner)), injector_(plan)
+{
+}
+
+void
+FaultInjectingFetchPredictor::update(Addr pc, bool taken)
+{
+    inner_->update(pc, taken);
+    const Counter interval = injector_.plan().intervalBranches;
+    if (interval > 0 && ++updates_ % interval == 0) {
+        injector_.beginEvent();
+        inner_->visitState(injector_);
+    }
+}
+
+std::vector<PredictorStat>
+FaultInjectingFetchPredictor::describeStats() const
+{
+    std::vector<PredictorStat> stats = inner_->describeStats();
+    stats.push_back({"robust.faults.flips",
+                     static_cast<double>(injector_.flips())});
+    stats.push_back({"robust.faults.events",
+                     static_cast<double>(injector_.events())});
+    return stats;
+}
+
+} // namespace bpsim::robust

@@ -1,0 +1,82 @@
+#include "robust/hardened_runner.hh"
+
+#include <cstdio>
+
+namespace bpsim::robust {
+
+HardenedSuiteRunner::HardenedSuiteRunner(
+    std::string manifest_path, RetryPolicy retry,
+    std::chrono::milliseconds cell_timeout)
+    : manifestPath_(std::move(manifest_path)),
+      retry_(retry),
+      cellTimeout_(cell_timeout)
+{
+}
+
+void
+HardenedSuiteRunner::persist() const
+{
+    if (!manifestPath_.empty())
+        manifest_.save(manifestPath_);
+}
+
+HardenedRunSummary
+HardenedSuiteRunner::run(const std::vector<SuiteCell> &cells,
+                         obs::RunReport &report)
+{
+    if (!manifestPath_.empty() && RunManifest::exists(manifestPath_))
+        manifest_ = RunManifest::load(manifestPath_);
+    else
+        manifest_ = RunManifest(report.experiment);
+
+    HardenedRunSummary summary;
+    std::size_t finalized = 0;
+    for (const SuiteCell &cell : cells) {
+        // Resume: a cell the manifest already completed is replayed
+        // from its cached row — same bytes, no recomputation.
+        if (manifest_.isDone(cell.key)) {
+            report.rows.push_back(obs::RunReport::Row::fromJson(
+                manifest_.find(cell.key)->row));
+            ++summary.resumed;
+            continue;
+        }
+
+        obs::RunReport::Row row;
+        const RetryResult r = retryCall(
+            retry_,
+            [&] {
+                const Deadline deadline =
+                    cellTimeout_.count() > 0
+                        ? Deadline::after(cellTimeout_)
+                        : Deadline::unlimited();
+                row = cell.run(deadline);
+            },
+            sleep_);
+        summary.retries += r.attempts > 0 ? r.attempts - 1 : 0;
+
+        if (r.succeeded) {
+            manifest_.markDone(cell.key, r.attempts, row.toJson());
+            report.rows.push_back(row);
+            ++summary.completed;
+        } else {
+            manifest_.markFailed(cell.key, r.attempts, r.lastError);
+            report.annotations.push_back(
+                {cell.key, "failed after " +
+                               std::to_string(r.attempts) +
+                               " attempt(s): " + r.lastError});
+            std::fprintf(stderr,
+                         "robust: cell %s failed after %u "
+                         "attempt(s): %s\n",
+                         cell.key.c_str(), r.attempts,
+                         r.lastError.c_str());
+            ++summary.failed;
+        }
+        persist();
+        ++finalized;
+        if (afterCell_)
+            afterCell_(finalized);
+    }
+    return summary;
+}
+
+} // namespace bpsim::robust

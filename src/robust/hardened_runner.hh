@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fault-tolerant suite execution.
+ *
+ * The core suite helpers (core/runner.hh) run every cell of a
+ * campaign in sequence and die with the process on the first
+ * failure. The HardenedSuiteRunner wraps the same cells with the
+ * three robustness mechanisms of this subsystem:
+ *
+ *  - RetryPolicy: a cell that throws is retried with bounded
+ *    exponential backoff and deterministic jitter;
+ *  - Deadline: each attempt gets a fresh per-cell time budget that
+ *    cooperative loops poll (DeadlineExceeded is just another
+ *    retriable failure);
+ *  - RunManifest: after every cell the manifest checkpoint is
+ *    atomically rewritten, so a killed campaign restarted with the
+ *    same manifest path skips completed cells (replaying their
+ *    cached rows — the final report is byte-identical to an
+ *    uninterrupted run) and a cell that keeps failing is annotated
+ *    in the partial RunReport instead of sinking the campaign.
+ */
+
+#ifndef BPSIM_ROBUST_HARDENED_RUNNER_HH
+#define BPSIM_ROBUST_HARDENED_RUNNER_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/run_report.hh"
+#include "robust/deadline.hh"
+#include "robust/retry.hh"
+#include "robust/run_manifest.hh"
+
+namespace bpsim::robust {
+
+/**
+ * One schedulable unit of a campaign. @c key must match the
+ * RunReport row key the cell produces ("wl|pred|mode|budget") so
+ * manifests, reports and bpstat agree on cell identity.
+ */
+struct SuiteCell
+{
+    std::string key;
+    /** Compute the cell; poll @p deadline in long loops. May throw. */
+    std::function<obs::RunReport::Row(const Deadline &deadline)> run;
+};
+
+/** What a hardened campaign did. */
+struct HardenedRunSummary
+{
+    std::size_t completed = 0; ///< ran to success this invocation
+    std::size_t resumed = 0;   ///< replayed from the manifest
+    std::size_t failed = 0;    ///< exhausted retries; annotated
+    std::size_t retries = 0;   ///< extra attempts spent
+    bool
+    allOk() const
+    {
+        return failed == 0;
+    }
+};
+
+/** Executes SuiteCells under retry/deadline/manifest; see file
+ *  comment. */
+class HardenedSuiteRunner
+{
+  public:
+    /**
+     * @param manifest_path Checkpoint file; "" disables persistence
+     *        (still retries and annotates, never resumes).
+     * @param retry Backoff policy for failed cells.
+     * @param cell_timeout Per-attempt deadline; zero = unlimited.
+     */
+    HardenedSuiteRunner(std::string manifest_path, RetryPolicy retry,
+                        std::chrono::milliseconds cell_timeout =
+                            std::chrono::milliseconds{0});
+
+    /**
+     * Run @p cells, appending one row per successful (or resumed)
+     * cell to @p report in cell order, and one annotation per
+     * permanently failed cell.
+     */
+    HardenedRunSummary run(const std::vector<SuiteCell> &cells,
+                           obs::RunReport &report);
+
+    /** The manifest as of the last run() (for inspection/tests). */
+    const RunManifest &manifest() const { return manifest_; }
+
+    /** Replace the sleeper used between retries (tests). */
+    void setSleeper(Sleeper sleeper) { sleep_ = std::move(sleeper); }
+
+    /**
+     * Hook called after each cell is finalized (done or failed) and
+     * the manifest is saved; receives the number of cells finalized
+     * this invocation. Tests throw from it to simulate a campaign
+     * killed at a cell boundary.
+     */
+    void
+    setAfterCellHook(std::function<void(std::size_t)> hook)
+    {
+        afterCell_ = std::move(hook);
+    }
+
+  private:
+    void persist() const;
+
+    std::string manifestPath_;
+    RetryPolicy retry_;
+    std::chrono::milliseconds cellTimeout_;
+    RunManifest manifest_;
+    Sleeper sleep_ = realSleep;
+    std::function<void(std::size_t)> afterCell_;
+};
+
+} // namespace bpsim::robust
+
+#endif // BPSIM_ROBUST_HARDENED_RUNNER_HH

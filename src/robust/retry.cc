@@ -1,0 +1,31 @@
+#include "robust/retry.hh"
+
+#include <algorithm>
+
+namespace bpsim::robust {
+
+std::chrono::milliseconds
+RetryPolicy::delayBefore(unsigned attempt) const
+{
+    if (attempt == 0)
+        attempt = 1;
+    // Bounded exponential: base * 2^(attempt-1), saturating at
+    // maxDelay (shift capped so the multiply cannot overflow).
+    const unsigned shift = std::min(attempt - 1, 20u);
+    const auto raw = baseDelay.count() << shift;
+    const auto capped = std::min<std::chrono::milliseconds::rep>(
+        raw, maxDelay.count());
+
+    // Deterministic jitter: one draw from an RNG keyed on (seed,
+    // attempt), so delays are reproducible yet decorrelated across
+    // attempts.
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * attempt));
+    const double factor =
+        1.0 + jitterFraction * (2.0 * rng.nextDouble() - 1.0);
+    const auto jittered = static_cast<std::chrono::milliseconds::rep>(
+        static_cast<double>(capped) * factor);
+    return std::chrono::milliseconds(std::max<
+        std::chrono::milliseconds::rep>(0, jittered));
+}
+
+} // namespace bpsim::robust

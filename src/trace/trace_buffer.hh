@@ -55,6 +55,13 @@ class TraceBuffer
 
     const MicroOp &operator[](std::size_t i) const { return ops_[i]; }
 
+    /**
+     * Mutable record access, for fault injection (src/robust). The
+     * caller must not change @c cls — the cached conditional-branch
+     * count assumes the instruction mix is fixed.
+     */
+    MicroOp &mutableOp(std::size_t i) { return ops_[i]; }
+
     auto begin() const { return ops_.begin(); }
     auto end() const { return ops_.end(); }
 

@@ -123,6 +123,23 @@ readTrace(const std::string &path)
                            "'");
     const std::uint64_t count = getU64(header + 16);
 
+    // Validate the declared count against the actual file size
+    // before reserving: a corrupt count field must produce a clean
+    // TraceIoError, not a multi-gigabyte allocation.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        throw TraceIoError("cannot seek in '" + path + "'");
+    const long end = std::ftell(f.get());
+    if (end < 0)
+        throw TraceIoError("cannot seek in '" + path + "'");
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(end) - sizeof(header);
+    if (count > payload / recordBytes)
+        throw TraceIoError(
+            "record count in '" + path +
+            "' exceeds file size (corrupt header?)");
+    if (std::fseek(f.get(), sizeof(header), SEEK_SET) != 0)
+        throw TraceIoError("cannot seek in '" + path + "'");
+
     TraceBuffer trace;
     trace.reserve(count);
     std::vector<std::uint8_t> buf(4096 * recordBytes);

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for hardened suite execution (src/robust): retry backoff,
+ * deadlines, manifest round-tripping and checkpoint/resume with
+ * byte-identical reports.
+ */
+
+#include "robust/run_manifest.hh"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "robust/deadline.hh"
+#include "robust/hardened_runner.hh"
+#include "robust/retry.hh"
+#include "robust/trace_fault.hh"
+
+namespace bpsim {
+namespace {
+
+using namespace std::chrono_literals;
+using robust::Deadline;
+using robust::HardenedSuiteRunner;
+using robust::RetryPolicy;
+using robust::RunManifest;
+using robust::SuiteCell;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/** Sleeper that records instead of blocking. */
+struct FakeSleeper
+{
+    std::vector<std::chrono::milliseconds> slept;
+    robust::Sleeper
+    hook()
+    {
+        return [this](std::chrono::milliseconds ms) {
+            slept.push_back(ms);
+        };
+    }
+};
+
+obs::RunReport::Row
+makeRow(const std::string &workload, Counter mispredictions)
+{
+    obs::RunReport::Row row;
+    row.workload = workload;
+    row.predictor = "gshare";
+    row.budgetBytes = 1024;
+    row.branches = 1000;
+    row.mispredictions = mispredictions;
+    return row;
+}
+
+TEST(RetryPolicy, DelaysGrowAndStayBounded)
+{
+    RetryPolicy p;
+    p.baseDelay = 10ms;
+    p.maxDelay = 100ms;
+    p.jitterFraction = 0.0;
+    EXPECT_EQ(p.delayBefore(1).count(), 10);
+    EXPECT_EQ(p.delayBefore(2).count(), 20);
+    EXPECT_EQ(p.delayBefore(3).count(), 40);
+    EXPECT_EQ(p.delayBefore(5).count(), 100);  // capped
+    EXPECT_EQ(p.delayBefore(60).count(), 100); // shift-safe
+}
+
+TEST(RetryPolicy, JitterIsDeterministicAndBounded)
+{
+    RetryPolicy p;
+    p.baseDelay = 100ms;
+    p.maxDelay = 100ms;
+    p.jitterFraction = 0.25;
+    for (unsigned a = 1; a < 10; ++a) {
+        const auto d1 = p.delayBefore(a);
+        const auto d2 = p.delayBefore(a);
+        EXPECT_EQ(d1.count(), d2.count()) << "attempt " << a;
+        EXPECT_GE(d1.count(), 75) << "attempt " << a;
+        EXPECT_LE(d1.count(), 125) << "attempt " << a;
+    }
+    // Different attempts land on different jitter.
+    EXPECT_NE(p.delayBefore(1).count(), p.delayBefore(2).count());
+}
+
+TEST(RetryCall, CountsAttemptsAndSleeps)
+{
+    RetryPolicy p;
+    p.maxAttempts = 4;
+    FakeSleeper sleeper;
+    int calls = 0;
+    const auto r = robust::retryCall(
+        p,
+        [&] {
+            if (++calls < 3)
+                throw std::runtime_error("transient");
+        },
+        sleeper.hook());
+    EXPECT_TRUE(r.succeeded);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(sleeper.slept.size(), 2u);
+    EXPECT_EQ(r.lastError, "transient");
+}
+
+TEST(RetryCall, ExhaustsAttempts)
+{
+    RetryPolicy p;
+    p.maxAttempts = 2;
+    FakeSleeper sleeper;
+    const auto r = robust::retryCall(
+        p, [] { throw std::runtime_error("permanent"); },
+        sleeper.hook());
+    EXPECT_FALSE(r.succeeded);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(r.lastError, "permanent");
+    EXPECT_EQ(sleeper.slept.size(), 1u); // no sleep after last try
+}
+
+TEST(DeadlineTest, ExpiresAndThrows)
+{
+    const auto now = Deadline::Clock::now();
+    const Deadline past = Deadline::at(now - 1ms);
+    EXPECT_TRUE(past.expired());
+    EXPECT_EQ(past.remaining().count(), 0);
+    EXPECT_THROW(past.check("unit test"), robust::DeadlineExceeded);
+
+    const Deadline future = Deadline::at(now + 1h);
+    EXPECT_FALSE(future.expired());
+    EXPECT_NO_THROW(future.check("unit test"));
+
+    const Deadline forever = Deadline::unlimited();
+    EXPECT_FALSE(forever.expired());
+    EXPECT_TRUE(forever.unlimitedBudget());
+}
+
+TEST(RunManifestTest, RoundTripsThroughDisk)
+{
+    const std::string path = tempPath("manifest_roundtrip.json");
+    RunManifest m("unit_test");
+    m.markDone("a|gshare||1024", 1, makeRow("a", 100).toJson());
+    m.markFailed("b|gshare||1024", 3, "deadline exceeded: cell");
+    m.save(path);
+
+    const RunManifest loaded = RunManifest::load(path);
+    EXPECT_EQ(loaded.experiment(), "unit_test");
+    ASSERT_EQ(loaded.cells().size(), 2u);
+    EXPECT_TRUE(loaded.isDone("a|gshare||1024"));
+    EXPECT_FALSE(loaded.isDone("b|gshare||1024"));
+    EXPECT_EQ(loaded.done(), 1u);
+    EXPECT_EQ(loaded.failed(), 1u);
+
+    const auto *failed = loaded.find("b|gshare||1024");
+    ASSERT_NE(failed, nullptr);
+    EXPECT_EQ(failed->attempts, 3u);
+    EXPECT_EQ(failed->error, "deadline exceeded: cell");
+
+    // Cached rows replay bit-exactly.
+    const auto row = obs::RunReport::Row::fromJson(
+        loaded.find("a|gshare||1024")->row);
+    EXPECT_EQ(row.mispredictions, 100u);
+    std::remove(path.c_str());
+}
+
+TEST(RunManifestTest, LoadErrorsAreTyped)
+{
+    EXPECT_THROW(RunManifest::load("/nonexistent/manifest.json"),
+                 robust::RunManifestError);
+
+    const std::string path = tempPath("manifest_bad.json");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema_version\": 1, \"cells\": ", f);
+    std::fclose(f);
+    EXPECT_THROW(RunManifest::load(path), robust::RunManifestError);
+    std::remove(path.c_str());
+}
+
+TEST(RunManifestTest, SaveIsAtomic)
+{
+    const std::string path = tempPath("manifest_atomic.json");
+    RunManifest m("unit_test");
+    m.markDone("a|g||1", 1, makeRow("a", 1).toJson());
+    m.save(path);
+    // No temp file left behind, and the target parses.
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    EXPECT_NO_THROW(RunManifest::load(path));
+    std::remove(path.c_str());
+}
+
+std::vector<SuiteCell>
+threeGoodCells()
+{
+    std::vector<SuiteCell> cells;
+    for (const char *wl : {"a", "b", "c"}) {
+        obs::RunReport::Row row =
+            makeRow(wl, 100 + wl[0]);
+        cells.push_back({row.key(), [row](const Deadline &) {
+                             return row;
+                         }});
+    }
+    return cells;
+}
+
+TEST(HardenedRunner, RunsAllCellsWithoutManifest)
+{
+    HardenedSuiteRunner runner("", RetryPolicy{});
+    obs::RunReport report;
+    const auto summary = runner.run(threeGoodCells(), report);
+    EXPECT_EQ(summary.completed, 3u);
+    EXPECT_EQ(summary.resumed, 0u);
+    EXPECT_EQ(summary.failed, 0u);
+    EXPECT_TRUE(summary.allOk());
+    EXPECT_EQ(report.rows.size(), 3u);
+    EXPECT_TRUE(report.annotations.empty());
+}
+
+TEST(HardenedRunner, RetriesTransientFailures)
+{
+    RetryPolicy p;
+    p.maxAttempts = 3;
+    HardenedSuiteRunner runner("", p);
+    FakeSleeper sleeper;
+    runner.setSleeper(sleeper.hook());
+
+    int attempts = 0;
+    std::vector<SuiteCell> cells;
+    const obs::RunReport::Row row = makeRow("flaky", 7);
+    cells.push_back({row.key(), [&attempts, row](const Deadline &) {
+                         if (++attempts < 3)
+                             throw std::runtime_error("transient io");
+                         return row;
+                     }});
+
+    obs::RunReport report;
+    const auto summary = runner.run(cells, report);
+    EXPECT_EQ(summary.completed, 1u);
+    EXPECT_EQ(summary.retries, 2u);
+    EXPECT_TRUE(summary.allOk());
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_EQ(report.rows[0].mispredictions, 7u);
+}
+
+TEST(HardenedRunner, AnnotatesPermanentFailures)
+{
+    RetryPolicy p;
+    p.maxAttempts = 2;
+    HardenedSuiteRunner runner("", p);
+    FakeSleeper sleeper;
+    runner.setSleeper(sleeper.hook());
+
+    auto cells = threeGoodCells();
+    const std::string bad_key = cells[1].key;
+    cells[1].run = [](const Deadline &) -> obs::RunReport::Row {
+        throw std::runtime_error("disk on fire");
+    };
+
+    obs::RunReport report;
+    const auto summary = runner.run(cells, report);
+    EXPECT_EQ(summary.completed, 2u);
+    EXPECT_EQ(summary.failed, 1u);
+    EXPECT_FALSE(summary.allOk());
+    EXPECT_EQ(report.rows.size(), 2u); // partial but usable
+    ASSERT_EQ(report.annotations.size(), 1u);
+    EXPECT_EQ(report.annotations[0].key, bad_key);
+    EXPECT_NE(report.annotations[0].message.find("disk on fire"),
+              std::string::npos);
+
+    // Partial reports survive serialization with their annotations.
+    const auto j = report.toJson();
+    const obs::RunReport back = obs::RunReport::fromJson(j);
+    ASSERT_EQ(back.annotations.size(), 1u);
+    EXPECT_EQ(back.annotations[0].key, bad_key);
+}
+
+TEST(HardenedRunner, CellTimeoutBecomesAFailureNotAHang)
+{
+    RetryPolicy p;
+    p.maxAttempts = 2;
+    HardenedSuiteRunner runner("", p, 1ms);
+    FakeSleeper sleeper;
+    runner.setSleeper(sleeper.hook());
+
+    std::vector<SuiteCell> cells;
+    cells.push_back(
+        {"wedged|x||0", [](const Deadline &deadline) {
+             // A cooperative loop that never finishes on its own.
+             for (;;) {
+                 deadline.check("wedged cell");
+             }
+             return obs::RunReport::Row{};
+         }});
+    obs::RunReport report;
+    const auto summary = runner.run(cells, report);
+    EXPECT_EQ(summary.failed, 1u);
+    ASSERT_EQ(report.annotations.size(), 1u);
+    EXPECT_NE(report.annotations[0].message.find("deadline"),
+              std::string::npos);
+}
+
+TEST(HardenedRunner, KilledCampaignResumesByteIdentical)
+{
+    const std::string manifest = tempPath("resume_manifest.json");
+    std::remove(manifest.c_str());
+
+    // Uninterrupted reference run (no manifest).
+    obs::RunReport reference;
+    reference.experiment = "resume_test";
+    HardenedSuiteRunner ref("", RetryPolicy{});
+    ref.run(threeGoodCells(), reference);
+    const std::string reference_bytes = reference.toJson().dump(2);
+
+    // First attempt dies after two cells — as if the process were
+    // killed at a cell boundary. The manifest survives.
+    {
+        obs::RunReport partial;
+        partial.experiment = "resume_test";
+        HardenedSuiteRunner runner(manifest, RetryPolicy{});
+        runner.setAfterCellHook([](std::size_t finalized) {
+            if (finalized == 2)
+                throw std::runtime_error("killed");
+        });
+        EXPECT_THROW(runner.run(threeGoodCells(), partial),
+                     std::runtime_error);
+    }
+
+    // Restart with the same manifest: the two done cells replay from
+    // cache, only the third runs, and the report is byte-identical.
+    obs::RunReport resumed;
+    resumed.experiment = "resume_test";
+    HardenedSuiteRunner runner(manifest, RetryPolicy{});
+    std::size_t executed = 0;
+    auto cells = threeGoodCells();
+    for (auto &cell : cells) {
+        const auto inner = cell.run;
+        cell.run = [&executed, inner](const Deadline &d) {
+            ++executed;
+            return inner(d);
+        };
+    }
+    const auto summary = runner.run(cells, resumed);
+    EXPECT_EQ(summary.resumed, 2u);
+    EXPECT_EQ(summary.completed, 1u);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(resumed.toJson().dump(2), reference_bytes);
+
+    // A third run resumes everything and is still identical.
+    obs::RunReport again;
+    again.experiment = "resume_test";
+    HardenedSuiteRunner runner2(manifest, RetryPolicy{});
+    const auto s2 = runner2.run(threeGoodCells(), again);
+    EXPECT_EQ(s2.resumed, 3u);
+    EXPECT_EQ(s2.completed, 0u);
+    EXPECT_EQ(again.toJson().dump(2), reference_bytes);
+    std::remove(manifest.c_str());
+}
+
+TEST(HardenedRunner, InjectedIoFaultsAreRetriedToSuccess)
+{
+    RetryPolicy p;
+    p.maxAttempts = 5;
+    HardenedSuiteRunner runner("", p);
+    FakeSleeper sleeper;
+    runner.setSleeper(sleeper.hook());
+
+    // Fail roughly half the attempts, capped so success is certain.
+    robust::IoFaultInjector io(0.5, 99, 8);
+    auto cells = threeGoodCells();
+    for (auto &cell : cells) {
+        const auto inner = cell.run;
+        cell.run = [&io, inner](const Deadline &d) {
+            if (io.shouldFail())
+                throw std::runtime_error("injected io failure");
+            return inner(d);
+        };
+    }
+    obs::RunReport report;
+    const auto summary = runner.run(cells, report);
+    EXPECT_EQ(summary.completed, 3u);
+    EXPECT_TRUE(summary.allOk());
+    EXPECT_EQ(report.rows.size(), 3u);
+}
+
+} // namespace
+} // namespace bpsim

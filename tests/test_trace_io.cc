@@ -1,4 +1,5 @@
-/** @file Tests for binary trace file round-tripping. */
+/** @file Tests for binary trace file round-tripping and reader
+ *  hardening against truncated or corrupted files. */
 
 #include "trace/trace_io.hh"
 
@@ -9,6 +10,8 @@
 #include <unistd.h>
 
 
+#include "common/rng.hh"
+#include "robust/trace_fault.hh"
 #include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
@@ -87,6 +90,82 @@ TEST(TraceIo, RejectsTruncatedRecords)
     ASSERT_EQ(0, truncate(path.c_str(), size / 2));
 
     EXPECT_THROW(readTrace(path), TraceIoError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsOversizedRecordCount)
+{
+    // A corrupt header count must be a clean TraceIoError, not a
+    // multi-gigabyte reserve.
+    const auto w = makeWorkload("254.gap");
+    const TraceBuffer original = generateTrace(*w, 200, 1);
+    const std::string path = tempPath("hugecount.bpt");
+    writeTrace(original, path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(0, std::fseek(f, 16, SEEK_SET));
+    const std::uint8_t huge[8] = {0xff, 0xff, 0xff, 0xff,
+                                  0xff, 0xff, 0xff, 0x7f};
+    ASSERT_EQ(sizeof(huge), std::fwrite(huge, 1, sizeof(huge), f));
+    std::fclose(f);
+
+    EXPECT_THROW(readTrace(path), TraceIoError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FuzzTruncationAtEveryBoundary)
+{
+    // Any prefix of a valid trace file must produce TraceIoError —
+    // never a crash, hang or over-read.
+    const auto w = makeWorkload("164.gzip");
+    const TraceBuffer original = generateTrace(*w, 40, 11);
+    const std::string path = tempPath("fuzz_trunc.bpt");
+    writeTrace(original, path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_GT(size, 24);
+
+    for (long cut = 0; cut < size; ++cut) {
+        writeTrace(original, path);
+        ASSERT_EQ(0, truncate(path.c_str(), cut));
+        EXPECT_THROW(readTrace(path), TraceIoError)
+            << "truncated to " << cut << " of " << size << " bytes";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FuzzSeededBitFlips)
+{
+    // Seeded single-bit corruption anywhere in the file: the reader
+    // must either return a (possibly different) trace or throw
+    // TraceIoError. Undefined behaviour — crashes, over-reads — is
+    // what ASan/UBSan CI runs of this test would catch.
+    const auto w = makeWorkload("164.gzip");
+    const TraceBuffer original = generateTrace(*w, 300, 13);
+    const std::string path = tempPath("fuzz_flip.bpt");
+
+    Rng rng(0xf1b);
+    std::size_t parsed = 0, rejected = 0;
+    for (int round = 0; round < 200; ++round) {
+        writeTrace(original, path);
+        ASSERT_EQ(1u, robust::corruptFileBytes(path, 1, rng));
+        try {
+            const TraceBuffer t = readTrace(path);
+            EXPECT_LE(t.size(), original.size());
+            ++parsed;
+        } catch (const TraceIoError &) {
+            ++rejected;
+        }
+    }
+    // Both outcomes must occur: flips in payload usually parse,
+    // flips in the header/count/class bytes must be rejected.
+    EXPECT_GT(parsed, 0u);
+    EXPECT_GT(rejected, 0u);
     std::remove(path.c_str());
 }
 

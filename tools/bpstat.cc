@@ -2,10 +2,12 @@
  * @file
  * bpstat — inspect, validate and diff bpsim RunReport JSON files.
  *
- *   bpstat show   REPORT.json            summarise one report
- *   bpstat check  REPORT.json            validate schema + invariants
- *   bpstat --check REPORT.json           (same; flag spelling)
- *   bpstat diff   OLD.json NEW.json      per-cell deltas
+ *   bpstat show     REPORT.json          summarise one report
+ *   bpstat check    REPORT.json          validate schema + invariants
+ *   bpstat --check  REPORT.json          (same; flag spelling)
+ *   bpstat diff     OLD.json NEW.json    per-cell deltas
+ *   bpstat manifest MANIFEST.json        summarise a campaign
+ *                                        checkpoint (src/robust)
  *
  * `check` exits 1 when the report violates its invariants (duplicate
  * row keys, squashed-uop/flush-cycle accounting, schema version), so
@@ -13,6 +15,17 @@
  * (workload, predictor, mode, budget) key and prints misprediction,
  * IPC and penalty-attribution deltas — the standing perf-regression
  * workflow: save a report on main, save one on your branch, diff.
+ *
+ * Every failure mode has a distinct exit code so scripts can react
+ * without parsing stderr; bad input is always a one-line error,
+ * never an unhandled exception:
+ *
+ *   0  success
+ *   1  invariant violation / diff regression / failed manifest cells
+ *   2  usage error (unknown command, wrong arity)
+ *   3  file missing or unreadable
+ *   4  file unparsable (truncated, not JSON, wrong shape)
+ *   5  schema version mismatch
  */
 
 #include <cmath>
@@ -23,9 +36,16 @@
 #include <vector>
 
 #include "obs/run_report.hh"
+#include "robust/run_manifest.hh"
 
 using bpsim::obs::RunReport;
 using bpsim::obs::RunReportError;
+using bpsim::obs::RunReportIoError;
+using bpsim::obs::RunReportParseError;
+using bpsim::obs::RunReportSchemaError;
+using bpsim::robust::CellRecord;
+using bpsim::robust::RunManifest;
+using bpsim::robust::RunManifestError;
 
 namespace {
 
@@ -35,7 +55,8 @@ usage()
     std::fprintf(stderr,
                  "usage: bpstat show REPORT.json\n"
                  "       bpstat check REPORT.json   (or --check)\n"
-                 "       bpstat diff OLD.json NEW.json\n");
+                 "       bpstat diff OLD.json NEW.json\n"
+                 "       bpstat manifest MANIFEST.json\n");
     return 2;
 }
 
@@ -75,6 +96,9 @@ cmdShow(const char *path)
         else
             std::printf(" %8s %12s %12s\n", "-", "-", "-");
     }
+    for (const auto &a : r.annotations)
+        std::printf("failed cell %s: %s\n", a.key.c_str(),
+                    a.message.c_str());
     return 0;
 }
 
@@ -84,14 +108,40 @@ cmdCheck(const char *path)
     const RunReport r = load(path);
     const auto problems = r.validate();
     if (problems.empty()) {
-        std::printf("%s: OK (%zu rows, schema v%d)\n", path,
-                    r.rows.size(), r.schemaVersion);
+        if (r.annotations.empty())
+            std::printf("%s: OK (%zu rows, schema v%d)\n", path,
+                        r.rows.size(), r.schemaVersion);
+        else
+            std::printf("%s: OK but PARTIAL (%zu rows, %zu failed "
+                        "cell(s), schema v%d)\n",
+                        path, r.rows.size(), r.annotations.size(),
+                        r.schemaVersion);
         return 0;
     }
     std::fprintf(stderr, "%s: %zu problem(s)\n", path, problems.size());
     for (const auto &p : problems)
         std::fprintf(stderr, "  - %s\n", p.c_str());
     return 1;
+}
+
+int
+cmdManifest(const char *path)
+{
+    const RunManifest m = RunManifest::load(path);
+    const std::size_t done = m.done(), failed = m.failed();
+    const std::size_t pending = m.cells().size() - done - failed;
+    std::printf("%s: campaign '%s', %zu cell(s): %zu done, "
+                "%zu failed, %zu pending\n",
+                path, m.experiment().c_str(), m.cells().size(), done,
+                failed, pending);
+    for (const auto &c : m.cells()) {
+        if (c.status == CellRecord::Status::Failed)
+            std::printf("  FAILED  %s (%u attempts): %s\n",
+                        c.key.c_str(), c.attempts, c.error.c_str());
+        else if (c.status == CellRecord::Status::Pending)
+            std::printf("  pending %s\n", c.key.c_str());
+    }
+    return failed ? 1 : 0;
 }
 
 /** Penalty attribution of a timing row as a fraction of cycles. */
@@ -170,9 +220,29 @@ main(int argc, char **argv)
             return cmdShow(argv[2]);
         if (cmd == "diff" && argc == 4)
             return cmdDiff(argv[2], argv[3]);
-    } catch (const RunReportError &e) {
+        if (cmd == "manifest" && argc == 3)
+            return cmdManifest(argv[2]);
+    } catch (const RunReportIoError &e) {
         std::fprintf(stderr, "bpstat: %s\n", e.what());
-        return 1;
+        return 3;
+    } catch (const RunReportSchemaError &e) {
+        std::fprintf(stderr, "bpstat: %s\n", e.what());
+        return 5;
+    } catch (const RunReportParseError &e) {
+        std::fprintf(stderr, "bpstat: %s\n", e.what());
+        return 4;
+    } catch (const RunReportError &e) {
+        // Base-class fallback; treat as a parse-level failure.
+        std::fprintf(stderr, "bpstat: %s\n", e.what());
+        return 4;
+    } catch (const RunManifestError &e) {
+        const bool io =
+            std::strstr(e.what(), "cannot open") != nullptr;
+        std::fprintf(stderr, "bpstat: %s\n", e.what());
+        return io ? 3 : 4;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bpstat: %s\n", e.what());
+        return 4;
     }
     return usage();
 }
