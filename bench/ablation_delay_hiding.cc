@@ -28,7 +28,7 @@ main(int argc, char **argv)
     benchHeader("Section 2.6 ablation",
                 "delay-hiding schemes for the perceptron predictor",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     CoreConfig cfg;
 
     const std::vector<DelayMode> modes = {
@@ -57,7 +57,8 @@ main(int argc, char **argv)
                 },
                 &hm, session.report(),
                 kindName(PredictorKind::Perceptron), delayModeName(m),
-                budget, session.metricsIfEnabled(), session.tracer());
+                budget, session.metricsIfEnabled(), session.tracer(),
+                session.pool());
             std::printf("%14.3f", hm);
         }
         std::printf("\n");

@@ -71,7 +71,7 @@ main(int argc, char **argv)
     const Counter ops = benchOpsPerWorkload(400000);
     benchHeader("Pipeline ablation (Sections 3.1/3.3.1)",
                 "engine fidelity, buffer sizing, staleness cost", ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
 
     // --- E12 fidelity ------------------------------------------------
     std::printf("\nEngine vs functional model (must diverge 0 times):\n");
@@ -155,7 +155,7 @@ main(int argc, char **argv)
             },
             &mean, session.report(),
             "gshare.fast(lag=" + std::to_string(lag) + ")", 64 * 1024,
-            session.metricsIfEnabled());
+            session.metricsIfEnabled(), session.pool());
         std::printf("%-12u %-12.2f\n", lag, mean);
     }
     std::printf("\nPaper reference: stale fetch history has "

@@ -31,7 +31,7 @@ main(int argc, char **argv)
     benchHeader("Section 3.2 ablation",
                 "gshare.fast (256KB) accuracy/IPC vs PHT update delay",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     CoreConfig cfg;
 
     const std::size_t budget = 256 * 1024;
@@ -50,7 +50,8 @@ main(int argc, char **argv)
             "gshare.fast(upd=" + std::to_string(delay) + ")";
         double mean = 0;
         suiteAccuracyReport(suite, make, &mean, session.report(), name,
-                            budget, session.metricsIfEnabled());
+                            budget, session.metricsIfEnabled(),
+                            session.pool());
 
         double hm = 0;
         suiteTimingReport(
@@ -61,7 +62,8 @@ main(int argc, char **argv)
             },
             &hm, session.report(), name,
             delayModeName(DelayMode::Ideal), budget,
-            session.metricsIfEnabled(), session.tracer());
+            session.metricsIfEnabled(), session.tracer(),
+            session.pool());
         std::printf("%-12u %-18.3f %-18.3f\n", delay, mean, hm);
     }
 

@@ -18,21 +18,23 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/factory.hh"
 #include "core/runner.hh"
 #include "obs/report_session.hh"
+#include "parallel/cell_pool.hh"
 
 namespace bpsim {
 
 /**
  * Uniform CLI error handling for the bench binaries: after
- * BenchSession has stripped --report/--trace and the bench has
- * consumed its own flags, anything left in argv is unknown (this
- * also catches a trailing `--report` with no value, which the
- * session leaves in place). Prints a one-line error plus usage to
- * stderr and exits 2, matching the bpstat usage exit code.
+ * BenchSession has stripped --report/--trace/--jobs and the bench
+ * has consumed its own flags, anything left in argv is unknown (this
+ * also catches a trailing `--report` or `--jobs` with no value,
+ * which the session leaves in place). Prints a one-line error plus
+ * usage to stderr and exits 2, matching the bpstat usage exit code.
  * @p extra_usage names bench-specific flags, e.g.
  * "[--manifest FILE]".
  */
@@ -44,28 +46,79 @@ requireNoExtraArgs(int argc, char **argv,
         return;
     std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                  argv[1]);
-    std::fprintf(stderr, "usage: %s [--report FILE] [--trace FILE]%s%s\n",
+    std::fprintf(stderr,
+                 "usage: %s [--report FILE] [--trace FILE] "
+                 "[--jobs N]%s%s\n",
                  argv[0], extra_usage.empty() ? "" : " ",
                  extra_usage.c_str());
     std::exit(2);
 }
 
 /**
+ * The one shared `--jobs N` parser: strips the pair from argv and
+ * returns N. A non-numeric or zero value is a usage error (exit 2,
+ * like requireNoExtraArgs); a trailing `--jobs` with no value is
+ * left in argv for requireNoExtraArgs to reject. Without the flag,
+ * 0 is returned and the CellPool falls back to BPSIM_JOBS, then to
+ * the hardware concurrency.
+ */
+inline unsigned
+takeJobsFlag(int &argc, char **argv)
+{
+    unsigned jobs = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            const char *val = argv[i + 1];
+            char *end = nullptr;
+            const long v = std::strtol(val, &end, 10);
+            if (end == val || *end != '\0' || v <= 0) {
+                std::fprintf(stderr,
+                             "%s: --jobs needs a positive integer, "
+                             "got '%s'\n",
+                             argv[0], val);
+                std::fprintf(stderr,
+                             "usage: %s [--report FILE] "
+                             "[--trace FILE] [--jobs N]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            jobs = static_cast<unsigned>(v);
+            ++i;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return jobs;
+}
+
+/**
  * Every bench binary constructs one of these first: it strips the
- * common `--report <path>` / `--trace <path>` flag pair from argv
- * (the one shared arg-parsing helper — no bench hand-rolls these),
- * and on exit writes the RunReport JSON and event trace when
- * requested. Benches append rows via the suite*Report helpers in
- * core/runner.hh, passing session.report() / metricsIfEnabled() /
- * tracer().
+ * common `--report <path>` / `--trace <path>` / `--jobs <N>` flags
+ * from argv (the one shared arg-parsing helper — no bench
+ * hand-rolls these), and on exit writes the RunReport JSON and
+ * event trace when requested. Benches append rows via the
+ * suite*Report helpers in core/runner.hh, passing session.report()
+ * / metricsIfEnabled() / tracer() / pool(); the session-owned
+ * CellPool's utilization stats land in the report automatically.
  */
 class BenchSession : public obs::ReportSession
 {
   public:
     BenchSession(int &argc, char **argv,
                  const std::string &experiment)
-        : obs::ReportSession(argc, argv, experiment)
+        : obs::ReportSession(argc, argv, experiment),
+          pool_(takeJobsFlag(argc, argv))
     {
+    }
+
+    ~BenchSession()
+    {
+        // Before the base finish() snapshots the registry: stamp the
+        // pool's execution stats so --report runs carry utilization.
+        if (wantReport())
+            pool_.stats().publish(metrics());
     }
 
     /** Registry pointer only when a report will be written — so
@@ -75,6 +128,12 @@ class BenchSession : public obs::ReportSession
     {
         return wantReport() ? &metrics() : nullptr;
     }
+
+    /** The suite-cell executor for this binary (--jobs/BPSIM_JOBS). */
+    parallel::CellPool *pool() { return &pool_; }
+
+  private:
+    parallel::CellPool pool_;
 };
 
 /** Print a standard bench header naming the reproduced artifact. */

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     benchHeader("Figure 1",
                 "arithmetic-mean misprediction (%) vs hardware budget",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
 
     const std::vector<PredictorKind> kinds = {
         PredictorKind::Gshare,
@@ -46,7 +46,7 @@ main(int argc, char **argv)
             suiteAccuracyReport(
                 suite, [&] { return makePredictor(k, budget); },
                 &mean, session.report(), kindName(k), budget,
-                session.metricsIfEnabled());
+                session.metricsIfEnabled(), session.pool());
             std::printf("%16.2f", mean);
         }
         std::printf("\n");

@@ -26,7 +26,7 @@ main(int argc, char **argv)
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 2",
                 "harmonic-mean IPC: zero-delay vs overriding", ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     CoreConfig cfg;
 
     const std::vector<PredictorKind> kinds = {
@@ -54,7 +54,8 @@ main(int argc, char **argv)
                 },
                 &ideal, session.report(), kindName(k),
                 delayModeName(DelayMode::Ideal), budget,
-                session.metricsIfEnabled(), session.tracer());
+                session.metricsIfEnabled(), session.tracer(),
+                session.pool());
             suiteTimingReport(
                 suite, cfg,
                 [&] {
@@ -63,7 +64,8 @@ main(int argc, char **argv)
                 },
                 &over, session.report(), kindName(k),
                 delayModeName(DelayMode::Overriding), budget,
-                session.metricsIfEnabled(), session.tracer());
+                session.metricsIfEnabled(), session.tracer(),
+                session.pool());
             std::printf(" %21.3f %21.3f %5u", ideal, over,
                         predictorLatencyCycles(k, budget));
         }

@@ -27,7 +27,7 @@ main(int argc, char **argv)
                 "arithmetic-mean misprediction (%) of the four large "
                 "predictors",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
 
     std::printf("%-8s", "budget");
     for (auto k : largePredictorKinds())
@@ -41,7 +41,7 @@ main(int argc, char **argv)
             suiteAccuracyReport(
                 suite, [&] { return makePredictor(k, budget); },
                 &mean, session.report(), kindName(k), budget,
-                session.metricsIfEnabled());
+                session.metricsIfEnabled(), session.pool());
             std::printf("%16.2f", mean);
         }
         std::printf("\n");

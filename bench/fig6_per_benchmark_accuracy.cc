@@ -23,7 +23,7 @@ main(int argc, char **argv)
     benchHeader("Figure 6",
                 "per-benchmark misprediction (%) at the 64KB budget",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
 
     const std::vector<std::pair<PredictorKind, std::size_t>> configs = {
         {PredictorKind::MultiComponent, 53 * 1024},
@@ -46,7 +46,8 @@ main(int argc, char **argv)
                                      configs[c].second);
             },
             nullptr, session.report(), kindName(configs[c].first),
-            configs[c].second, session.metricsIfEnabled());
+            configs[c].second, session.metricsIfEnabled(),
+            session.pool());
         for (const auto &r : res)
             per_kind[c].push_back(r.percent());
     }

@@ -38,7 +38,8 @@ sweep(BenchSession &session, const SuiteTraces &suite,
                 [&] { return makeFetchPredictor(k, budget, mode); },
                 &hm, session.report(), kindName(k),
                 delayModeName(mode), budget,
-                session.metricsIfEnabled(), session.tracer());
+                session.metricsIfEnabled(), session.tracer(),
+                session.pool());
             std::printf("%16.3f", hm);
         }
         std::printf("\n");
@@ -55,7 +56,7 @@ main(int argc, char **argv)
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Figure 7", "harmonic-mean IPC vs hardware budget",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     CoreConfig cfg;
 
     sweep(session, suite, cfg, DelayMode::Ideal,

@@ -28,7 +28,7 @@ main(int argc, char **argv)
                 "per-benchmark IPC at the 53KB/64KB budget "
                 "(overriding implementations)",
                 ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     CoreConfig cfg;
 
     const std::vector<std::pair<PredictorKind, std::size_t>> configs = {
@@ -49,7 +49,8 @@ main(int argc, char **argv)
             },
             nullptr, session.report(), kindName(configs[c].first),
             delayModeName(DelayMode::Overriding), configs[c].second,
-            session.metricsIfEnabled(), session.tracer());
+            session.metricsIfEnabled(), session.tracer(),
+            session.pool());
         for (const auto &r : res)
             ipc[c].push_back(r.ipc());
     }

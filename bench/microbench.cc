@@ -8,9 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "bench_util.hh"
 #include "core/factory.hh"
 #include "core/runner.hh"
+#include "parallel/cell_pool.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/registry.hh"
 
 namespace bpsim {
@@ -90,6 +95,80 @@ BM_AccuracyRunner(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(branches));
 }
 
+/**
+ * CellPool scaling: a fixed 24-cell accuracy grid (2 predictors x 12
+ * workloads) executed at 1/2/4/hardware jobs. On a multicore host the
+ * per-iteration time should drop roughly linearly until the core
+ * count; jobs=1 measures the pool's serial-path overhead against the
+ * plain loop (BM_AccuracyRunner).
+ */
+void
+BM_CellPoolSuiteAccuracy(benchmark::State &state)
+{
+    const unsigned jobs =
+        state.range(0) == 0
+            ? parallel::hardwareJobs()
+            : static_cast<unsigned>(state.range(0));
+    static const SuiteTraces suite(50000, 42);
+    const std::vector<PredictorKind> kinds = {
+        PredictorKind::GshareFast, PredictorKind::Gshare};
+    Counter cells = 0;
+    for (auto _ : state) {
+        parallel::CellPool pool(jobs);
+        for (auto kind : kinds) {
+            const auto res = suiteAccuracy(
+                suite, [&] { return makePredictor(kind, 64 * 1024); },
+                nullptr, &pool);
+            benchmark::DoNotOptimize(res.data());
+            cells += res.size();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+    state.SetLabel("jobs=" + std::to_string(jobs));
+}
+
+/** Trace-suite construction with a cold cache: every workload is
+ *  generated and written to disk. */
+void
+BM_TraceCacheCold(benchmark::State &state)
+{
+    const std::string dir =
+        std::filesystem::temp_directory_path() /
+        "bpsim_microbench_cache_cold";
+    Counter ops = 0;
+    for (auto _ : state) {
+        std::filesystem::remove_all(dir);
+        const SuiteTraces suite(50000, 42, nullptr, TraceCache(dir));
+        benchmark::DoNotOptimize(suite.cacheMisses());
+        ops += suite.size() * suite.opsPerWorkload();
+    }
+    std::filesystem::remove_all(dir);
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+/** Trace-suite construction with a warm cache: every workload is
+ *  served from disk, skipping generation entirely. */
+void
+BM_TraceCacheWarm(benchmark::State &state)
+{
+    const std::string dir =
+        std::filesystem::temp_directory_path() /
+        "bpsim_microbench_cache_warm";
+    std::filesystem::remove_all(dir);
+    { // Prime once outside the timed loop.
+        const SuiteTraces prime(50000, 42, nullptr, TraceCache(dir));
+        benchmark::DoNotOptimize(prime.cacheMisses());
+    }
+    Counter ops = 0;
+    for (auto _ : state) {
+        const SuiteTraces suite(50000, 42, nullptr, TraceCache(dir));
+        benchmark::DoNotOptimize(suite.cacheHits());
+        ops += suite.size() * suite.opsPerWorkload();
+    }
+    std::filesystem::remove_all(dir);
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
 } // namespace
 } // namespace bpsim
 
@@ -99,12 +178,20 @@ BENCHMARK(bpsim::BM_PredictorThroughput)
 BENCHMARK(bpsim::BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TimingSimulator)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_AccuracyRunner)->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_CellPoolSuiteAccuracy)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0) // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_TraceCacheCold)->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_TraceCacheWarm)->Unit(benchmark::kMillisecond);
 
 int
 main(int argc, char **argv)
 {
-    // Strip --report/--trace before google-benchmark sees argv so its
-    // own flag parser does not reject them.
+    // Strip --report/--trace/--jobs before google-benchmark sees argv
+    // so its own flag parser does not reject them.
     bpsim::BenchSession session(argc, argv, "microbench");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -28,7 +28,7 @@ main(int argc, char **argv)
     const Counter ops = benchOpsPerWorkload(800000);
     benchHeader("Section 4.5 study",
                 "overriding disagreement rates at 64KB", ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     CoreConfig cfg;
     suite.describe(session.report());
 

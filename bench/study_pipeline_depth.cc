@@ -27,7 +27,7 @@ main(int argc, char **argv)
     const Counter ops = benchOpsPerWorkload(600000);
     benchHeader("Pipeline-depth study",
                 "512KB predictors vs front-end depth", ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
 
     std::printf("%-12s %18s %18s %16s %12s\n", "front-end",
                 "perceptron ideal", "perceptron overr.",
@@ -50,7 +50,8 @@ main(int argc, char **argv)
             &ideal, session.report(),
             kindName(PredictorKind::Perceptron),
             delayModeName(DelayMode::Ideal) + depth_tag, 512 * 1024,
-            session.metricsIfEnabled(), session.tracer());
+            session.metricsIfEnabled(), session.tracer(),
+            session.pool());
         suiteTimingReport(
             suite, cfg,
             [] {
@@ -61,7 +62,8 @@ main(int argc, char **argv)
             &over, session.report(),
             kindName(PredictorKind::Perceptron),
             delayModeName(DelayMode::Overriding) + depth_tag,
-            512 * 1024, session.metricsIfEnabled(), session.tracer());
+            512 * 1024, session.metricsIfEnabled(), session.tracer(),
+            session.pool());
         suiteTimingReport(
             suite, cfg,
             [] {
@@ -72,7 +74,8 @@ main(int argc, char **argv)
             &fast, session.report(),
             kindName(PredictorKind::GshareFast),
             delayModeName(DelayMode::Pipelined) + depth_tag,
-            512 * 1024, session.metricsIfEnabled(), session.tracer());
+            512 * 1024, session.metricsIfEnabled(), session.tracer(),
+            session.pool());
 
         std::printf("%-12u %18.3f %18.3f %16.3f %11.1f%%\n", depth,
                     ideal, over, fast,

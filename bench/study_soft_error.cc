@@ -89,7 +89,7 @@ main(int argc, char **argv)
     const Counter ops = benchOpsPerWorkload(250000);
     benchHeader("Soft-error study",
                 "accuracy/IPC vs SRAM upset rate at 64KB", ops);
-    SuiteTraces suite(ops);
+    SuiteTraces suite(ops, 42, session.pool());
     suite.describe(session.report());
     CoreConfig cfg;
 
@@ -173,7 +173,8 @@ main(int argc, char **argv)
     // Generous per-cell watchdog: any wedged cell is timed out,
     // retried, and at worst annotated instead of hanging the sweep.
     robust::HardenedSuiteRunner runner(manifestPath, robust::RetryPolicy{},
-                                       std::chrono::minutes{5});
+                                       std::chrono::minutes{5},
+                                       session.pool());
     const robust::HardenedRunSummary summary =
         runner.run(cells, session.report());
 

@@ -1,41 +1,33 @@
 #include "core/runner.hh"
 
 #include <cstdlib>
+#include <limits>
 
 #include "common/stats.hh"
+#include "parallel/cell_pool.hh"
 #include "workloads/registry.hh"
 
 namespace bpsim {
 
-AccuracyResult
-runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace)
-{
-    AccuracyResult r;
-    for (const MicroOp &op : trace) {
-        if (op.cls != InstClass::CondBranch)
-            continue;
-        const bool predicted = pred.predict(op.pc);
-        pred.update(op.pc, op.taken);
-        ++r.branches;
-        if (predicted != op.taken)
-            ++r.mispredictions;
-    }
-    return r;
-}
+namespace {
 
+/**
+ * The one accuracy replay loop, shared by the poll and non-poll
+ * entry points so they cannot diverge. Iterates the trace's dense
+ * conditional-branch view instead of skipping non-branch micro-ops.
+ */
+template <typename Poll>
 AccuracyResult
-runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace,
-            const std::function<void()> &poll, Counter poll_interval)
+runAccuracyLoop(DirectionPredictor &pred, const TraceBuffer &trace,
+                Poll &&poll, Counter poll_interval)
 {
     AccuracyResult r;
     Counter untilPoll = poll_interval;
-    for (const MicroOp &op : trace) {
-        if (op.cls != InstClass::CondBranch)
-            continue;
-        const bool predicted = pred.predict(op.pc);
-        pred.update(op.pc, op.taken);
+    for (const BranchRecord &b : trace.branchView()) {
+        const bool predicted = pred.predict(b.pc);
+        pred.update(b.pc, b.taken);
         ++r.branches;
-        if (predicted != op.taken)
+        if (predicted != b.taken)
             ++r.mispredictions;
         if (--untilPoll == 0) {
             poll();
@@ -43,6 +35,38 @@ runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace,
         }
     }
     return r;
+}
+
+/** Run the cells serially or on the pool when one was passed. */
+void
+forEachCell(parallel::CellPool *pool, std::size_t count,
+            const std::function<void(std::size_t)> &compute,
+            const std::function<void(std::size_t)> &commit)
+{
+    if (pool) {
+        pool->run(count, compute, commit);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        compute(i);
+        commit(i);
+    }
+}
+
+} // namespace
+
+AccuracyResult
+runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace)
+{
+    return runAccuracyLoop(
+        pred, trace, [] {}, std::numeric_limits<Counter>::max());
+}
+
+AccuracyResult
+runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace,
+            const std::function<void()> &poll, Counter poll_interval)
+{
+    return runAccuracyLoop(pred, trace, poll, poll_interval);
 }
 
 SimResult
@@ -100,14 +124,42 @@ reportRow(const std::string &workload, const std::string &predictor,
     return row;
 }
 
-SuiteTraces::SuiteTraces(Counter ops_per_workload, std::uint64_t seed)
-    : opsPerWorkload_(ops_per_workload), seed_(seed)
+SuiteTraces::SuiteTraces(Counter ops_per_workload, std::uint64_t seed,
+                         parallel::CellPool *pool)
+    : SuiteTraces(ops_per_workload, seed, pool, TraceCache::fromEnv())
 {
-    for (const auto &name : specint2000Names()) {
-        const auto w = makeWorkload(name);
-        names_.push_back(name);
-        traces_.push_back(generateTrace(*w, ops_per_workload, seed));
-    }
+}
+
+SuiteTraces::SuiteTraces(Counter ops_per_workload, std::uint64_t seed,
+                         parallel::CellPool *pool, TraceCache cache)
+    : names_(specint2000Names()),
+      opsPerWorkload_(ops_per_workload),
+      seed_(seed),
+      cache_(std::move(cache))
+{
+    traces_.resize(names_.size());
+    std::vector<char> hit(names_.size(), 0);
+    // Generation is deterministic per (workload, ops, seed) and each
+    // cell writes only its own trace slot, so parallel construction
+    // produces the exact traces serial construction would.
+    const auto compute = [&](std::size_t i) {
+        bool fromCache = false;
+        traces_[i] = cache_.fetch(
+            names_[i], opsPerWorkload_, seed_,
+            [&] {
+                const auto w = makeWorkload(names_[i]);
+                return generateTrace(*w, opsPerWorkload_, seed_);
+            },
+            &fromCache);
+        hit[i] = fromCache ? 1 : 0;
+    };
+    const auto commit = [&](std::size_t i) {
+        if (hit[i])
+            ++cacheHits_;
+        else
+            ++cacheMisses_;
+    };
+    forEachCell(pool, names_.size(), compute, commit);
 }
 
 void
@@ -121,15 +173,18 @@ std::vector<AccuracyResult>
 suiteAccuracy(const SuiteTraces &suite,
               const std::function<std::unique_ptr<DirectionPredictor>()>
                   &make,
-              double *mean_percent)
+              double *mean_percent, parallel::CellPool *pool)
 {
-    std::vector<AccuracyResult> results;
-    std::vector<double> percents;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        auto pred = make();
-        results.push_back(runAccuracy(*pred, suite.trace(i)));
-        percents.push_back(results.back().percent());
-    }
+    std::vector<AccuracyResult> results(suite.size());
+    std::vector<double> percents(suite.size());
+    forEachCell(
+        pool, suite.size(),
+        [&](std::size_t i) {
+            auto pred = make();
+            results[i] = runAccuracy(*pred, suite.trace(i));
+            percents[i] = results[i].percent();
+        },
+        [](std::size_t) {});
     if (mean_percent)
         *mean_percent = arithmeticMean(percents);
     return results;
@@ -139,15 +194,18 @@ std::vector<SimResult>
 suiteTiming(const SuiteTraces &suite, const CoreConfig &cfg,
             const std::function<std::unique_ptr<FetchPredictor>()>
                 &make,
-            double *harmonic_mean_ipc)
+            double *harmonic_mean_ipc, parallel::CellPool *pool)
 {
-    std::vector<SimResult> results;
-    std::vector<double> ipcs;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        auto pred = make();
-        results.push_back(runTiming(cfg, *pred, suite.trace(i)));
-        ipcs.push_back(results.back().ipc());
-    }
+    std::vector<SimResult> results(suite.size());
+    std::vector<double> ipcs(suite.size());
+    forEachCell(
+        pool, suite.size(),
+        [&](std::size_t i) {
+            auto pred = make();
+            results[i] = runTiming(cfg, *pred, suite.trace(i));
+            ipcs[i] = results[i].ipc();
+        },
+        [](std::size_t) {});
     if (harmonic_mean_ipc)
         *harmonic_mean_ipc = harmonicMean(ipcs);
     return results;
@@ -173,6 +231,16 @@ publishPredictorStats(obs::MetricRegistry &reg, const Pred &pred,
     }
 }
 
+/** Trace-cache effectiveness gauges, stamped once per suite sweep. */
+void
+publishCacheStats(obs::MetricRegistry &reg, const SuiteTraces &suite)
+{
+    reg.gauge("trace.cache.hits")
+        .set(static_cast<double>(suite.cacheHits()));
+    reg.gauge("trace.cache.misses")
+        .set(static_cast<double>(suite.cacheMisses()));
+}
+
 } // namespace
 
 std::vector<AccuracyResult>
@@ -182,21 +250,34 @@ suiteAccuracyReport(const SuiteTraces &suite,
                     double *mean_percent, obs::RunReport &report,
                     const std::string &predictor_name,
                     std::size_t budget_bytes,
-                    obs::MetricRegistry *metrics)
+                    obs::MetricRegistry *metrics,
+                    parallel::CellPool *pool)
 {
     suite.describe(report);
-    std::vector<AccuracyResult> results;
-    std::vector<double> percents;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        auto pred = make();
-        results.push_back(runAccuracy(*pred, suite.trace(i)));
-        percents.push_back(results.back().percent());
-        report.rows.push_back(reportRow(suite.name(i),
-                                        predictor_name, budget_bytes,
-                                        results.back()));
-        if (metrics)
-            publishPredictorStats(*metrics, *pred, suite.name(i));
-    }
+    if (metrics)
+        publishCacheStats(*metrics, suite);
+    std::vector<AccuracyResult> results(suite.size());
+    std::vector<double> percents(suite.size());
+    // Predictors stay alive past compute so their describeStats()
+    // gauges can be published in workload order at commit time.
+    std::vector<std::unique_ptr<DirectionPredictor>> preds(
+        suite.size());
+    forEachCell(
+        pool, suite.size(),
+        [&](std::size_t i) {
+            preds[i] = make();
+            results[i] = runAccuracy(*preds[i], suite.trace(i));
+            percents[i] = results[i].percent();
+        },
+        [&](std::size_t i) {
+            report.rows.push_back(reportRow(suite.name(i),
+                                            predictor_name,
+                                            budget_bytes, results[i]));
+            if (metrics)
+                publishPredictorStats(*metrics, *preds[i],
+                                      suite.name(i));
+            preds[i].reset();
+        });
     if (mean_percent)
         *mean_percent = arithmeticMean(percents);
     return results;
@@ -210,25 +291,37 @@ suiteTimingReport(const SuiteTraces &suite, const CoreConfig &cfg,
                   const std::string &predictor_name,
                   const std::string &mode, std::size_t budget_bytes,
                   obs::MetricRegistry *metrics,
-                  obs::EventTracer *tracer)
+                  obs::EventTracer *tracer, parallel::CellPool *pool)
 {
     suite.describe(report);
-    std::vector<SimResult> results;
-    std::vector<double> ipcs;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        auto pred = make();
-        results.push_back(
-            runTiming(cfg, *pred, suite.trace(i), tracer));
-        ipcs.push_back(results.back().ipc());
-        report.rows.push_back(reportRow(suite.name(i),
-                                        predictor_name, mode,
-                                        budget_bytes, cfg,
-                                        results.back()));
-        if (metrics) {
-            results.back().publishMetrics(*metrics, suite.name(i));
-            publishPredictorStats(*metrics, *pred, suite.name(i));
-        }
-    }
+    if (metrics)
+        publishCacheStats(*metrics, suite);
+    std::vector<SimResult> results(suite.size());
+    std::vector<double> ipcs(suite.size());
+    std::vector<std::unique_ptr<FetchPredictor>> preds(suite.size());
+    // An event tracer records a single ordered stream; never fan its
+    // runs out across workers.
+    parallel::CellPool *effPool = tracer ? nullptr : pool;
+    forEachCell(
+        effPool, suite.size(),
+        [&](std::size_t i) {
+            preds[i] = make();
+            results[i] =
+                runTiming(cfg, *preds[i], suite.trace(i), tracer);
+            ipcs[i] = results[i].ipc();
+        },
+        [&](std::size_t i) {
+            report.rows.push_back(reportRow(suite.name(i),
+                                            predictor_name, mode,
+                                            budget_bytes, cfg,
+                                            results[i]));
+            if (metrics) {
+                results[i].publishMetrics(*metrics, suite.name(i));
+                publishPredictorStats(*metrics, *preds[i],
+                                      suite.name(i));
+            }
+            preds[i].reset();
+        });
     if (harmonic_mean_ipc)
         *harmonic_mean_ipc = harmonicMean(ipcs);
     return results;

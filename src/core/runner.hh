@@ -4,6 +4,14 @@
  * full timing simulation (Figures 2, 7, 8), plus suite-level
  * orchestration over the twelve SPECint stand-ins with the paper's
  * reductions (arithmetic-mean misprediction, harmonic-mean IPC).
+ *
+ * Every suite helper optionally takes a parallel::CellPool: when one
+ * is passed, the per-workload cells execute concurrently on the
+ * pool's workers while rows and metrics are committed in workload
+ * order on the calling thread, so a parallel run's RunReport is
+ * byte-identical to the serial one. The predictor factory closure is
+ * then invoked concurrently and must be safe to call from multiple
+ * threads (the stock makePredictor/makeFetchPredictor factories are).
  */
 
 #ifndef BPSIM_CORE_RUNNER_HH
@@ -23,9 +31,14 @@
 #include "sim/core_config.hh"
 #include "sim/ooo_core.hh"
 #include "trace/trace_buffer.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/workload.hh"
 
 namespace bpsim {
+
+namespace parallel {
+class CellPool;
+} // namespace parallel
 
 /** Result of an accuracy-only run. */
 struct AccuracyResult
@@ -86,6 +99,13 @@ obs::RunReport::Row reportRow(const std::string &workload,
  * predictor configuration in an experiment sees the same streams
  * (the paper's methodology). Trace length and seed are fixed at
  * construction.
+ *
+ * Traces come from the on-disk TraceCache when one is enabled
+ * (BPSIM_TRACE_CACHE, or an explicit cache for tests) and are
+ * generated — in parallel across workloads when a pool is passed —
+ * otherwise. Generation is deterministic per (workload, ops, seed),
+ * so cached, parallel and serial construction all yield identical
+ * traces.
  */
 class SuiteTraces
 {
@@ -93,15 +113,26 @@ class SuiteTraces
     /**
      * @param ops_per_workload Dynamic instructions per workload.
      * @param seed Generation seed.
+     * @param pool Optional executor for parallel generation.
      */
     explicit SuiteTraces(Counter ops_per_workload,
-                         std::uint64_t seed = 42);
+                         std::uint64_t seed = 42,
+                         parallel::CellPool *pool = nullptr);
+
+    /** As above with an explicit cache instead of BPSIM_TRACE_CACHE. */
+    SuiteTraces(Counter ops_per_workload, std::uint64_t seed,
+                parallel::CellPool *pool, TraceCache cache);
 
     std::size_t size() const { return traces_.size(); }
     const std::string &name(std::size_t i) const { return names_[i]; }
     const TraceBuffer &trace(std::size_t i) const { return traces_[i]; }
     Counter opsPerWorkload() const { return opsPerWorkload_; }
     std::uint64_t seed() const { return seed_; }
+
+    /** Workloads served from the on-disk cache at construction. */
+    Counter cacheHits() const { return cacheHits_; }
+    /** Workloads generated (and stored when a cache is enabled). */
+    Counter cacheMisses() const { return cacheMisses_; }
 
     /** Stamp generation parameters into @p report 's header. */
     void describe(obs::RunReport &report) const;
@@ -111,6 +142,9 @@ class SuiteTraces
     std::vector<TraceBuffer> traces_;
     Counter opsPerWorkload_;
     std::uint64_t seed_;
+    TraceCache cache_;
+    Counter cacheHits_ = 0;
+    Counter cacheMisses_ = 0;
 };
 
 /**
@@ -123,7 +157,8 @@ std::vector<AccuracyResult>
 suiteAccuracy(const SuiteTraces &suite,
               const std::function<std::unique_ptr<DirectionPredictor>()>
                   &make,
-              double *mean_percent = nullptr);
+              double *mean_percent = nullptr,
+              parallel::CellPool *pool = nullptr);
 
 /**
  * Per-workload timing runs for a fetch predictor built fresh per
@@ -134,13 +169,14 @@ std::vector<SimResult>
 suiteTiming(const SuiteTraces &suite, const CoreConfig &cfg,
             const std::function<std::unique_ptr<FetchPredictor>()>
                 &make,
-            double *harmonic_mean_ipc = nullptr);
+            double *harmonic_mean_ipc = nullptr,
+            parallel::CellPool *pool = nullptr);
 
 /**
  * suiteAccuracy plus reporting: appends one row per workload to
- * @p report under @p predictor_name / @p budget_bytes, and (end of
- * suite) publishes the last predictor instance's describeStats()
- * gauges into @p metrics when non-null.
+ * @p report under @p predictor_name / @p budget_bytes, publishes
+ * each predictor instance's describeStats() gauges into @p metrics
+ * when non-null, and stamps the suite's trace-cache hit/miss gauges.
  */
 std::vector<AccuracyResult>
 suiteAccuracyReport(const SuiteTraces &suite,
@@ -149,14 +185,16 @@ suiteAccuracyReport(const SuiteTraces &suite,
                     double *mean_percent, obs::RunReport &report,
                     const std::string &predictor_name,
                     std::size_t budget_bytes,
-                    obs::MetricRegistry *metrics = nullptr);
+                    obs::MetricRegistry *metrics = nullptr,
+                    parallel::CellPool *pool = nullptr);
 
 /**
  * suiteTiming plus reporting: appends one row per workload to
  * @p report, publishes each run's SimResult counters into
  * @p metrics (when non-null) under `{workload=...}` labels, records
  * events into @p tracer (when non-null), and publishes the fetch
- * predictor's describeStats() gauges.
+ * predictor's describeStats() gauges. A non-null @p tracer forces
+ * serial execution — the event stream is ordered.
  */
 std::vector<SimResult>
 suiteTimingReport(const SuiteTraces &suite, const CoreConfig &cfg,
@@ -166,7 +204,8 @@ suiteTimingReport(const SuiteTraces &suite, const CoreConfig &cfg,
                   const std::string &predictor_name,
                   const std::string &mode, std::size_t budget_bytes,
                   obs::MetricRegistry *metrics = nullptr,
-                  obs::EventTracer *tracer = nullptr);
+                  obs::EventTracer *tracer = nullptr,
+                  parallel::CellPool *pool = nullptr);
 
 /**
  * Default trace length for benches; reads BPSIM_OPS_PER_WORKLOAD

@@ -2,14 +2,17 @@
 
 #include <cstdio>
 
+#include "parallel/cell_pool.hh"
+
 namespace bpsim::robust {
 
 HardenedSuiteRunner::HardenedSuiteRunner(
     std::string manifest_path, RetryPolicy retry,
-    std::chrono::milliseconds cell_timeout)
+    std::chrono::milliseconds cell_timeout, parallel::CellPool *pool)
     : manifestPath_(std::move(manifest_path)),
       retry_(retry),
-      cellTimeout_(cell_timeout)
+      cellTimeout_(cell_timeout),
+      pool_(pool)
 {
 }
 
@@ -31,32 +34,52 @@ HardenedSuiteRunner::run(const std::vector<SuiteCell> &cells,
 
     HardenedRunSummary summary;
     std::size_t finalized = 0;
-    for (const SuiteCell &cell : cells) {
-        // Resume: a cell the manifest already completed is replayed
-        // from its cached row — same bytes, no recomputation.
-        if (manifest_.isDone(cell.key)) {
-            report.rows.push_back(obs::RunReport::Row::fromJson(
-                manifest_.find(cell.key)->row));
-            ++summary.resumed;
-            continue;
-        }
 
+    // Resume state is read once up front so workers never touch the
+    // manifest; from here on it is written only by the commit phase
+    // below, which runs on this thread in cell order.
+    std::vector<char> resumed(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        resumed[i] = manifest_.isDone(cells[i].key) ? 1 : 0;
+
+    struct Outcome
+    {
+        RetryResult retry;
         obs::RunReport::Row row;
-        const RetryResult r = retryCall(
+    };
+    std::vector<Outcome> outcomes(cells.size());
+
+    const auto compute = [&](std::size_t i) {
+        if (resumed[i])
+            return; // replayed from the manifest at commit time
+        outcomes[i].retry = retryCall(
             retry_,
             [&] {
                 const Deadline deadline =
                     cellTimeout_.count() > 0
                         ? Deadline::after(cellTimeout_)
                         : Deadline::unlimited();
-                row = cell.run(deadline);
+                outcomes[i].row = cells[i].run(deadline);
             },
             sleep_);
-        summary.retries += r.attempts > 0 ? r.attempts - 1 : 0;
+    };
 
+    const auto commit = [&](std::size_t i) {
+        const SuiteCell &cell = cells[i];
+        // Resume: a cell the manifest already completed is replayed
+        // from its cached row — same bytes, no recomputation.
+        if (resumed[i]) {
+            report.rows.push_back(obs::RunReport::Row::fromJson(
+                manifest_.find(cell.key)->row));
+            ++summary.resumed;
+            return;
+        }
+        const RetryResult &r = outcomes[i].retry;
+        summary.retries += r.attempts > 0 ? r.attempts - 1 : 0;
         if (r.succeeded) {
-            manifest_.markDone(cell.key, r.attempts, row.toJson());
-            report.rows.push_back(row);
+            manifest_.markDone(cell.key, r.attempts,
+                               outcomes[i].row.toJson());
+            report.rows.push_back(outcomes[i].row);
             ++summary.completed;
         } else {
             manifest_.markFailed(cell.key, r.attempts, r.lastError);
@@ -75,6 +98,15 @@ HardenedSuiteRunner::run(const std::vector<SuiteCell> &cells,
         ++finalized;
         if (afterCell_)
             afterCell_(finalized);
+    };
+
+    if (pool_) {
+        pool_->run(cells.size(), compute, commit);
+    } else {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            compute(i);
+            commit(i);
+        }
     }
     return summary;
 }

@@ -33,6 +33,10 @@
 #include "robust/retry.hh"
 #include "robust/run_manifest.hh"
 
+namespace bpsim::parallel {
+class CellPool;
+} // namespace bpsim::parallel
+
 namespace bpsim::robust {
 
 /**
@@ -71,10 +75,18 @@ class HardenedSuiteRunner
      *        (still retries and annotates, never resumes).
      * @param retry Backoff policy for failed cells.
      * @param cell_timeout Per-attempt deadline; zero = unlimited.
+     * @param pool Optional executor: cells compute concurrently
+     *        (each attempt under its own deadline, retried on its
+     *        worker), while row/annotation emission, manifest
+     *        updates and saves all happen on the calling thread in
+     *        cell order — one writer, and a report byte-identical
+     *        to a serial campaign. Cell closures must then be safe
+     *        to run concurrently with each other.
      */
     HardenedSuiteRunner(std::string manifest_path, RetryPolicy retry,
                         std::chrono::milliseconds cell_timeout =
-                            std::chrono::milliseconds{0});
+                            std::chrono::milliseconds{0},
+                        parallel::CellPool *pool = nullptr);
 
     /**
      * Run @p cells, appending one row per successful (or resumed)
@@ -108,6 +120,7 @@ class HardenedSuiteRunner
     std::string manifestPath_;
     RetryPolicy retry_;
     std::chrono::milliseconds cellTimeout_;
+    parallel::CellPool *pool_;
     RunManifest manifest_;
     Sleeper sleep_ = realSleep;
     std::function<void(std::size_t)> afterCell_;

@@ -19,6 +19,13 @@
 
 namespace bpsim {
 
+/** One conditional branch, dense for accuracy replay. */
+struct BranchRecord
+{
+    Addr pc = 0;
+    bool taken = false;
+};
+
 /** A replayable buffer of dynamic instructions. */
 class TraceBuffer
 {
@@ -33,8 +40,10 @@ class TraceBuffer
     push(const MicroOp &op)
     {
         ops_.push_back(op);
-        if (op.cls == InstClass::CondBranch)
+        if (op.cls == InstClass::CondBranch) {
+            branches_.push_back({op.pc, op.taken});
             ++condBranches_;
+        }
     }
 
     /** Number of dynamic instructions. */
@@ -58,9 +67,34 @@ class TraceBuffer
     /**
      * Mutable record access, for fault injection (src/robust). The
      * caller must not change @c cls — the cached conditional-branch
-     * count assumes the instruction mix is fixed.
+     * count assumes the instruction mix is fixed. Marks the branch
+     * view stale; it is rebuilt on the next branchView() call.
      */
-    MicroOp &mutableOp(std::size_t i) { return ops_[i]; }
+    MicroOp &
+    mutableOp(std::size_t i)
+    {
+        branchesDirty_ = true;
+        return ops_[i];
+    }
+
+    /**
+     * Dense conditional-branch index: the {pc, taken} stream every
+     * accuracy run replays, without skipping over non-branch ops.
+     * Maintained incrementally by push(); after mutation through
+     * mutableOp() the first branchView() call rebuilds it.
+     *
+     * Thread-safety: safe for any number of concurrent readers on an
+     * unmutated (clean) buffer — the parallel suite executor shares
+     * traces read-only. A mutator must call branchView() once, from
+     * a single thread, before the buffer is shared again.
+     */
+    const std::vector<BranchRecord> &
+    branchView() const
+    {
+        if (branchesDirty_)
+            rebuildBranches();
+        return branches_;
+    }
 
     auto begin() const { return ops_.begin(); }
     auto end() const { return ops_.end(); }
@@ -70,11 +104,25 @@ class TraceBuffer
     clear()
     {
         ops_.clear();
+        branches_.clear();
+        branchesDirty_ = false;
         condBranches_ = 0;
     }
 
   private:
+    void
+    rebuildBranches() const
+    {
+        branches_.clear();
+        for (const MicroOp &op : ops_)
+            if (op.cls == InstClass::CondBranch)
+                branches_.push_back({op.pc, op.taken});
+        branchesDirty_ = false;
+    }
+
     std::vector<MicroOp> ops_;
+    mutable std::vector<BranchRecord> branches_;
+    mutable bool branchesDirty_ = false;
     Counter condBranches_ = 0;
 };
 

@@ -1,0 +1,121 @@
+#include "trace/trace_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "trace/trace_io.hh"
+
+namespace bpsim {
+
+namespace fs = std::filesystem;
+
+TraceCache::TraceCache(std::string dir, int format_version)
+    : dir_(std::move(dir)), formatVersion_(format_version)
+{
+}
+
+TraceCache
+TraceCache::fromEnv()
+{
+    const char *env = std::getenv("BPSIM_TRACE_CACHE");
+    if (!env || *env == '\0')
+        return TraceCache();
+    return TraceCache(env);
+}
+
+std::string
+TraceCache::entryPath(const std::string &workload, Counter ops,
+                      std::uint64_t seed) const
+{
+    return dir_ + "/" + workload + "_ops" + std::to_string(ops) +
+           "_seed" + std::to_string(seed) + "_v" +
+           std::to_string(formatVersion_) + ".bptrace";
+}
+
+std::optional<TraceBuffer>
+TraceCache::load(const std::string &workload, Counter ops,
+                 std::uint64_t seed) const
+{
+    if (!enabled())
+        return std::nullopt;
+    const std::string path = entryPath(workload, ops, seed);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt;
+    try {
+        TraceBuffer trace = readTrace(path);
+        // The header's count can validate while the payload was cut
+        // short mid-record stream; demand the exact length too.
+        if (trace.size() != ops)
+            throw TraceIoError("cached trace '" + path +
+                               "' has wrong length");
+        return trace;
+    } catch (const TraceIoError &e) {
+        std::fprintf(stderr,
+                     "trace-cache: discarding corrupt entry: %s\n",
+                     e.what());
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+}
+
+bool
+TraceCache::store(const std::string &workload, Counter ops,
+                  std::uint64_t seed, const TraceBuffer &trace) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    const std::string path = entryPath(workload, ops, seed);
+    // Process+thread-unique temp name: concurrent benches sharing a
+    // cache dir write distinct temps and race only on the atomic
+    // rename, where either winner is a valid entry.
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(
+            std::hash<std::thread::id>{}(
+                std::this_thread::get_id()) ^
+            static_cast<unsigned long long>(
+                reinterpret_cast<std::uintptr_t>(&trace))));
+    try {
+        writeTrace(trace, tmp);
+    } catch (const TraceIoError &e) {
+        std::fprintf(stderr, "trace-cache: store failed: %s\n",
+                     e.what());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "trace-cache: cannot publish '%s': %s\n",
+                     path.c_str(), ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+TraceBuffer
+TraceCache::fetch(const std::string &workload, Counter ops,
+                  std::uint64_t seed,
+                  const std::function<TraceBuffer()> &generate,
+                  bool *hit) const
+{
+    if (auto cached = load(workload, ops, seed)) {
+        if (hit)
+            *hit = true;
+        return std::move(*cached);
+    }
+    if (hit)
+        *hit = false;
+    TraceBuffer trace = generate();
+    store(workload, ops, seed, trace);
+    return trace;
+}
+
+} // namespace bpsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared on-disk cache of generated traces.
+ *
+ * Every bench binary replays the same twelve SPECint stand-in traces,
+ * and regenerating them from the workload kernels dominates start-up
+ * once BPSIM_OPS_PER_WORKLOAD grows toward paper-scale runs. The
+ * cache stores each generated trace once per configuration:
+ *
+ *   <dir>/<workload>_ops<N>_seed<S>_v<version>.bptrace
+ *
+ * keyed by workload name, trace length, generation seed and the cache
+ * format version (bumped whenever trace generation or the trace file
+ * format changes meaning). Entries are ordinary trace_io files, so
+ * read-back reuses the existing header/magic/count-vs-file-size
+ * validation; a corrupted entry surfaces as TraceIoError, is removed
+ * and regenerated. Writes go to a process-unique temp file followed
+ * by an atomic rename, so concurrent bench binaries can share one
+ * cache directory without ever observing a partial entry.
+ *
+ * The cache is opt-in: it is enabled only when constructed with a
+ * directory, and fromEnv() reads BPSIM_TRACE_CACHE. A disabled cache
+ * reports every lookup as a miss and stores nothing.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_CACHE_HH
+#define BPSIM_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+
+/** On-disk trace store; see file comment. */
+class TraceCache
+{
+  public:
+    /** Layout/meaning version of cache entries. Bump to invalidate
+     *  every existing cache when generation semantics change. */
+    static constexpr int kFormatVersion = 1;
+
+    /** A disabled cache (all lookups miss, stores are no-ops). */
+    TraceCache() = default;
+
+    /** A cache rooted at @p dir (created on first store). */
+    explicit TraceCache(std::string dir, int format_version =
+                                             kFormatVersion);
+
+    /** Cache at $BPSIM_TRACE_CACHE, or a disabled cache if unset. */
+    static TraceCache fromEnv();
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+    int formatVersion() const { return formatVersion_; }
+
+    /** Entry path for a key (valid even when disabled, for tests). */
+    std::string entryPath(const std::string &workload, Counter ops,
+                          std::uint64_t seed) const;
+
+    /**
+     * Load the cached trace for a key. Returns nullopt on a miss or
+     * when the entry fails trace_io validation (the corrupt file is
+     * deleted so the next store can replace it).
+     */
+    std::optional<TraceBuffer> load(const std::string &workload,
+                                    Counter ops,
+                                    std::uint64_t seed) const;
+
+    /**
+     * Atomically persist @p trace under a key. Returns false (after
+     * a stderr warning) when the cache is disabled or the write
+     * fails; a failed store never leaves a partial entry behind.
+     */
+    bool store(const std::string &workload, Counter ops,
+               std::uint64_t seed, const TraceBuffer &trace) const;
+
+    /**
+     * load() or, on a miss, run @p generate and store the result.
+     * @p hit (when non-null) reports whether the cache served it.
+     */
+    TraceBuffer fetch(const std::string &workload, Counter ops,
+                      std::uint64_t seed,
+                      const std::function<TraceBuffer()> &generate,
+                      bool *hit = nullptr) const;
+
+  private:
+    std::string dir_;
+    int formatVersion_ = kFormatVersion;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_CACHE_HH

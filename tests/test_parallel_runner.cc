@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the deterministic cell pool (src/parallel) and the
+ * parallel suite helpers: every index computed exactly once, commits
+ * in strict index order, serial-exact exception semantics, and —
+ * the contract the whole subsystem exists for — RunReports that are
+ * byte-identical to a serial run at any job count.
+ */
+
+#include "parallel/cell_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hh"
+#include "predictors/static_pred.hh"
+#include "robust/hardened_runner.hh"
+
+namespace bpsim {
+namespace {
+
+using parallel::CellPool;
+
+TEST(CellPool, ComputesEveryIndexOnceAndCommitsInOrder)
+{
+    constexpr std::size_t kCells = 32;
+    CellPool pool(4);
+    std::array<std::atomic<int>, kCells> computed{};
+    std::vector<std::size_t> committed; // commit is single-threaded
+    pool.run(
+        kCells, [&](std::size_t i) { computed[i].fetch_add(1); },
+        [&](std::size_t i) { committed.push_back(i); });
+    for (std::size_t i = 0; i < kCells; ++i)
+        EXPECT_EQ(computed[i].load(), 1) << "cell " << i;
+    ASSERT_EQ(committed.size(), kCells);
+    for (std::size_t i = 0; i < kCells; ++i)
+        EXPECT_EQ(committed[i], i);
+}
+
+TEST(CellPool, SingleJobRunsInlineOnCallingThread)
+{
+    CellPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::size_t calls = 0;
+    pool.run(8, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 8u);
+    EXPECT_EQ(pool.stats().jobs, 1u);
+}
+
+TEST(CellPool, MoreJobsThanCells)
+{
+    CellPool pool(32);
+    std::array<std::atomic<int>, 3> computed{};
+    std::vector<std::size_t> committed;
+    pool.run(
+        3, [&](std::size_t i) { computed[i].fetch_add(1); },
+        [&](std::size_t i) { committed.push_back(i); });
+    for (auto &c : computed)
+        EXPECT_EQ(c.load(), 1);
+    EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(pool.stats().maxQueueDepth, 0u);
+}
+
+TEST(CellPool, ComputeFailureRethrowsLowestIndexAfterJoin)
+{
+    CellPool pool(4);
+    std::vector<std::size_t> committed;
+    try {
+        pool.run(
+            16,
+            [&](std::size_t i) {
+                if (i >= 3)
+                    throw std::runtime_error("cell " +
+                                             std::to_string(i));
+            },
+            [&](std::size_t i) { committed.push_back(i); });
+        FAIL() << "expected run() to throw";
+    } catch (const std::runtime_error &e) {
+        // The lowest failing index wins, exactly where a serial
+        // loop would have stopped.
+        EXPECT_STREQ(e.what(), "cell 3");
+    }
+    EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(CellPool, CommitFailureCancelsOutstandingCells)
+{
+    CellPool pool(4);
+    std::vector<std::size_t> committed;
+    EXPECT_THROW(
+        pool.run(
+            64, [](std::size_t) {},
+            [&](std::size_t i) {
+                if (i == 2)
+                    throw std::runtime_error("commit failed");
+                committed.push_back(i);
+            }),
+        std::runtime_error);
+    EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CellPool, StatsAccumulateAcrossRuns)
+{
+    CellPool pool(2);
+    pool.run(5, [](std::size_t) {});
+    pool.run(3, [](std::size_t) {});
+    const auto &s = pool.stats();
+    EXPECT_EQ(s.jobs, 2u);
+    EXPECT_EQ(s.runs, 2u);
+    EXPECT_EQ(s.cellsCompleted, 8u);
+    EXPECT_EQ(s.cellMs.size(), 8u);
+    EXPECT_GE(s.wallMs, 0.0);
+}
+
+TEST(JobsResolution, EnvAndFallbacks)
+{
+    unsetenv("BPSIM_JOBS");
+    EXPECT_EQ(parallel::envJobs(), 0u);
+    EXPECT_EQ(parallel::resolveJobs(5), 5u);
+    EXPECT_EQ(parallel::resolveJobs(0), parallel::hardwareJobs());
+
+    setenv("BPSIM_JOBS", "3", 1);
+    EXPECT_EQ(parallel::envJobs(), 3u);
+    EXPECT_EQ(parallel::resolveJobs(0), 3u);
+    EXPECT_EQ(parallel::resolveJobs(7), 7u); // explicit request wins
+
+    setenv("BPSIM_JOBS", "0", 1);
+    EXPECT_EQ(parallel::envJobs(), 0u);
+    setenv("BPSIM_JOBS", "banana", 1);
+    EXPECT_EQ(parallel::envJobs(), 0u);
+    unsetenv("BPSIM_JOBS");
+    EXPECT_GE(parallel::hardwareJobs(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Suite-level determinism: the acceptance contract is that a parallel
+// run's RunReport JSON is byte-identical to the serial one.
+// ---------------------------------------------------------------------
+
+obs::RunReport
+freshReport()
+{
+    obs::RunReport report;
+    report.experiment = "parallel_determinism";
+    return report;
+}
+
+TEST(ParallelSuite, TraceGenerationMatchesSerial)
+{
+    const SuiteTraces serial(8000, 11);
+    CellPool pool(4);
+    const SuiteTraces par(8000, 11, &pool);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(par.trace(i).size(), serial.trace(i).size());
+        for (std::size_t k = 0; k < serial.trace(i).size(); ++k) {
+            const MicroOp &a = serial.trace(i)[k];
+            const MicroOp &b = par.trace(i)[k];
+            ASSERT_EQ(a.pc, b.pc) << i << "/" << k;
+            ASSERT_EQ(a.taken, b.taken) << i << "/" << k;
+            ASSERT_EQ(static_cast<int>(a.cls),
+                      static_cast<int>(b.cls))
+                << i << "/" << k;
+        }
+    }
+}
+
+TEST(ParallelSuite, AccuracyReportByteIdenticalAtAnyJobCount)
+{
+    const SuiteTraces suite(10000, 5);
+    const auto make = [] {
+        return makePredictor(PredictorKind::Gshare, 4 * 1024);
+    };
+
+    obs::RunReport serial = freshReport();
+    obs::MetricRegistry serialMetrics;
+    double serialMean = -1;
+    suiteAccuracyReport(suite, make, &serialMean, serial, "gshare",
+                        4 * 1024, &serialMetrics, nullptr);
+    const std::string serialBytes = serial.toJson().dump(2);
+    const std::string serialMetricBytes =
+        serialMetrics.toJson().dump(2);
+
+    // jobs > cells (32 vs 12) is deliberately included.
+    for (unsigned jobs : {2u, 4u, 32u}) {
+        CellPool pool(jobs);
+        obs::RunReport report = freshReport();
+        obs::MetricRegistry metrics;
+        double mean = -1;
+        suiteAccuracyReport(suite, make, &mean, report, "gshare",
+                            4 * 1024, &metrics, &pool);
+        EXPECT_DOUBLE_EQ(mean, serialMean) << "jobs " << jobs;
+        EXPECT_EQ(report.toJson().dump(2), serialBytes)
+            << "jobs " << jobs;
+        EXPECT_EQ(metrics.toJson().dump(2), serialMetricBytes)
+            << "jobs " << jobs;
+        EXPECT_EQ(pool.stats().cellsCompleted, suite.size());
+    }
+}
+
+TEST(ParallelSuite, TimingReportByteIdenticalAtAnyJobCount)
+{
+    const SuiteTraces suite(6000, 6);
+    CoreConfig cfg;
+    const auto make = [] {
+        return std::make_unique<SingleCycleFetchPredictor>(
+            makePredictor(PredictorKind::GshareFast, 16 * 1024));
+    };
+
+    obs::RunReport serial = freshReport();
+    obs::MetricRegistry serialMetrics;
+    double serialHm = -1;
+    suiteTimingReport(suite, cfg, make, &serialHm, serial,
+                      "gshare.fast", "ideal", 16 * 1024,
+                      &serialMetrics, nullptr, nullptr);
+    const std::string serialBytes = serial.toJson().dump(2);
+    const std::string serialMetricBytes =
+        serialMetrics.toJson().dump(2);
+
+    for (unsigned jobs : {2u, 4u}) {
+        CellPool pool(jobs);
+        obs::RunReport report = freshReport();
+        obs::MetricRegistry metrics;
+        double hm = -1;
+        suiteTimingReport(suite, cfg, make, &hm, report,
+                          "gshare.fast", "ideal", 16 * 1024, &metrics,
+                          nullptr, &pool);
+        EXPECT_DOUBLE_EQ(hm, serialHm) << "jobs " << jobs;
+        EXPECT_EQ(report.toJson().dump(2), serialBytes)
+            << "jobs " << jobs;
+        EXPECT_EQ(metrics.toJson().dump(2), serialMetricBytes)
+            << "jobs " << jobs;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hardened campaigns on the pool: single-writer manifest, cell-order
+// rows, and resume that stays byte-identical.
+// ---------------------------------------------------------------------
+
+obs::RunReport::Row
+hardenedRow(const std::string &workload, Counter mispredictions)
+{
+    obs::RunReport::Row row;
+    row.workload = workload;
+    row.predictor = "gshare";
+    row.budgetBytes = 1024;
+    row.branches = 1000;
+    row.mispredictions = mispredictions;
+    return row;
+}
+
+std::vector<robust::SuiteCell>
+hardenedCells(std::size_t n)
+{
+    std::vector<robust::SuiteCell> cells;
+    for (std::size_t i = 0; i < n; ++i) {
+        const obs::RunReport::Row row =
+            hardenedRow("wl" + std::to_string(i), 100 + i);
+        cells.push_back(
+            {row.key(),
+             [row](const robust::Deadline &) { return row; }});
+    }
+    return cells;
+}
+
+TEST(ParallelHardened, ReportByteIdenticalToSerial)
+{
+    obs::RunReport serial = freshReport();
+    robust::HardenedSuiteRunner serialRunner("", robust::RetryPolicy{});
+    const auto serialSummary =
+        serialRunner.run(hardenedCells(8), serial);
+    EXPECT_EQ(serialSummary.completed, 8u);
+    const std::string serialBytes = serial.toJson().dump(2);
+
+    CellPool pool(4);
+    obs::RunReport report = freshReport();
+    robust::HardenedSuiteRunner runner("", robust::RetryPolicy{},
+                                       std::chrono::milliseconds{0},
+                                       &pool);
+    const auto summary = runner.run(hardenedCells(8), report);
+    EXPECT_EQ(summary.completed, 8u);
+    EXPECT_TRUE(summary.allOk());
+    EXPECT_EQ(report.toJson().dump(2), serialBytes);
+}
+
+TEST(ParallelHardened, KilledCampaignResumesByteIdentical)
+{
+    const std::string manifest = std::string(::testing::TempDir()) +
+                                 "/parallel_resume_manifest.json";
+    std::remove(manifest.c_str());
+
+    obs::RunReport reference = freshReport();
+    robust::HardenedSuiteRunner ref("", robust::RetryPolicy{});
+    ref.run(hardenedCells(6), reference);
+    const std::string referenceBytes = reference.toJson().dump(2);
+
+    // Parallel campaign killed at a cell boundary.
+    {
+        CellPool pool(3);
+        obs::RunReport partial = freshReport();
+        robust::HardenedSuiteRunner runner(
+            manifest, robust::RetryPolicy{},
+            std::chrono::milliseconds{0}, &pool);
+        runner.setAfterCellHook([](std::size_t finalized) {
+            if (finalized == 3)
+                throw std::runtime_error("killed");
+        });
+        EXPECT_THROW(runner.run(hardenedCells(6), partial),
+                     std::runtime_error);
+    }
+
+    // Parallel restart resumes the done cells and completes the rest;
+    // the final report matches the uninterrupted serial run exactly.
+    CellPool pool(3);
+    obs::RunReport resumed = freshReport();
+    robust::HardenedSuiteRunner runner(manifest, robust::RetryPolicy{},
+                                       std::chrono::milliseconds{0},
+                                       &pool);
+    const auto summary = runner.run(hardenedCells(6), resumed);
+    EXPECT_EQ(summary.resumed, 3u);
+    EXPECT_EQ(summary.completed, 3u);
+    EXPECT_EQ(resumed.toJson().dump(2), referenceBytes);
+    std::remove(manifest.c_str());
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the on-disk trace cache: miss-then-hit, corruption
+ * recovery, format-version invalidation, key separation, and the
+ * SuiteTraces hit/miss accounting the benches surface as metrics.
+ */
+
+#include "trace/trace_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/runner.hh"
+#include "parallel/cell_pool.hh"
+#include "trace/trace_buffer.hh"
+
+namespace bpsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty cache directory under the test temp dir. */
+std::string
+freshCacheDir(const char *name)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "/" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** Deterministic synthetic trace: @p ops ops, every third a branch. */
+TraceBuffer
+syntheticTrace(Counter ops, std::uint64_t seed)
+{
+    TraceBuffer t;
+    for (Counter i = 0; i < ops; ++i) {
+        MicroOp op;
+        if (i % 3 == 0) {
+            op.cls = InstClass::CondBranch;
+            op.pc = 0x1000 + ((i * 7 + seed) & 0xfff);
+            op.taken = ((i + seed) & 3) != 0;
+        } else {
+            op.cls = InstClass::IntAlu;
+            op.pc = 0x4000 + i;
+        }
+        t.push(op);
+    }
+    return t;
+}
+
+TEST(TraceCache, DisabledCacheMissesAndStoresNothing)
+{
+    TraceCache cache; // default: disabled
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.load("wl", 100, 1).has_value());
+    EXPECT_FALSE(cache.store("wl", 100, 1, syntheticTrace(100, 1)));
+
+    int generated = 0;
+    bool hit = true;
+    const TraceBuffer t = cache.fetch(
+        "wl", 100, 1,
+        [&] {
+            ++generated;
+            return syntheticTrace(100, 1);
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(generated, 1);
+    EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(TraceCache, MissGeneratesAndStoresThenHits)
+{
+    const std::string dir = freshCacheDir("trace_cache_hit");
+    TraceCache cache(dir);
+    EXPECT_TRUE(cache.enabled());
+
+    int generated = 0;
+    const auto generate = [&] {
+        ++generated;
+        return syntheticTrace(120, 7);
+    };
+
+    bool hit = true;
+    const TraceBuffer cold = cache.fetch("176.gcc", 120, 7, generate,
+                                         &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(generated, 1);
+    EXPECT_TRUE(fs::exists(cache.entryPath("176.gcc", 120, 7)));
+
+    const TraceBuffer warm = cache.fetch("176.gcc", 120, 7, generate,
+                                         &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(generated, 1); // generator not invoked again
+
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(warm[i].pc, cold[i].pc);
+        EXPECT_EQ(warm[i].taken, cold[i].taken);
+        EXPECT_EQ(static_cast<int>(warm[i].cls),
+                  static_cast<int>(cold[i].cls));
+    }
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, CorruptEntryIsRemovedAndRegenerated)
+{
+    const std::string dir = freshCacheDir("trace_cache_corrupt");
+    TraceCache cache(dir);
+    ASSERT_TRUE(cache.store("wl", 80, 3, syntheticTrace(80, 3)));
+    const std::string path = cache.entryPath("wl", 80, 3);
+    ASSERT_TRUE(fs::exists(path));
+
+    // Stomp the entry with garbage: load must reject and delete it.
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace file", f);
+    std::fclose(f);
+    EXPECT_FALSE(cache.load("wl", 80, 3).has_value());
+    EXPECT_FALSE(fs::exists(path));
+
+    // fetch regenerates and re-stores a valid entry.
+    int generated = 0;
+    bool hit = true;
+    cache.fetch(
+        "wl", 80, 3,
+        [&] {
+            ++generated;
+            return syntheticTrace(80, 3);
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(generated, 1);
+    EXPECT_TRUE(cache.load("wl", 80, 3).has_value());
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, WrongLengthEntryIsRejected)
+{
+    const std::string dir = freshCacheDir("trace_cache_len");
+    TraceCache cache(dir);
+    // A valid trace file whose length does not match the key: the
+    // exact-length check must treat it as corrupt.
+    ASSERT_TRUE(cache.store("wl", 200, 1, syntheticTrace(50, 1)));
+    EXPECT_FALSE(cache.load("wl", 200, 1).has_value());
+    EXPECT_FALSE(fs::exists(cache.entryPath("wl", 200, 1)));
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, FormatVersionBumpInvalidates)
+{
+    const std::string dir = freshCacheDir("trace_cache_version");
+    TraceCache v1(dir, 1);
+    TraceCache v2(dir, 2);
+    EXPECT_NE(v1.entryPath("wl", 60, 2), v2.entryPath("wl", 60, 2));
+
+    ASSERT_TRUE(v1.store("wl", 60, 2, syntheticTrace(60, 2)));
+    EXPECT_TRUE(v1.load("wl", 60, 2).has_value());
+    EXPECT_FALSE(v2.load("wl", 60, 2).has_value());
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, KeysSeparateWorkloadOpsAndSeed)
+{
+    TraceCache cache("/tmp/unused");
+    const std::string base = cache.entryPath("wl", 100, 1);
+    EXPECT_NE(cache.entryPath("other", 100, 1), base);
+    EXPECT_NE(cache.entryPath("wl", 101, 1), base);
+    EXPECT_NE(cache.entryPath("wl", 100, 2), base);
+}
+
+TEST(TraceCacheSuite, SuiteTracesCountsHitsAndMisses)
+{
+    const std::string dir = freshCacheDir("trace_cache_suite");
+
+    // Cold: every workload generated and stored.
+    const SuiteTraces cold(4000, 13, nullptr, TraceCache(dir));
+    EXPECT_EQ(cold.cacheMisses(), cold.size());
+    EXPECT_EQ(cold.cacheHits(), 0u);
+
+    // Warm: every workload served from disk, including when the
+    // construction itself runs on a pool.
+    parallel::CellPool pool(4);
+    const SuiteTraces warm(4000, 13, &pool, TraceCache(dir));
+    EXPECT_EQ(warm.cacheHits(), warm.size());
+    EXPECT_EQ(warm.cacheMisses(), 0u);
+
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        ASSERT_EQ(warm.trace(i).size(), cold.trace(i).size());
+        for (std::size_t k = 0; k < cold.trace(i).size(); ++k) {
+            ASSERT_EQ(warm.trace(i)[k].pc, cold.trace(i)[k].pc);
+            ASSERT_EQ(warm.trace(i)[k].taken, cold.trace(i)[k].taken);
+        }
+    }
+
+    // A different seed shares nothing with the warm entries.
+    const SuiteTraces other(4000, 14, nullptr, TraceCache(dir));
+    EXPECT_EQ(other.cacheMisses(), other.size());
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace bpsim
