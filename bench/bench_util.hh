@@ -55,36 +55,43 @@ requireNoExtraArgs(int argc, char **argv,
 }
 
 /**
- * The one shared `--jobs N` parser: strips the pair from argv and
- * returns N. A non-numeric or zero value is a usage error (exit 2,
- * like requireNoExtraArgs); a trailing `--jobs` with no value is
- * left in argv for requireNoExtraArgs to reject. Without the flag,
- * 0 is returned and the CellPool falls back to BPSIM_JOBS, then to
- * the hardware concurrency.
+ * The one shared `--jobs N` / `--jobs=N` parser: strips the flag
+ * from argv and returns N. A non-numeric or zero value (either
+ * form) is a usage error (exit 2, like requireNoExtraArgs); a
+ * trailing `--jobs` with no value is left in argv for
+ * requireNoExtraArgs to reject. Without the flag, 0 is returned and
+ * the CellPool falls back to BPSIM_JOBS, then to the hardware
+ * concurrency.
  */
 inline unsigned
 takeJobsFlag(int &argc, char **argv)
 {
+    const auto parse = [&](const char *val) {
+        char *end = nullptr;
+        const long v = std::strtol(val, &end, 10);
+        if (end == val || *end != '\0' || v <= 0) {
+            std::fprintf(stderr,
+                         "%s: --jobs needs a positive integer, "
+                         "got '%s'\n",
+                         argv[0], val);
+            std::fprintf(stderr,
+                         "usage: %s [--report FILE] "
+                         "[--trace FILE] [--jobs N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(v);
+    };
     unsigned jobs = 0;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            const char *val = argv[i + 1];
-            char *end = nullptr;
-            const long v = std::strtol(val, &end, 10);
-            if (end == val || *end != '\0' || v <= 0) {
-                std::fprintf(stderr,
-                             "%s: --jobs needs a positive integer, "
-                             "got '%s'\n",
-                             argv[0], val);
-                std::fprintf(stderr,
-                             "usage: %s [--report FILE] "
-                             "[--trace FILE] [--jobs N]\n",
-                             argv[0]);
-                std::exit(2);
-            }
-            jobs = static_cast<unsigned>(v);
+            jobs = parse(argv[i + 1]);
             ++i;
+            continue;
+        }
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = parse(argv[i] + 7);
             continue;
         }
         argv[out++] = argv[i];

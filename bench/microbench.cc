@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench_util.hh"
+#include "common/vec_kernels.hh"
 #include "core/factory.hh"
 #include "core/runner.hh"
 #include "parallel/cell_pool.hh"
@@ -93,6 +94,109 @@ BM_AccuracyRunner(benchmark::State &state)
         branches += r.branches;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+
+/**
+ * Single-cell replay kernel, devirtualized path: what one suite cell
+ * costs per branch through runAccuracy()'s monomorphized loop.
+ * Registered per predictor kind as BM_PredictUpdate/<name>; the CI
+ * kernel-bench gate tracks BM_PredictUpdate/gshare.
+ */
+void
+BM_PredictUpdate(benchmark::State &state, PredictorKind kind)
+{
+    const auto &trace = sharedTrace();
+    auto pred = makePredictor(kind, 64 * 1024);
+    Counter branches = 0;
+    for (auto _ : state) {
+        const auto r = runAccuracy(*pred, trace);
+        benchmark::DoNotOptimize(r.mispredictions);
+        branches += r.branches;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+
+/** Same cell through the virtual-dispatch loop, for the
+ *  devirtualization speedup ratio. */
+void
+BM_PredictUpdateVirtual(benchmark::State &state, PredictorKind kind)
+{
+    const auto &trace = sharedTrace();
+    auto pred = makePredictor(kind, 64 * 1024);
+    Counter branches = 0;
+    for (auto _ : state) {
+        const auto r = runAccuracyVirtual(*pred, trace);
+        benchmark::DoNotOptimize(r.mispredictions);
+        branches += r.branches;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+
+/** Register the per-kind replay-kernel benchmarks. Called from main
+ *  (name/closure registration needs runtime values). */
+void
+registerKernelBenchmarks()
+{
+    for (const PredictorKind kind : allKinds()) {
+        benchmark::RegisterBenchmark(
+            ("BM_PredictUpdate/" + kindName(kind)).c_str(),
+            [kind](benchmark::State &s) { BM_PredictUpdate(s, kind); })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("BM_PredictUpdateVirtual/" + kindName(kind)).c_str(),
+            [kind](benchmark::State &s) {
+                BM_PredictUpdateVirtual(s, kind);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+/**
+ * Timing-core cycle skipping, off (arg 0) vs on (arg 1) on a
+ * stall-heavy configuration (overriding gshare: long predictor
+ * bubbles and mispredict waits are exactly the windows the skip
+ * jumps). Identical SimResults either way — test_cycle_skip.cc —
+ * so the delta is pure simulator wall clock.
+ */
+void
+BM_OooCoreStallSkip(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    CoreConfig cfg;
+    cfg.cycleSkip = state.range(0) != 0;
+    Counter insts = 0;
+    for (auto _ : state) {
+        auto fp = makeFetchPredictor(PredictorKind::Gshare, 64 * 1024,
+                                     DelayMode::Overriding);
+        const auto r = runTiming(cfg, *fp, trace);
+        benchmark::DoNotOptimize(r.cycles);
+        insts += r.instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel(cfg.cycleSkip ? "skip=on" : "skip=off");
+}
+
+/** The perceptron dot-product/train kernel in isolation: verifies
+ *  the contiguous-int16 formulation actually vectorizes (throughput
+ *  should sit far above one weight per cycle). */
+void
+BM_PerceptronKernel(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::int16_t> w(n, 3);
+    std::vector<std::int16_t> x(n, 1);
+    for (std::size_t i = 1; i < n; i += 2)
+        x[i] = -1;
+    Counter weights = 0;
+    for (auto _ : state) {
+        const int y = dotSignedI16(w.data(), x.data(), n);
+        benchmark::DoNotOptimize(y);
+        trainSignedI16(w.data(), x.data(), n, y >= 0 ? -1 : 1, -128,
+                       127);
+        benchmark::DoNotOptimize(w.data());
+        weights += 2 * n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(weights));
 }
 
 /**
@@ -186,6 +290,11 @@ BENCHMARK(bpsim::BM_CellPoolSuiteAccuracy)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TraceCacheCold)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TraceCacheWarm)->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_OooCoreStallSkip)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_PerceptronKernel)->Arg(32)->Arg(64)->Arg(256);
 
 int
 main(int argc, char **argv)
@@ -193,6 +302,7 @@ main(int argc, char **argv)
     // Strip --report/--trace/--jobs before google-benchmark sees argv
     // so its own flag parser does not reject them.
     bpsim::BenchSession session(argc, argv, "microbench");
+    bpsim::registerKernelBenchmarks();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Monomorphic dispatch over the concrete predictor types.
+ *
+ * The accuracy replay loop calls predict() and update() once per
+ * conditional branch — hundreds of millions of virtual calls in a
+ * paper-scale sweep, none of which can inline. Since a suite cell
+ * uses exactly one predictor for its whole trace, the type can be
+ * resolved *once per cell*: withConcretePredictor() probes the
+ * DirectionPredictor against every concrete type the factory can
+ * build and invokes the functor with the derived reference, letting
+ * the compiler instantiate one replay loop per type with predict and
+ * update inlined (all concrete predictor classes are `final`, so the
+ * calls devirtualize statically inside the functor body).
+ *
+ * Unknown types — user-defined predictors from examples/, test
+ * doubles — simply return false, and callers fall back to the
+ * virtual-dispatch loop, which stays bit-identical (the golden
+ * equivalence tests compare the two paths per kind).
+ */
+
+#ifndef BPSIM_CORE_DISPATCH_HH
+#define BPSIM_CORE_DISPATCH_HH
+
+#include "predictors/bimodal.hh"
+#include "predictors/bimode.hh"
+#include "predictors/gshare.hh"
+#include "predictors/gshare_fast.hh"
+#include "predictors/gskew.hh"
+#include "predictors/local.hh"
+#include "predictors/multicomponent.hh"
+#include "predictors/perceptron.hh"
+#include "predictors/predictor.hh"
+#include "predictors/tournament.hh"
+#include "predictors/yags.hh"
+
+namespace bpsim {
+
+/**
+ * Resolve @p pred 's dynamic type and call fn(concrete&) with the
+ * derived reference. Returns true when a concrete type matched,
+ * false when the caller must use the virtual interface. The probe
+ * order follows the factory's sweep frequency (gshare-family first).
+ */
+template <typename Fn>
+bool
+withConcretePredictor(DirectionPredictor &pred, Fn &&fn)
+{
+    if (auto *p = dynamic_cast<GsharePredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<GshareFastPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<BimodalPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<BiModePredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<YagsPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<GskewPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<TournamentPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<PerceptronPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<LocalPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    if (auto *p = dynamic_cast<MultiComponentPredictor *>(&pred)) {
+        fn(*p);
+        return true;
+    }
+    return false;
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_DISPATCH_HH

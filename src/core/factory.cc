@@ -183,6 +183,12 @@ figure1BudgetsBytes()
     return budgets;
 }
 
+const std::vector<std::size_t> &
+standardBudgets()
+{
+    return figure1BudgetsBytes();
+}
+
 std::unique_ptr<DirectionPredictor>
 makePredictor(PredictorKind kind, std::size_t budget_bytes)
 {

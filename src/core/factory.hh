@@ -103,6 +103,12 @@ const std::vector<std::size_t> &largeBudgetsBytes();
 /** The paper's full sweep for Figure 1 (2KB .. 512KB). */
 const std::vector<std::size_t> &figure1BudgetsBytes();
 
+/** The standard budget sweep every predictor kind supports — the
+ *  full 2KB .. 512KB Figure 1 range. Equivalence and property tests
+ *  iterate this so each kind is exercised at every table geometry
+ *  the artifacts can request. */
+const std::vector<std::size_t> &standardBudgets();
+
 } // namespace bpsim
 
 #endif // BPSIM_CORE_FACTORY_HH

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/stats.hh"
+#include "core/dispatch.hh"
 #include "parallel/cell_pool.hh"
 #include "workloads/registry.hh"
 
@@ -15,11 +16,16 @@ namespace {
  * The one accuracy replay loop, shared by the poll and non-poll
  * entry points so they cannot diverge. Iterates the trace's dense
  * conditional-branch view instead of skipping non-branch micro-ops.
+ *
+ * Templated over the predictor's *static* type: instantiated once
+ * per concrete (final) predictor class via withConcretePredictor so
+ * predict/update inline, and once at Pred=DirectionPredictor as the
+ * virtual fallback for unknown types.
  */
-template <typename Poll>
+template <typename Pred, typename Poll>
 AccuracyResult
-runAccuracyLoop(DirectionPredictor &pred, const TraceBuffer &trace,
-                Poll &&poll, Counter poll_interval)
+runAccuracyLoop(Pred &pred, const TraceBuffer &trace, Poll &&poll,
+                Counter poll_interval)
 {
     AccuracyResult r;
     Counter untilPoll = poll_interval;
@@ -34,6 +40,24 @@ runAccuracyLoop(DirectionPredictor &pred, const TraceBuffer &trace,
             untilPoll = poll_interval;
         }
     }
+    return r;
+}
+
+/** Monomorphize on the concrete type when known, else run the
+ *  virtual-dispatch loop. Both paths are the same template, so they
+ *  cannot diverge semantically. */
+template <typename Poll>
+AccuracyResult
+runAccuracyDispatch(DirectionPredictor &pred, const TraceBuffer &trace,
+                    Poll &&poll, Counter poll_interval)
+{
+    AccuracyResult r;
+    const bool matched =
+        withConcretePredictor(pred, [&](auto &concrete) {
+            r = runAccuracyLoop(concrete, trace, poll, poll_interval);
+        });
+    if (!matched)
+        r = runAccuracyLoop(pred, trace, poll, poll_interval);
     return r;
 }
 
@@ -58,7 +82,7 @@ forEachCell(parallel::CellPool *pool, std::size_t count,
 AccuracyResult
 runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace)
 {
-    return runAccuracyLoop(
+    return runAccuracyDispatch(
         pred, trace, [] {}, std::numeric_limits<Counter>::max());
 }
 
@@ -66,7 +90,14 @@ AccuracyResult
 runAccuracy(DirectionPredictor &pred, const TraceBuffer &trace,
             const std::function<void()> &poll, Counter poll_interval)
 {
-    return runAccuracyLoop(pred, trace, poll, poll_interval);
+    return runAccuracyDispatch(pred, trace, poll, poll_interval);
+}
+
+AccuracyResult
+runAccuracyVirtual(DirectionPredictor &pred, const TraceBuffer &trace)
+{
+    return runAccuracyLoop(
+        pred, trace, [] {}, std::numeric_limits<Counter>::max());
 }
 
 SimResult

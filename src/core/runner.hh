@@ -70,6 +70,15 @@ AccuracyResult runAccuracy(DirectionPredictor &pred,
                            const std::function<void()> &poll,
                            Counter poll_interval = 65536);
 
+/**
+ * The virtual-dispatch replay loop, bypassing the monomorphic
+ * fast path that runAccuracy() takes for factory-built predictor
+ * types. Exists so equivalence tests and microbenchmarks can compare
+ * the two paths; results are always identical.
+ */
+AccuracyResult runAccuracyVirtual(DirectionPredictor &pred,
+                                  const TraceBuffer &trace);
+
 /** Run the timing simulator over @p trace with @p pred. */
 SimResult runTiming(const CoreConfig &cfg, FetchPredictor &pred,
                     const TraceBuffer &trace);

@@ -8,18 +8,24 @@ namespace bpsim::obs {
 namespace {
 
 /**
- * Remove "--<flag> value" pairs from argv in place; returns the
- * value of the last occurrence (or "").
+ * Remove "--<flag> value" pairs and "--<flag>=value" forms from argv
+ * in place; returns the value of the last occurrence (or "").
  */
 std::string
 stripFlag(int &argc, char **argv, const char *flag)
 {
+    const std::size_t flagLen = std::strlen(flag);
     std::string value;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
             value = argv[i + 1];
             ++i;
+            continue;
+        }
+        if (std::strncmp(argv[i], flag, flagLen) == 0 &&
+            argv[i][flagLen] == '=') {
+            value = argv[i] + flagLen + 1;
             continue;
         }
         argv[out++] = argv[i];

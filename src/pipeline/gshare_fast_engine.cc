@@ -68,7 +68,7 @@ GshareFastEngine::predictBranch(Addr pc)
         ((pc >> 4) ^ specHistory_) & loMask(selBits_);
     const std::size_t index =
         static_cast<std::size_t>((bufferRow_ << selBits_) | col);
-    const bool prediction = pht_[index].taken();
+    const bool prediction = pht_.taken(index);
 
     outstanding_.push_back({index, prediction});
     // Speculative history update with the *predicted* direction
@@ -90,7 +90,7 @@ GshareFastEngine::resolve(bool taken)
     while (pendingUpdates_.size() > cfg_.updateDelay) {
         const auto [idx, dir] = pendingUpdates_.front();
         pendingUpdates_.pop_front();
-        pht_[idx].update(dir);
+        pht_.update(idx, dir);
     }
 
     // Advance the non-speculative history, remembering the past

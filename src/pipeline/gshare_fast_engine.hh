@@ -37,7 +37,7 @@
 #include <deque>
 #include <vector>
 
-#include "common/sat_counter.hh"
+#include "common/packed_pht.hh"
 #include "common/types.hh"
 
 namespace bpsim {
@@ -113,7 +113,7 @@ class GshareFastEngine
     /** Predictor storage in bits (PHT + history), as budgeted. */
     std::size_t storageBits() const
     {
-        return pht_.size() * 2 + historyBits_;
+        return pht_.storageBits() + historyBits_;
     }
 
   private:
@@ -124,7 +124,7 @@ class GshareFastEngine
     void advance();
 
     Config cfg_;
-    std::vector<TwoBitCounter> pht_;
+    PackedPhtStorage pht_;
     unsigned historyBits_;
     unsigned selBits_;
 

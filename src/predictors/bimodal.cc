@@ -13,28 +13,10 @@ BimodalPredictor::BimodalPredictor(std::size_t entries)
     assert(isPowerOfTwo(entries));
 }
 
-std::size_t
-BimodalPredictor::index(Addr pc) const
-{
-    return static_cast<std::size_t>(indexPc(pc)) & mask_;
-}
-
-bool
-BimodalPredictor::predict(Addr pc)
-{
-    return pht_[index(pc)].taken();
-}
-
-void
-BimodalPredictor::update(Addr pc, bool taken)
-{
-    pht_[index(pc)].update(taken);
-}
-
 void
 BimodalPredictor::visitState(robust::StateVisitor &v)
 {
-    v.visit(robust::counterField("pred.bimodal.pht", pht_));
+    v.visit(robust::packedCounterField("pred.bimodal.pht", pht_));
 }
 
 } // namespace bpsim

@@ -10,33 +10,38 @@
 #ifndef BPSIM_PREDICTORS_BIMODAL_HH
 #define BPSIM_PREDICTORS_BIMODAL_HH
 
-#include <vector>
-
-#include "common/sat_counter.hh"
+#include "common/packed_pht.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** PC-indexed two-bit-counter predictor. */
-class BimodalPredictor : public DirectionPredictor
+class BimodalPredictor final : public DirectionPredictor
 {
   public:
     /** @param entries PHT entry count; must be a power of two. */
     explicit BimodalPredictor(std::size_t entries);
 
     std::string name() const override { return "bimodal"; }
-    std::size_t storageBits() const override { return pht_.size() * 2; }
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    std::size_t storageBits() const override { return pht_.storageBits(); }
+    // Inline bodies: see the note in gshare.hh — the devirtualized
+    // replay loop needs them visible to fold the per-branch step.
+    bool predict(Addr pc) override { return pht_.taken(index(pc)); }
+    void
+    update(Addr pc, bool taken) override
+    {
+        pht_.update(index(pc), taken);
+    }
     void visitState(robust::StateVisitor &v) override;
 
-    /** Direct table peek for composite predictors and tests. */
-    const TwoBitCounter &counterAt(std::size_t i) const { return pht_[i]; }
-
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t
+    index(Addr pc) const
+    {
+        return static_cast<std::size_t>(indexPc(pc)) & mask_;
+    }
 
-    std::vector<TwoBitCounter> pht_;
+    PackedPhtStorage pht_;
     std::size_t mask_;
 };
 

@@ -8,9 +8,8 @@ namespace bpsim {
 
 BiModePredictor::BiModePredictor(std::size_t direction_entries,
                                  std::size_t choice_entries)
-    : takenBank_(direction_entries,
-                 TwoBitCounter(2)), // taken bank starts weakly taken
-      notTakenBank_(direction_entries, TwoBitCounter(1)),
+    : takenBank_(direction_entries, 2), // taken bank starts weakly taken
+      notTakenBank_(direction_entries, 1),
       choice_(choice_entries == 0 ? direction_entries : choice_entries),
       dirMask_(direction_entries - 1),
       choiceMask_(choice_.size() - 1),
@@ -19,52 +18,6 @@ BiModePredictor::BiModePredictor(std::size_t direction_entries,
 {
     assert(isPowerOfTwo(direction_entries));
     assert(isPowerOfTwo(choice_.size()));
-}
-
-std::size_t
-BiModePredictor::directionIndex(Addr pc) const
-{
-    const std::uint64_t h = history_.length() > dirIndexBits_
-                                ? history_.fold(dirIndexBits_)
-                                : history_.low64();
-    return static_cast<std::size_t>((indexPc(pc) ^ h) & dirMask_);
-}
-
-std::size_t
-BiModePredictor::choiceIndex(Addr pc) const
-{
-    return static_cast<std::size_t>(indexPc(pc)) & choiceMask_;
-}
-
-bool
-BiModePredictor::predict(Addr pc)
-{
-    lastChoiceTaken_ = choice_[choiceIndex(pc)].taken();
-    const std::size_t di = directionIndex(pc);
-    lastPrediction_ = lastChoiceTaken_ ? takenBank_[di].taken()
-                                       : notTakenBank_[di].taken();
-    return lastPrediction_;
-}
-
-void
-BiModePredictor::update(Addr pc, bool taken)
-{
-    const std::size_t di = directionIndex(pc);
-    // Only the bank that made the prediction is trained, preserving
-    // each bank's bias.
-    if (lastChoiceTaken_)
-        takenBank_[di].update(taken);
-    else
-        notTakenBank_[di].update(taken);
-
-    // The choice PHT trains toward the outcome, except when it was
-    // overruled successfully: choice disagreed with the outcome but
-    // the selected bank still predicted correctly.
-    const bool selected_correct = lastPrediction_ == taken;
-    if (!(lastChoiceTaken_ != taken && selected_correct))
-        choice_[choiceIndex(pc)].update(taken);
-
-    history_.shiftIn(taken);
 }
 
 } // namespace bpsim

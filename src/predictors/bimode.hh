@@ -10,16 +10,14 @@
 #ifndef BPSIM_PREDICTORS_BIMODE_HH
 #define BPSIM_PREDICTORS_BIMODE_HH
 
-#include <vector>
-
 #include "common/history.hh"
-#include "common/sat_counter.hh"
+#include "common/packed_pht.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** Bi-Mode two-bank predictor with a choice PHT. */
-class BiModePredictor : public DirectionPredictor
+class BiModePredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -37,16 +35,57 @@ class BiModePredictor : public DirectionPredictor
         return (takenBank_.size() + notTakenBank_.size() +
                 choice_.size()) * 2 + history_.length();
     }
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // Inline bodies: see the note in gshare.hh.
+    bool
+    predict(Addr pc) override
+    {
+        lastChoiceTaken_ = choice_.taken(choiceIndex(pc));
+        const std::size_t di = directionIndex(pc);
+        lastPrediction_ = lastChoiceTaken_ ? takenBank_.taken(di)
+                                           : notTakenBank_.taken(di);
+        return lastPrediction_;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        const std::size_t di = directionIndex(pc);
+        // Only the bank that made the prediction is trained,
+        // preserving each bank's bias.
+        if (lastChoiceTaken_)
+            takenBank_.update(di, taken);
+        else
+            notTakenBank_.update(di, taken);
+
+        // The choice PHT trains toward the outcome, except when it
+        // was overruled successfully: choice disagreed with the
+        // outcome but the selected bank still predicted correctly.
+        const bool selected_correct = lastPrediction_ == taken;
+        if (!(lastChoiceTaken_ != taken && selected_correct))
+            choice_.update(choiceIndex(pc), taken);
+
+        history_.shiftIn(taken);
+    }
 
   private:
-    std::size_t directionIndex(Addr pc) const;
-    std::size_t choiceIndex(Addr pc) const;
+    std::size_t
+    directionIndex(Addr pc) const
+    {
+        const std::uint64_t h = history_.length() > dirIndexBits_
+                                    ? history_.fold(dirIndexBits_)
+                                    : history_.low64();
+        return static_cast<std::size_t>((indexPc(pc) ^ h) & dirMask_);
+    }
 
-    std::vector<TwoBitCounter> takenBank_;
-    std::vector<TwoBitCounter> notTakenBank_;
-    std::vector<TwoBitCounter> choice_;
+    std::size_t
+    choiceIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>(indexPc(pc)) & choiceMask_;
+    }
+
+    PackedPhtStorage takenBank_;
+    PackedPhtStorage notTakenBank_;
+    PackedPhtStorage choice_;
     std::size_t dirMask_;
     std::size_t choiceMask_;
     unsigned dirIndexBits_;

@@ -17,34 +17,10 @@ GsharePredictor::GsharePredictor(std::size_t entries,
     assert(isPowerOfTwo(entries));
 }
 
-std::size_t
-GsharePredictor::index(Addr pc) const
-{
-    // When the history is longer than the index, fold it down so all
-    // bits still participate.
-    const std::uint64_t h = history_.length() > indexBits_
-                                ? history_.fold(indexBits_)
-                                : history_.low64();
-    return static_cast<std::size_t>((indexPc(pc) ^ h) & mask_);
-}
-
-bool
-GsharePredictor::predict(Addr pc)
-{
-    return pht_[index(pc)].taken();
-}
-
-void
-GsharePredictor::update(Addr pc, bool taken)
-{
-    pht_[index(pc)].update(taken);
-    history_.shiftIn(taken);
-}
-
 void
 GsharePredictor::visitState(robust::StateVisitor &v)
 {
-    v.visit(robust::counterField("pred.gshare.pht", pht_));
+    v.visit(robust::packedCounterField("pred.gshare.pht", pht_));
     v.visit(robust::historyField("pred.gshare.history", history_));
 }
 
@@ -55,9 +31,9 @@ GsharePredictor::describeStats() const
     // counters saturated in either direction. Both scan the PHT, so
     // callers only invoke this at end of run.
     std::size_t touched = 0, strong = 0;
-    for (const TwoBitCounter &c : pht_) {
-        touched += c.value() != 1 ? 1 : 0;
-        strong += !c.weak() ? 1 : 0;
+    for (std::size_t i = 0; i < pht_.size(); ++i) {
+        touched += pht_.value(i) != 1 ? 1 : 0;
+        strong += !pht_.weak(i) ? 1 : 0;
     }
     const double n = static_cast<double>(pht_.size());
     return {

@@ -11,16 +11,14 @@
 #ifndef BPSIM_PREDICTORS_GSHARE_HH
 #define BPSIM_PREDICTORS_GSHARE_HH
 
-#include <vector>
-
 #include "common/history.hh"
-#include "common/sat_counter.hh"
+#include "common/packed_pht.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** Global-history XOR-indexed two-bit-counter predictor. */
-class GsharePredictor : public DirectionPredictor
+class GsharePredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -35,8 +33,20 @@ class GsharePredictor : public DirectionPredictor
     {
         return pht_.size() * 2 + history_.length();
     }
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // predict/update are defined inline here (not in gshare.cc): the
+    // devirtualized replay loop (core/dispatch.hh) instantiates its
+    // template at the concrete type, and the whole per-branch step
+    // only collapses into straight-line code when the bodies are
+    // visible at that call site.
+    bool predict(Addr pc) override { return pht_.taken(index(pc)); }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        pht_.update(index(pc), taken);
+        history_.shiftIn(taken);
+    }
+
     std::vector<PredictorStat> describeStats() const override;
     void visitState(robust::StateVisitor &v) override;
 
@@ -44,9 +54,18 @@ class GsharePredictor : public DirectionPredictor
     const HistoryRegister &history() const { return history_; }
 
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t
+    index(Addr pc) const
+    {
+        // When the history is longer than the index, fold it down so
+        // all bits still participate.
+        const std::uint64_t h = history_.length() > indexBits_
+                                    ? history_.fold(indexBits_)
+                                    : history_.low64();
+        return static_cast<std::size_t>((indexPc(pc) ^ h) & mask_);
+    }
 
-    std::vector<TwoBitCounter> pht_;
+    PackedPhtStorage pht_;
     std::size_t mask_;
     unsigned indexBits_;
     HistoryRegister history_;

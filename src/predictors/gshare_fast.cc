@@ -42,36 +42,6 @@ GshareFastPredictor::GshareFastPredictor(std::size_t entries,
            "gshare.fast functional model holds history in one word");
 }
 
-std::size_t
-GshareFastPredictor::indexFor(Addr pc) const
-{
-    // Row from *stale* history (the prefetch began rowLag branches
-    // ago), column from the freshest speculative history XOR the low
-    // PC bits. The fetch-time bit that sits at select-boundary
-    // position selBits at prediction time was at position
-    // (selBits - rowLag) when the row address was formed, so the row
-    // shift is selBits - rowLag: together the column and row then
-    // observe a contiguous history window, which is why the buffer
-    // must hold at least 2^latency entries (Section 3.3.1). With
-    // rowLag == 0 the row uses current history and the only
-    // difference from gshare is that PC bits stop at bit selBits.
-    const std::uint64_t lagged =
-        historyRing_[(ringPos_ + historyRing_.size() - rowLag_) %
-                     historyRing_.size()];
-    const std::uint64_t row =
-        (lagged >> (selBits_ - rowLag_)) &
-        loMask(historyBits_ - selBits_);
-    const std::uint64_t col =
-        (indexPc(pc) ^ history_) & loMask(selBits_);
-    return static_cast<std::size_t>((row << selBits_) | col);
-}
-
-bool
-GshareFastPredictor::predict(Addr pc)
-{
-    return pht_[indexFor(pc)].taken();
-}
-
 void
 GshareFastPredictor::visitState(robust::StateVisitor &v)
 {
@@ -79,29 +49,9 @@ GshareFastPredictor::visitState(robust::StateVisitor &v)
     // register. (The history ring and pending-update queue are
     // pipeline latches, not part of the predictor's storage budget;
     // an upset there is a re-steer, not a table corruption.)
-    v.visit(robust::counterField("pred.gshare.fast.pht", pht_));
+    v.visit(robust::packedCounterField("pred.gshare.fast.pht", pht_));
     v.visit(robust::wordField("pred.gshare.fast.history", history_,
                               historyBits_));
-}
-
-void
-GshareFastPredictor::update(Addr pc, bool taken)
-{
-    // Non-speculative PHT update, possibly applied slowly: enqueue
-    // now, retire once updateDelay_ younger branches have passed.
-    pending_.emplace_back(indexFor(pc), taken);
-    while (pending_.size() > updateDelay_) {
-        const auto [idx, dir] = pending_.front();
-        pending_.pop_front();
-        pht_[idx].update(dir);
-    }
-
-    // Speculative history update with perfect recovery == shift in
-    // the actual outcome (see predictor.hh).
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
-               loMask(historyBits_);
-    ringPos_ = (ringPos_ + 1) % historyRing_.size();
-    historyRing_[ringPos_] = history_;
 }
 
 } // namespace bpsim

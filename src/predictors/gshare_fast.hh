@@ -32,13 +32,14 @@
 #include <deque>
 #include <vector>
 
-#include "common/sat_counter.hh"
+#include "common/bitutil.hh"
+#include "common/packed_pht.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** Functional model of the pipelined gshare.fast predictor. */
-class GshareFastPredictor : public DirectionPredictor
+class GshareFastPredictor final : public DirectionPredictor
 {
   public:
     /** Width of the within-row select (paper: lower 9 PC bits). */
@@ -60,8 +61,30 @@ class GshareFastPredictor : public DirectionPredictor
     {
         return pht_.size() * 2 + historyBits_;
     }
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // Inline bodies: see the note in gshare.hh.
+    bool predict(Addr pc) override { return pht_.taken(indexFor(pc)); }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        // Non-speculative PHT update, possibly applied slowly:
+        // enqueue now, retire once updateDelay_ younger branches
+        // have passed.
+        pending_.emplace_back(indexFor(pc), taken);
+        while (pending_.size() > updateDelay_) {
+            const auto [idx, dir] = pending_.front();
+            pending_.pop_front();
+            pht_.update(idx, dir);
+        }
+
+        // Speculative history update with perfect recovery == shift
+        // in the actual outcome (see predictor.hh).
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   loMask(historyBits_);
+        ringPos_ = (ringPos_ + 1) % historyRing_.size();
+        historyRing_[ringPos_] = history_;
+    }
+
     void visitState(robust::StateVisitor &v) override;
 
     /** History length (== log2 entries, as for gshare). */
@@ -76,10 +99,33 @@ class GshareFastPredictor : public DirectionPredictor
 
     /** Index the full PHT for a (pc, current-history) pair — used by
      *  the pipelined engine's equivalence tests. */
-    std::size_t indexFor(Addr pc) const;
+    std::size_t
+    indexFor(Addr pc) const
+    {
+        // Row from *stale* history (the prefetch began rowLag
+        // branches ago), column from the freshest speculative history
+        // XOR the low PC bits. The fetch-time bit that sits at
+        // select-boundary position selBits at prediction time was at
+        // position (selBits - rowLag) when the row address was
+        // formed, so the row shift is selBits - rowLag: together the
+        // column and row then observe a contiguous history window,
+        // which is why the buffer must hold at least 2^latency
+        // entries (Section 3.3.1). With rowLag == 0 the row uses
+        // current history and the only difference from gshare is that
+        // PC bits stop at bit selBits.
+        const std::uint64_t lagged =
+            historyRing_[(ringPos_ + historyRing_.size() - rowLag_) %
+                         historyRing_.size()];
+        const std::uint64_t row =
+            (lagged >> (selBits_ - rowLag_)) &
+            loMask(historyBits_ - selBits_);
+        const std::uint64_t col =
+            (indexPc(pc) ^ history_) & loMask(selBits_);
+        return static_cast<std::size_t>((row << selBits_) | col);
+    }
 
   private:
-    std::vector<TwoBitCounter> pht_;
+    PackedPhtStorage pht_;
     unsigned historyBits_;
     unsigned selBits_;
     unsigned rowLag_;

@@ -7,34 +7,6 @@
 
 namespace bpsim {
 
-namespace {
-
-/**
- * The skewing functions of Michaud/Seznec/Uhlig build each bank's
- * index from a different invertible mix of the same (pc, history)
- * pair. We use H(x) = rotate/xor mixes that are cheap and give the
- * required inter-bank dispersion.
- */
-std::uint64_t
-skewMix(std::uint64_t v, unsigned bits, unsigned variant)
-{
-    const std::uint64_t m = loMask(bits);
-    std::uint64_t x = v & m;
-    const std::uint64_t hi = (v >> bits) & m;
-    switch (variant) {
-      case 0:
-        return x ^ hi;
-      case 1:
-        // H: x -> (x >> 1) ^ (lsb ? taps : 0), an LFSR step.
-        return ((x >> 1) ^ ((x & 1) ? (m >> 1) ^ (m >> 3) : 0) ^ hi) &
-               m;
-      default:
-        // H^-1-ish: shift left with feedback.
-        return ((x << 1) ^ ((x >> (bits - 1)) & 1 ? 0x5 : 0) ^ hi) & m;
-    }
-}
-
-} // namespace
 
 GskewPredictor::GskewPredictor(std::size_t bank_entries,
                                unsigned history_bits)
@@ -52,82 +24,13 @@ GskewPredictor::GskewPredictor(std::size_t bank_entries,
     assert(isPowerOfTwo(bank_entries));
 }
 
-GskewPredictor::Indices
-GskewPredictor::indices(Addr pc) const
-{
-    const std::uint64_t a = indexPc(pc);
-    const std::uint64_t h = history_.fold(indexBits_);
-    const std::uint64_t hshort = history_.low(indexBits_ / 2);
-    Indices idx;
-    idx.bim = static_cast<std::size_t>(a & mask_);
-    idx.g0 = static_cast<std::size_t>(
-        skewMix(a ^ h, indexBits_, 1) & mask_);
-    idx.g1 = static_cast<std::size_t>(
-        skewMix((a << 1) ^ h, indexBits_, 2) & mask_);
-    // META sees the address and a short history, as in the EV8
-    // design.
-    idx.meta = static_cast<std::size_t>((a ^ (hshort << 1)) & mask_);
-    return idx;
-}
-
-bool
-GskewPredictor::predict(Addr pc)
-{
-    const Indices idx = indices(pc);
-    pBim_ = bim_[idx.bim].taken();
-    pG0_ = g0_[idx.g0].taken();
-    pG1_ = g1_[idx.g1].taken();
-    const int votes = (pBim_ ? 1 : 0) + (pG0_ ? 1 : 0) + (pG1_ ? 1 : 0);
-    pEgskew_ = votes >= 2;
-    pMetaGskew_ = meta_[idx.meta].taken();
-    pFinal_ = pMetaGskew_ ? pEgskew_ : pBim_;
-    return pFinal_;
-}
-
-void
-GskewPredictor::update(Addr pc, bool taken)
-{
-    const Indices idx = indices(pc);
-    const bool correct = pFinal_ == taken;
-
-    if (correct) {
-        // Partial update: strengthen only the side that was used,
-        // and within the e-gskew side only the banks that agreed.
-        if (pMetaGskew_) {
-            if (pBim_ == taken)
-                bim_[idx.bim].update(taken);
-            if (pG0_ == taken)
-                g0_[idx.g0].update(taken);
-            if (pG1_ == taken)
-                g1_[idx.g1].update(taken);
-        } else {
-            bim_[idx.bim].update(taken);
-        }
-        // Reinforce META only when the two sides disagreed, i.e.
-        // when the choice actually mattered.
-        if (pEgskew_ != pBim_)
-            meta_[idx.meta].update(pMetaGskew_);
-    } else {
-        // Full update on a misprediction: retrain everything.
-        bim_[idx.bim].update(taken);
-        g0_[idx.g0].update(taken);
-        g1_[idx.g1].update(taken);
-        if (pEgskew_ != pBim_) {
-            // Train META toward whichever side was right.
-            meta_[idx.meta].update(pEgskew_ == taken);
-        }
-    }
-
-    history_.shiftIn(taken);
-}
-
 void
 GskewPredictor::visitState(robust::StateVisitor &v)
 {
-    v.visit(robust::counterField("pred.2bc-gskew.bim", bim_));
-    v.visit(robust::counterField("pred.2bc-gskew.g0", g0_));
-    v.visit(robust::counterField("pred.2bc-gskew.g1", g1_));
-    v.visit(robust::counterField("pred.2bc-gskew.meta", meta_));
+    v.visit(robust::packedCounterField("pred.2bc-gskew.bim", bim_));
+    v.visit(robust::packedCounterField("pred.2bc-gskew.g0", g0_));
+    v.visit(robust::packedCounterField("pred.2bc-gskew.g1", g1_));
+    v.visit(robust::packedCounterField("pred.2bc-gskew.meta", meta_));
     v.visit(robust::historyField("pred.2bc-gskew.history", history_));
 }
 

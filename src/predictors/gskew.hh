@@ -18,16 +18,15 @@
 #ifndef BPSIM_PREDICTORS_GSKEW_HH
 #define BPSIM_PREDICTORS_GSKEW_HH
 
-#include <vector>
-
+#include "common/bitutil.hh"
 #include "common/history.hh"
-#include "common/sat_counter.hh"
+#include "common/packed_pht.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** EV8-style 2Bc-gskew hybrid. */
-class GskewPredictor : public DirectionPredictor
+class GskewPredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -46,8 +45,59 @@ class GskewPredictor : public DirectionPredictor
                    2 +
                history_.length();
     }
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // Inline bodies: see the note in gshare.hh.
+    bool
+    predict(Addr pc) override
+    {
+        const Indices idx = indices(pc);
+        pBim_ = bim_.taken(idx.bim);
+        pG0_ = g0_.taken(idx.g0);
+        pG1_ = g1_.taken(idx.g1);
+        const int votes =
+            (pBim_ ? 1 : 0) + (pG0_ ? 1 : 0) + (pG1_ ? 1 : 0);
+        pEgskew_ = votes >= 2;
+        pMetaGskew_ = meta_.taken(idx.meta);
+        pFinal_ = pMetaGskew_ ? pEgskew_ : pBim_;
+        return pFinal_;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        const Indices idx = indices(pc);
+        const bool correct = pFinal_ == taken;
+
+        if (correct) {
+            // Partial update: strengthen only the side that was used,
+            // and within the e-gskew side only the banks that agreed.
+            if (pMetaGskew_) {
+                if (pBim_ == taken)
+                    bim_.update(idx.bim, taken);
+                if (pG0_ == taken)
+                    g0_.update(idx.g0, taken);
+                if (pG1_ == taken)
+                    g1_.update(idx.g1, taken);
+            } else {
+                bim_.update(idx.bim, taken);
+            }
+            // Reinforce META only when the two sides disagreed, i.e.
+            // when the choice actually mattered.
+            if (pEgskew_ != pBim_)
+                meta_.update(idx.meta, pMetaGskew_);
+        } else {
+            // Full update on a misprediction: retrain everything.
+            bim_.update(idx.bim, taken);
+            g0_.update(idx.g0, taken);
+            g1_.update(idx.g1, taken);
+            if (pEgskew_ != pBim_) {
+                // Train META toward whichever side was right.
+                meta_.update(idx.meta, pEgskew_ == taken);
+            }
+        }
+
+        history_.shiftIn(taken);
+    }
+
     void visitState(robust::StateVisitor &v) override;
 
   private:
@@ -55,12 +105,58 @@ class GskewPredictor : public DirectionPredictor
     {
         std::size_t bim, g0, g1, meta;
     };
-    Indices indices(Addr pc) const;
 
-    std::vector<TwoBitCounter> bim_;
-    std::vector<TwoBitCounter> g0_;
-    std::vector<TwoBitCounter> g1_;
-    std::vector<TwoBitCounter> meta_;
+    /**
+     * The skewing functions of Michaud/Seznec/Uhlig build each bank's
+     * index from a different invertible mix of the same (pc, history)
+     * pair. We use H(x) = rotate/xor mixes that are cheap and give
+     * the required inter-bank dispersion.
+     */
+    static std::uint64_t
+    skewMix(std::uint64_t v, unsigned bits, unsigned variant)
+    {
+        const std::uint64_t m = loMask(bits);
+        std::uint64_t x = v & m;
+        const std::uint64_t hi = (v >> bits) & m;
+        switch (variant) {
+          case 0:
+            return x ^ hi;
+          case 1:
+            // H: x -> (x >> 1) ^ (lsb ? taps : 0), an LFSR step.
+            return ((x >> 1) ^
+                    ((x & 1) ? (m >> 1) ^ (m >> 3) : 0) ^ hi) &
+                   m;
+          default:
+            // H^-1-ish: shift left with feedback.
+            return ((x << 1) ^
+                    ((x >> (bits - 1)) & 1 ? 0x5 : 0) ^ hi) &
+                   m;
+        }
+    }
+
+    Indices
+    indices(Addr pc) const
+    {
+        const std::uint64_t a = indexPc(pc);
+        const std::uint64_t h = history_.fold(indexBits_);
+        const std::uint64_t hshort = history_.low(indexBits_ / 2);
+        Indices idx;
+        idx.bim = static_cast<std::size_t>(a & mask_);
+        idx.g0 = static_cast<std::size_t>(
+            skewMix(a ^ h, indexBits_, 1) & mask_);
+        idx.g1 = static_cast<std::size_t>(
+            skewMix((a << 1) ^ h, indexBits_, 2) & mask_);
+        // META sees the address and a short history, as in the EV8
+        // design.
+        idx.meta =
+            static_cast<std::size_t>((a ^ (hshort << 1)) & mask_);
+        return idx;
+    }
+
+    PackedPhtStorage bim_;
+    PackedPhtStorage g0_;
+    PackedPhtStorage g1_;
+    PackedPhtStorage meta_;
     std::size_t mask_;
     unsigned indexBits_;
     HistoryRegister history_;

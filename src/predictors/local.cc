@@ -14,9 +14,8 @@ LocalPredictor::LocalPredictor(std::size_t history_entries,
     : histories_(history_entries, 0),
       pht_(pht_entries == 0 ? (std::size_t{1} << history_bits)
                             : pht_entries,
-           SatCounter(counter_bits,
-                      static_cast<std::uint8_t>(
-                          (1u << counter_bits) / 2 - 1))),
+           counter_bits,
+           static_cast<std::uint8_t>((1u << counter_bits) / 2 - 1)),
       historyBits_(history_bits),
       counterBits_(counter_bits),
       histMask_(history_entries - 1),
@@ -27,46 +26,12 @@ LocalPredictor::LocalPredictor(std::size_t history_entries,
     assert(history_bits >= 1 && history_bits <= 64);
 }
 
-std::size_t
-LocalPredictor::historyIndex(Addr pc) const
-{
-    return static_cast<std::size_t>(indexPc(pc)) & histMask_;
-}
-
-std::size_t
-LocalPredictor::phtIndex(Addr pc) const
-{
-    return static_cast<std::size_t>(histories_[historyIndex(pc)]) &
-           phtMask_;
-}
-
-std::uint64_t
-LocalPredictor::localHistory(Addr pc) const
-{
-    return histories_[historyIndex(pc)];
-}
-
-bool
-LocalPredictor::predict(Addr pc)
-{
-    return pht_[phtIndex(pc)].taken();
-}
-
-void
-LocalPredictor::update(Addr pc, bool taken)
-{
-    pht_[phtIndex(pc)].update(taken);
-    auto &h = histories_[historyIndex(pc)];
-    h = ((h << 1) | (taken ? 1 : 0)) & loMask(historyBits_);
-}
-
 void
 LocalPredictor::visitState(robust::StateVisitor &v)
 {
     v.visit(robust::wordArrayField("pred.local.histories",
                                    histories_, historyBits_));
-    v.visit(robust::satCounterField("pred.local.pht", pht_,
-                                    counterBits_));
+    v.visit(robust::packedSatField("pred.local.pht", pht_));
 }
 
 } // namespace bpsim

@@ -12,13 +12,14 @@
 
 #include <vector>
 
-#include "common/sat_counter.hh"
+#include "common/bitutil.hh"
+#include "common/packed_pht.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** PAg-style local-history two-level predictor. */
-class LocalPredictor : public DirectionPredictor
+class LocalPredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -39,19 +40,43 @@ class LocalPredictor : public DirectionPredictor
         return histories_.size() * historyBits_ +
                pht_.size() * counterBits_;
     }
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // Inline bodies: see the note in gshare.hh.
+    bool predict(Addr pc) override { return pht_.taken(phtIndex(pc)); }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        pht_.update(phtIndex(pc), taken);
+        auto &h = histories_[historyIndex(pc)];
+        h = ((h << 1) | (taken ? 1 : 0)) & loMask(historyBits_);
+    }
+
     void visitState(robust::StateVisitor &v) override;
 
     /** Raw local history of @p pc's entry (for the perceptron). */
-    std::uint64_t localHistory(Addr pc) const;
+    std::uint64_t
+    localHistory(Addr pc) const
+    {
+        return histories_[historyIndex(pc)];
+    }
 
   private:
-    std::size_t historyIndex(Addr pc) const;
-    std::size_t phtIndex(Addr pc) const;
+    std::size_t
+    historyIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>(indexPc(pc)) & histMask_;
+    }
+
+    std::size_t
+    phtIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>(
+                   histories_[historyIndex(pc)]) &
+               phtMask_;
+    }
 
     std::vector<std::uint64_t> histories_;
-    std::vector<SatCounter> pht_;
+    PackedSatStorage pht_;
     unsigned historyBits_;
     unsigned counterBits_;
     std::size_t histMask_;

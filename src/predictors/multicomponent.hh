@@ -35,7 +35,7 @@
 namespace bpsim {
 
 /** Evers-style multi-component hybrid with confidence selection. */
-class MultiComponentPredictor : public DirectionPredictor
+class MultiComponentPredictor final : public DirectionPredictor
 {
   public:
     /** One global two-level component: table size and history. */

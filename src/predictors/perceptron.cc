@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hh"
+#include "common/vec_kernels.hh"
 #include "robust/state_visitor.hh"
 
 namespace bpsim {
@@ -19,14 +20,18 @@ PerceptronPredictor::PerceptronPredictor(std::size_t num_perceptrons,
       localMask_(local_entries - 1),
       threshold_(static_cast<int>(1.93 * (global_bits + local_bits)) +
                  14),
+      weightMin_(-(1 << (weight_bits - 1))),
+      weightMax_((1 << (weight_bits - 1)) - 1),
       rowStride_(1 + global_bits + local_bits),
       globalHistory_(global_bits),
-      localHistories_(local_bits > 0 ? local_entries : 0, 0)
+      localHistories_(local_bits > 0 ? local_entries : 0, 0),
+      inputs_(1 + global_bits + local_bits, 0)
 {
     assert(num_perceptrons >= 1);
     assert(local_bits == 0 || isPowerOfTwo(local_entries));
-    weights_.assign(num_perceptrons * rowStride_,
-                    SignedWeight(weight_bits, 0));
+    assert(weight_bits >= 2 && weight_bits <= 16);
+    weights_.assign(num_perceptrons * rowStride_, 0);
+    inputs_[0] = 1; // bias input is constant
 }
 
 std::size_t
@@ -65,24 +70,27 @@ PerceptronPredictor::visitState(robust::StateVisitor &v)
                                  globalHistory_));
 }
 
+void
+PerceptronPredictor::fillInputs(Addr pc)
+{
+    std::int16_t *x = inputs_.data() + 1;
+    for (unsigned i = 0; i < globalBits_; ++i)
+        x[i] = globalHistory_.bit(i) ? 1 : -1;
+    if (localBits_ > 0) {
+        const std::uint64_t lh = localHistories_[localIndex(pc)];
+        std::int16_t *lx = x + globalBits_;
+        for (unsigned i = 0; i < localBits_; ++i)
+            lx[i] = ((lh >> i) & 1) ? 1 : -1;
+    }
+}
+
 bool
 PerceptronPredictor::predict(Addr pc)
 {
-    const SignedWeight *row = &weights_[rowIndex(pc) * rowStride_];
-    int y = row[0].value(); // bias weight (input fixed at 1)
-    for (unsigned i = 0; i < globalBits_; ++i) {
-        const int x = globalHistory_.bit(i) ? 1 : -1;
-        y += x * row[1 + i].value();
-    }
-    if (localBits_ > 0) {
-        const std::uint64_t lh = localHistories_[localIndex(pc)];
-        for (unsigned i = 0; i < localBits_; ++i) {
-            const int x = ((lh >> i) & 1) ? 1 : -1;
-            y += x * row[1 + globalBits_ + i].value();
-        }
-    }
-    lastOutput_ = y;
-    return y >= 0;
+    fillInputs(pc);
+    const std::int16_t *row = &weights_[rowIndex(pc) * rowStride_];
+    lastOutput_ = dotSignedI16(row, inputs_.data(), rowStride_);
+    return lastOutput_ >= 0;
 }
 
 void
@@ -92,21 +100,16 @@ PerceptronPredictor::update(Addr pc, bool taken)
     const int magnitude =
         lastOutput_ >= 0 ? lastOutput_ : -lastOutput_;
     // Train on mispredictions and on low-confidence correct
-    // predictions (|y| <= theta), per the TOCS training rule.
+    // predictions (|y| <= theta), per the TOCS training rule. The
+    // inputs are refilled from live state rather than reused from
+    // predict() so callers (and fault injection) that touch history
+    // between the two calls see the same behaviour as the
+    // per-element implementation did.
     if (predicted != taken || magnitude <= threshold_) {
-        SignedWeight *row = &weights_[rowIndex(pc) * rowStride_];
-        row[0].train(taken);
-        for (unsigned i = 0; i < globalBits_; ++i) {
-            const bool x = globalHistory_.bit(i);
-            row[1 + i].train(x == taken);
-        }
-        if (localBits_ > 0) {
-            const std::uint64_t lh = localHistories_[localIndex(pc)];
-            for (unsigned i = 0; i < localBits_; ++i) {
-                const bool x = (lh >> i) & 1;
-                row[1 + globalBits_ + i].train(x == taken);
-            }
-        }
+        fillInputs(pc);
+        std::int16_t *row = &weights_[rowIndex(pc) * rowStride_];
+        trainSignedI16(row, inputs_.data(), rowStride_,
+                       taken ? 1 : -1, weightMin_, weightMax_);
     }
 
     globalHistory_.shiftIn(taken);

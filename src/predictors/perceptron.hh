@@ -17,16 +17,16 @@
 #ifndef BPSIM_PREDICTORS_PERCEPTRON_HH
 #define BPSIM_PREDICTORS_PERCEPTRON_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/history.hh"
-#include "common/sat_counter.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** Global+local history perceptron predictor. */
-class PerceptronPredictor : public DirectionPredictor
+class PerceptronPredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -56,6 +56,7 @@ class PerceptronPredictor : public DirectionPredictor
   private:
     std::size_t rowIndex(Addr pc) const;
     std::size_t localIndex(Addr pc) const;
+    void fillInputs(Addr pc);
 
     unsigned globalBits_;
     unsigned localBits_;
@@ -63,12 +64,25 @@ class PerceptronPredictor : public DirectionPredictor
     std::size_t numRows_ = 1;
     std::size_t localMask_;
     int threshold_;
+    int weightMin_;
+    int weightMax_;
 
-    /** weights_[row * rowStride + j]: j=0 bias, then global, local. */
-    std::vector<SignedWeight> weights_;
+    /**
+     * weights_[row * rowStride + j]: j=0 bias, then global, local.
+     * Contiguous int16 (the SRAM width is weightBits_, charged by
+     * storageBits()) so predict's dot product and update's training
+     * sweep run over dense rows and auto-vectorize — see
+     * common/vec_kernels.hh.
+     */
+    std::vector<std::int16_t> weights_;
     std::size_t rowStride_;
     HistoryRegister globalHistory_;
     std::vector<std::uint64_t> localHistories_;
+
+    /** Scratch ±1 input vector (x[0] = 1 bias input), refilled from
+     *  the live history state by fillInputs() on every call so fault
+     *  injection into history bits is observed exactly as before. */
+    std::vector<std::int16_t> inputs_;
 
     // predict() -> update() carried state
     int lastOutput_ = 0;

@@ -25,43 +25,8 @@ TournamentPredictor::TournamentPredictor(std::size_t global_entries,
 std::size_t
 TournamentPredictor::storageBits() const
 {
-    return globalPht_.size() * 2 + local_.storageBits() +
-           chooser_.size() * 2 + history_.length();
-}
-
-std::size_t
-TournamentPredictor::globalIndex() const
-{
-    // EV6 indexes the global PHT purely by global history.
-    return static_cast<std::size_t>(history_.low64()) & globalMask_;
-}
-
-std::size_t
-TournamentPredictor::chooserIndex() const
-{
-    return static_cast<std::size_t>(history_.low64()) & chooserMask_;
-}
-
-bool
-TournamentPredictor::predict(Addr pc)
-{
-    pGlobal_ = globalPht_[globalIndex()].taken();
-    pLocal_ = local_.predict(pc);
-    pChoseGlobal_ = chooser_[chooserIndex()].taken();
-    ++predicts_;
-    choseGlobal_ += pChoseGlobal_ ? 1 : 0;
-    return pChoseGlobal_ ? pGlobal_ : pLocal_;
-}
-
-void
-TournamentPredictor::update(Addr pc, bool taken)
-{
-    // Chooser trains only when the components disagree.
-    if (pGlobal_ != pLocal_)
-        chooser_[chooserIndex()].update(pGlobal_ == taken);
-    globalPht_[globalIndex()].update(taken);
-    local_.update(pc, taken);
-    history_.shiftIn(taken);
+    return globalPht_.storageBits() + local_.storageBits() +
+           chooser_.storageBits() + history_.length();
 }
 
 std::vector<PredictorStat>
@@ -70,8 +35,8 @@ TournamentPredictor::describeStats() const
     const double n = predicts_ ? static_cast<double>(predicts_) : 1.0;
     const double global_share = static_cast<double>(choseGlobal_) / n;
     std::size_t chooser_strong = 0;
-    for (const TwoBitCounter &c : chooser_)
-        chooser_strong += !c.weak() ? 1 : 0;
+    for (std::size_t i = 0; i < chooser_.size(); ++i)
+        chooser_strong += !chooser_.weak(i) ? 1 : 0;
     return {
         {"pred.tournament.contribution{component=global}",
          global_share},

@@ -9,17 +9,15 @@
 #ifndef BPSIM_PREDICTORS_TOURNAMENT_HH
 #define BPSIM_PREDICTORS_TOURNAMENT_HH
 
-#include <vector>
-
 #include "common/history.hh"
-#include "common/sat_counter.hh"
+#include "common/packed_pht.hh"
 #include "predictors/local.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** EV6-style global/local tournament hybrid. */
-class TournamentPredictor : public DirectionPredictor
+class TournamentPredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -34,17 +32,50 @@ class TournamentPredictor : public DirectionPredictor
 
     std::string name() const override { return "ev6-tournament"; }
     std::size_t storageBits() const override;
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // Inline bodies: see the note in gshare.hh.
+    bool
+    predict(Addr pc) override
+    {
+        pGlobal_ = globalPht_.taken(globalIndex());
+        pLocal_ = local_.predict(pc);
+        pChoseGlobal_ = chooser_.taken(chooserIndex());
+        ++predicts_;
+        choseGlobal_ += pChoseGlobal_ ? 1 : 0;
+        return pChoseGlobal_ ? pGlobal_ : pLocal_;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        // Chooser trains only when the components disagree.
+        if (pGlobal_ != pLocal_)
+            chooser_.update(chooserIndex(), pGlobal_ == taken);
+        globalPht_.update(globalIndex(), taken);
+        local_.update(pc, taken);
+        history_.shiftIn(taken);
+    }
+
     std::vector<PredictorStat> describeStats() const override;
 
   private:
-    std::size_t globalIndex() const;
-    std::size_t chooserIndex() const;
+    std::size_t
+    globalIndex() const
+    {
+        // EV6 indexes the global PHT purely by global history.
+        return static_cast<std::size_t>(history_.low64()) &
+               globalMask_;
+    }
 
-    std::vector<TwoBitCounter> globalPht_;
+    std::size_t
+    chooserIndex() const
+    {
+        return static_cast<std::size_t>(history_.low64()) &
+               chooserMask_;
+    }
+
+    PackedPhtStorage globalPht_;
     LocalPredictor local_;
-    std::vector<TwoBitCounter> chooser_;
+    PackedPhtStorage chooser_;
     std::size_t globalMask_;
     std::size_t chooserMask_;
     HistoryRegister history_;

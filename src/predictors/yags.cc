@@ -38,62 +38,4 @@ YagsPredictor::storageBits() const
            history_.length();
 }
 
-std::size_t
-YagsPredictor::choiceIndex(Addr pc) const
-{
-    return static_cast<std::size_t>(indexPc(pc)) & choiceMask_;
-}
-
-std::size_t
-YagsPredictor::cacheIndex(Addr pc) const
-{
-    const std::uint64_t h = history_.low(cacheIndexBits_);
-    return static_cast<std::size_t>((indexPc(pc) ^ h) & cacheMask_);
-}
-
-std::uint16_t
-YagsPredictor::tagOf(Addr pc) const
-{
-    return static_cast<std::uint16_t>(indexPc(pc) & loMask(tagBits_));
-}
-
-bool
-YagsPredictor::predict(Addr pc)
-{
-    lastBiasTaken_ = choice_[choiceIndex(pc)].taken();
-    const auto &cache = lastBiasTaken_ ? takenCache_ : notTakenCache_;
-    const CacheEntry &e = cache[cacheIndex(pc)];
-    lastFromCache_ = e.valid && e.tag == tagOf(pc);
-    lastPrediction_ =
-        lastFromCache_ ? e.counter.taken() : lastBiasTaken_;
-    return lastPrediction_;
-}
-
-void
-YagsPredictor::update(Addr pc, bool taken)
-{
-    auto &cache = lastBiasTaken_ ? takenCache_ : notTakenCache_;
-    CacheEntry &e = cache[cacheIndex(pc)];
-
-    if (lastFromCache_) {
-        // Train the exception entry that made the prediction.
-        e.counter.update(taken);
-    } else if (taken != lastBiasTaken_) {
-        // The bias failed and no exception was recorded: allocate.
-        e.valid = true;
-        e.tag = tagOf(pc);
-        e.counter.set(taken ? 2 : 1);
-    }
-
-    // The choice PHT trains toward the outcome except when it was
-    // successfully overridden by the exception cache (the Bi-Mode
-    // partial-update rule).
-    const bool cache_correct =
-        lastFromCache_ && lastPrediction_ == taken;
-    if (!(lastBiasTaken_ != taken && cache_correct))
-        choice_[choiceIndex(pc)].update(taken);
-
-    history_.shiftIn(taken);
-}
-
 } // namespace bpsim

@@ -16,14 +16,17 @@
 
 #include <vector>
 
+#include "common/bitutil.hh"
+
 #include "common/history.hh"
+#include "common/packed_pht.hh"
 #include "common/sat_counter.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim {
 
 /** YAGS: choice PHT + tagged exception caches. */
-class YagsPredictor : public DirectionPredictor
+class YagsPredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -37,8 +40,46 @@ class YagsPredictor : public DirectionPredictor
 
     std::string name() const override { return "yags"; }
     std::size_t storageBits() const override;
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
+    // Inline bodies: see the note in gshare.hh.
+    bool
+    predict(Addr pc) override
+    {
+        lastBiasTaken_ = choice_.taken(choiceIndex(pc));
+        const auto &cache =
+            lastBiasTaken_ ? takenCache_ : notTakenCache_;
+        const CacheEntry &e = cache[cacheIndex(pc)];
+        lastFromCache_ = e.valid && e.tag == tagOf(pc);
+        lastPrediction_ =
+            lastFromCache_ ? e.counter.taken() : lastBiasTaken_;
+        return lastPrediction_;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        auto &cache = lastBiasTaken_ ? takenCache_ : notTakenCache_;
+        CacheEntry &e = cache[cacheIndex(pc)];
+
+        if (lastFromCache_) {
+            // Train the exception entry that made the prediction.
+            e.counter.update(taken);
+        } else if (taken != lastBiasTaken_) {
+            // The bias failed and no exception was recorded: allocate.
+            e.valid = true;
+            e.tag = tagOf(pc);
+            e.counter.set(taken ? 2 : 1);
+        }
+
+        // The choice PHT trains toward the outcome except when it was
+        // successfully overridden by the exception cache (the Bi-Mode
+        // partial-update rule).
+        const bool cache_correct =
+            lastFromCache_ && lastPrediction_ == taken;
+        if (!(lastBiasTaken_ != taken && cache_correct))
+            choice_.update(choiceIndex(pc), taken);
+
+        history_.shiftIn(taken);
+    }
 
   private:
     struct CacheEntry
@@ -48,11 +89,28 @@ class YagsPredictor : public DirectionPredictor
         bool valid = false;
     };
 
-    std::size_t choiceIndex(Addr pc) const;
-    std::size_t cacheIndex(Addr pc) const;
-    std::uint16_t tagOf(Addr pc) const;
+    std::size_t
+    choiceIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>(indexPc(pc)) & choiceMask_;
+    }
 
-    std::vector<TwoBitCounter> choice_;
+    std::size_t
+    cacheIndex(Addr pc) const
+    {
+        const std::uint64_t h = history_.low(cacheIndexBits_);
+        return static_cast<std::size_t>((indexPc(pc) ^ h) &
+                                        cacheMask_);
+    }
+
+    std::uint16_t
+    tagOf(Addr pc) const
+    {
+        return static_cast<std::uint16_t>(indexPc(pc) &
+                                          loMask(tagBits_));
+    }
+
+    PackedPhtStorage choice_;
     std::vector<CacheEntry> takenCache_;    ///< exceptions when bias=T
     std::vector<CacheEntry> notTakenCache_; ///< exceptions when bias=NT
     std::size_t choiceMask_;

@@ -33,6 +33,7 @@
 
 #include "common/bitutil.hh"
 #include "common/history.hh"
+#include "common/packed_pht.hh"
 #include "common/sat_counter.hh"
 
 namespace bpsim::robust {
@@ -81,6 +82,40 @@ counterField(std::string name, std::vector<TwoBitCounter> &pht)
             }};
 }
 
+/**
+ * A packed PHT of two-bit counters (four per byte). Field shape —
+ * (count, bits) and therefore bit addressing — is identical to
+ * counterField over the equivalent byte-per-counter table, so fault
+ * plans written against either representation hit the same bits.
+ */
+inline StateField
+packedCounterField(std::string name, PackedPhtStorage &pht)
+{
+    return {std::move(name), pht.size(), 2,
+            [&pht](std::size_t i) {
+                return static_cast<std::uint64_t>(pht.value(i));
+            },
+            [&pht](std::size_t i, std::uint64_t v) {
+                pht.set(i, static_cast<std::uint8_t>(v & 3));
+            }};
+}
+
+/** A bit-packed table of n-bit unsigned saturating counters; same
+ *  field shape as satCounterField at the same width. */
+inline StateField
+packedSatField(std::string name, PackedSatStorage &table)
+{
+    const unsigned bits = table.bits();
+    return {std::move(name), table.size(), bits,
+            [&table](std::size_t i) {
+                return static_cast<std::uint64_t>(table.value(i));
+            },
+            [&table, bits](std::size_t i, std::uint64_t v) {
+                table.set(i, static_cast<std::uint8_t>(v &
+                                                       loMask(bits)));
+            }};
+}
+
 /** A table of n-bit unsigned saturating counters (all same width). */
 inline StateField
 satCounterField(std::string name, std::vector<SatCounter> &table,
@@ -114,6 +149,26 @@ weightField(std::string name, std::vector<SignedWeight> &weights,
                 if (s >= (std::int64_t{1} << (bits - 1)))
                     s -= std::int64_t{1} << bits;
                 weights[i].set(static_cast<std::int16_t>(s));
+            }};
+}
+
+/** As weightField, over raw int16 storage (vectorizable perceptron
+ *  rows). Same (count, bits) shape and sign-extension semantics. */
+inline StateField
+weightField(std::string name, std::vector<std::int16_t> &weights,
+            unsigned bits)
+{
+    return {std::move(name), weights.size(), bits,
+            [&weights, bits](std::size_t i) {
+                return static_cast<std::uint64_t>(weights[i]) &
+                       loMask(bits);
+            },
+            [&weights, bits](std::size_t i, std::uint64_t v) {
+                std::int64_t s =
+                    static_cast<std::int64_t>(v & loMask(bits));
+                if (s >= (std::int64_t{1} << (bits - 1)))
+                    s -= std::int64_t{1} << bits;
+                weights[i] = static_cast<std::int16_t>(s);
             }};
 }
 

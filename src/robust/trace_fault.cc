@@ -31,6 +31,9 @@ corruptTrace(TraceBuffer &trace, double rate, Rng &rng)
             break;
         }
     }
+    // Publish: regenerate the dense branch view once, here, so the
+    // corrupted trace is immediately safe for concurrent replay.
+    trace.rebuildBranchView();
     return c;
 }
 

@@ -370,6 +370,81 @@ OooCore::commitStage(const TraceBuffer &trace)
     }
 }
 
+bool
+OooCore::skipIdleCycles(const TraceBuffer &trace, Cycle max_cycles)
+{
+    // The skip is sound only when every stage is provably a no-op
+    // until a computable wake event. Back end first: with no
+    // unissued entries and every ROB entry in flight, commit (head
+    // not done), complete (before nextCompleteCycle_) and issue
+    // (nothing to pick) all do nothing.
+    if (unissuedCount_ != 0 || robCount_ != issuedNotDone_)
+        return false;
+
+    constexpr Cycle kNever = ~Cycle{0};
+    const bool stalled = cycle_ < fetchStallUntil_;
+    Cycle wake;
+    if (fetchBlocked_) {
+        // Only branch resolution (a completion) restarts fetch.
+        wake = kNever;
+    } else if (stalled) {
+        wake = fetchStallUntil_;
+    } else if (fetchIndex_ >= trace.size() ||
+               fetchBuffer_.size() >= cfg_.fetchBufferEntries) {
+        // Fetch has nothing to fetch / nowhere to put it; only a
+        // dispatch drain (bounded below by dispatchReady) changes
+        // that.
+        wake = kNever;
+    } else {
+        return false; // fetch does real work this cycle
+    }
+
+    Cycle target = wake;
+    if (issuedNotDone_ > 0 && nextCompleteCycle_ < target)
+        target = nextCompleteCycle_;
+    // Dispatch acts (or counts a ROB stall) once the head of the
+    // fetch buffer matures; never skip past that point.
+    if (!fetchBuffer_.empty() &&
+        fetchBuffer_.front().dispatchReady < target)
+        target = fetchBuffer_.front().dispatchReady;
+    if (max_cycles < target)
+        target = max_cycles;
+    if (target == kNever || target <= cycle_ + 1)
+        return false; // nothing to gain (or no bounded wake event)
+
+    // Bulk-apply exactly the per-cycle accounting fetchStage would
+    // have performed in each skipped cycle. No tracer events are
+    // emitted in these cycles, so the event stream is unchanged.
+    const Cycle n = target - cycle_;
+    if (fetchBlocked_) {
+        result_.mispredictWaitCycles += n;
+        result_.squashedUops += n * cfg_.issueWidth;
+    } else if (stalled) {
+        switch (stallReason_) {
+          case StallReason::Icache:
+            result_.icacheStallCycles += n;
+            break;
+          case StallReason::Override:
+            result_.frontEndStallCycles += n;
+            result_.overrideStallCycles += n;
+            result_.squashedUops += n * cfg_.issueWidth;
+            break;
+          case StallReason::BtbMiss:
+            result_.frontEndStallCycles += n;
+            result_.btbStallCycles += n;
+            break;
+          case StallReason::Redirect:
+            result_.mispredictWaitCycles += n;
+            result_.squashedUops += n * cfg_.issueWidth;
+            break;
+          case StallReason::None:
+            break;
+        }
+    }
+    cycle_ = target;
+    return true;
+}
+
 SimResult
 OooCore::run(const TraceBuffer &trace)
 {
@@ -381,6 +456,8 @@ OooCore::run(const TraceBuffer &trace)
     while ((fetchIndex_ < trace.size() || robCount_ > 0 ||
             !fetchBuffer_.empty()) &&
            cycle_ < max_cycles) {
+        if (cfg_.cycleSkip && skipIdleCycles(trace, max_cycles))
+            continue;
         commitStage(trace);
         completeStage(trace);
         issueStage(trace);

@@ -165,6 +165,7 @@ class OooCore
         bool mispredictedBranch;
     };
 
+    bool skipIdleCycles(const TraceBuffer &trace, Cycle max_cycles);
     void fetchStage(const TraceBuffer &trace);
     void dispatchStage(const TraceBuffer &trace);
     void issueStage(const TraceBuffer &trace);

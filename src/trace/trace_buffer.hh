@@ -11,6 +11,7 @@
 #ifndef BPSIM_TRACE_TRACE_BUFFER_HH
 #define BPSIM_TRACE_TRACE_BUFFER_HH
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -68,7 +69,8 @@ class TraceBuffer
      * Mutable record access, for fault injection (src/robust). The
      * caller must not change @c cls — the cached conditional-branch
      * count assumes the instruction mix is fixed. Marks the branch
-     * view stale; it is rebuilt on the next branchView() call.
+     * view stale; the mutator must call rebuildBranchView() before
+     * the buffer is replayed or shared again.
      */
     MicroOp &
     mutableOp(std::size_t i)
@@ -78,21 +80,41 @@ class TraceBuffer
     }
 
     /**
+     * Recompute the dense branch index after mutation through
+     * mutableOp(). Must be called from a single thread at
+     * trace-publish time, before any replay. Making the rebuild an
+     * explicit mutating step (instead of lazily rebuilding inside
+     * const branchView()) keeps branchView() genuinely read-only, so
+     * pool workers sharing a trace never write it — the previous
+     * lazy scheme was a data race the moment a corrupted trace
+     * reached the parallel executor before its first serial view.
+     */
+    void
+    rebuildBranchView()
+    {
+        branches_.clear();
+        for (const MicroOp &op : ops_)
+            if (op.cls == InstClass::CondBranch)
+                branches_.push_back({op.pc, op.taken});
+        branchesDirty_ = false;
+    }
+
+    /**
      * Dense conditional-branch index: the {pc, taken} stream every
      * accuracy run replays, without skipping over non-branch ops.
-     * Maintained incrementally by push(); after mutation through
-     * mutableOp() the first branchView() call rebuilds it.
+     * Maintained incrementally by push().
      *
-     * Thread-safety: safe for any number of concurrent readers on an
-     * unmutated (clean) buffer — the parallel suite executor shares
-     * traces read-only. A mutator must call branchView() once, from
-     * a single thread, before the buffer is shared again.
+     * The view is frozen: requesting it on a buffer left stale by
+     * mutableOp() is a bug (asserted), not a trigger for a hidden
+     * rebuild. Safe for any number of concurrent readers — it never
+     * mutates the buffer.
      */
     const std::vector<BranchRecord> &
     branchView() const
     {
-        if (branchesDirty_)
-            rebuildBranches();
+        assert(!branchesDirty_ &&
+               "stale branch view: call rebuildBranchView() after "
+               "mutableOp() before replaying the trace");
         return branches_;
     }
 
@@ -110,19 +132,9 @@ class TraceBuffer
     }
 
   private:
-    void
-    rebuildBranches() const
-    {
-        branches_.clear();
-        for (const MicroOp &op : ops_)
-            if (op.cls == InstClass::CondBranch)
-                branches_.push_back({op.pc, op.taken});
-        branchesDirty_ = false;
-    }
-
     std::vector<MicroOp> ops_;
-    mutable std::vector<BranchRecord> branches_;
-    mutable bool branchesDirty_ = false;
+    std::vector<BranchRecord> branches_;
+    bool branchesDirty_ = false;
     Counter condBranches_ = 0;
 };
 

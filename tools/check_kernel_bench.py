@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Kernel-bench regression gate.
+
+Compares a freshly measured `microbench --benchmark_format=json` run
+against the committed baseline (bench/BENCH_KERNEL.json) and fails —
+exit code 1 — when a gated benchmark's throughput (items_per_second)
+dropped by more than the threshold. The default gate is the
+single-cell replay kernel the whole suite is built from,
+BM_PredictUpdate/gshare, at a 10% tolerance: machine-to-machine noise
+stays well under that, while losing the devirtualized fast path or
+the packed-PHT locality shows up as 2x.
+
+Usage:
+  check_kernel_bench.py BASELINE.json CURRENT.json \
+      [--key BM_PredictUpdate/gshare] [--threshold 0.10]
+
+Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> items_per_second for every benchmark in a JSON report."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_kernel_bench: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) shadow the raw ones
+        # under repetitions; prefer plain iterations.
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None:
+            out[b["name"]] = float(ips)
+    if not out:
+        print(f"check_kernel_bench: no benchmarks with "
+              f"items_per_second in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--key", action="append", default=None,
+                    help="benchmark name(s) to gate on "
+                         "(default: BM_PredictUpdate/gshare)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="maximum tolerated fractional throughput "
+                         "drop (default 0.10)")
+    args = ap.parse_args()
+    keys = args.key or ["BM_PredictUpdate/gshare"]
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+
+    # Informational table over everything both runs measured.
+    shared = sorted(set(base) & set(cur))
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  "
+          f"{'current':>12}  {'ratio':>6}")
+    for name in shared:
+        ratio = cur[name] / base[name] if base[name] else float("nan")
+        print(f"{name:<{width}}  {base[name]:>12.3e}  "
+              f"{cur[name]:>12.3e}  {ratio:>6.2f}")
+
+    failed = False
+    for key in keys:
+        if key not in base:
+            print(f"check_kernel_bench: gated benchmark '{key}' "
+                  f"missing from baseline {args.baseline}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if key not in cur:
+            print(f"check_kernel_bench: gated benchmark '{key}' "
+                  f"missing from current run {args.current}",
+                  file=sys.stderr)
+            sys.exit(2)
+        floor = base[key] * (1.0 - args.threshold)
+        if cur[key] < floor:
+            drop = 100.0 * (1.0 - cur[key] / base[key])
+            print(f"FAIL: {key} regressed {drop:.1f}% "
+                  f"({base[key]:.3e} -> {cur[key]:.3e} items/s, "
+                  f"tolerance {100.0 * args.threshold:.0f}%)",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok: {key} within tolerance "
+                  f"({cur[key]:.3e} vs {base[key]:.3e} items/s)")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
