@@ -12,23 +12,22 @@
  * gshare.fast's point.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "ablation_delay_hiding");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(600000);
-    benchHeader("Section 2.6 ablation",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Section 2.6 ablation",
                 "delay-hiding schemes for the perceptron predictor",
                 ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
     CoreConfig cfg;
 
     const std::vector<DelayMode> modes = {
@@ -37,16 +36,15 @@ main(int argc, char **argv)
         DelayMode::Stall,
     };
 
-    std::printf("%-8s %6s", "budget", "lat");
+    ctx.printf("%-8s %6s", "budget", "lat");
     for (auto m : modes)
-        std::printf("%14s", delayModeName(m).c_str());
-    std::printf("\n");
+        ctx.printf("%14s", delayModeName(m).c_str());
+    ctx.printf("\n");
 
     for (std::size_t budget : {64u * 1024, 256u * 1024, 512u * 1024}) {
-        std::printf("%-8s %6u",
-                    budgetLabel(budget).c_str(),
-                    predictorLatencyCycles(PredictorKind::Perceptron,
-                                           budget));
+        ctx.printf("%-8s %6u", budgetLabel(budget).c_str(),
+                   predictorLatencyCycles(PredictorKind::Perceptron,
+                                          budget));
         for (auto m : modes) {
             double hm = 0;
             suiteTimingReport(
@@ -55,16 +53,40 @@ main(int argc, char **argv)
                     return makeFetchPredictor(PredictorKind::Perceptron,
                                               budget, m);
                 },
-                &hm, session.report(),
-                kindName(PredictorKind::Perceptron), delayModeName(m),
-                budget, session.metricsIfEnabled(), session.tracer(),
-                session.pool());
-            std::printf("%14.3f", hm);
+                &hm, ctx.report(), kindName(PredictorKind::Perceptron),
+                delayModeName(m), budget, ctx.metricsIfEnabled(),
+                ctx.tracer(), ctx.pool());
+            ctx.printf("%14.3f", hm);
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
 
-    std::printf("\n(harmonic-mean IPC; 'ideal' is the unreachable "
-                "zero-delay upper bound)\n");
+    ctx.printf("\n(harmonic-mean IPC; 'ideal' is the unreachable "
+               "zero-delay upper bound)\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+ablationDelayHidingArtifact()
+{
+    static const ArtifactDef def = {
+        {"ablation_delay_hiding",
+         "Section 2.6 ablation: delay-hiding schemes (perceptron)",
+         600000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::ablationDelayHidingArtifact(),
+                               argc, argv);
+}
+#endif

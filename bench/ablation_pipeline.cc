@@ -12,15 +12,14 @@
  *    this quantifies it on our suite).
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "pipeline/gshare_fast_engine.hh"
 #include "predictors/gshare_fast.hh"
 
-using namespace bpsim;
+namespace bpsim {
 
 namespace {
 
@@ -61,90 +60,106 @@ checkFidelity(const TraceBuffer &trace, std::size_t entries,
     return f;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "ablation_pipeline");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(400000);
-    benchHeader("Pipeline ablation (Sections 3.1/3.3.1)",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Pipeline ablation (Sections 3.1/3.3.1)",
                 "engine fidelity, buffer sizing, staleness cost", ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
 
     // --- E12 fidelity ------------------------------------------------
-    std::printf("\nEngine vs functional model (must diverge 0 times):\n");
-    std::printf("%-10s %-14s %-12s %-12s\n", "latency", "branches",
-                "divergences", "misp (%)");
+    // Per-workload cells run on the pool; totals accumulate in
+    // commit (workload) order, so the table is the same as a serial
+    // loop's.
+    ctx.printf("\nEngine vs functional model (must diverge 0 times):\n");
+    ctx.printf("%-10s %-14s %-12s %-12s\n", "latency", "branches",
+               "divergences", "misp (%)");
     for (unsigned latency : {1u, 3u, 7u, 11u}) {
+        std::vector<Fidelity> cells(suite.size());
         Fidelity total;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            const auto f =
-                checkFidelity(suite.trace(i), 1 << 18, latency);
-            total.branches += f.branches;
-            total.divergences += f.divergences;
-            total.mispredicts += f.mispredicts;
-        }
-        std::printf("%-10u %-14llu %-12llu %-12.2f\n", latency,
-                    static_cast<unsigned long long>(total.branches),
-                    static_cast<unsigned long long>(total.divergences),
-                    100.0 * static_cast<double>(total.mispredicts) /
-                        static_cast<double>(total.branches));
+        ctx.pool()->run(
+            suite.size(),
+            [&](std::size_t i) {
+                cells[i] =
+                    checkFidelity(suite.trace(i), 1 << 18, latency);
+            },
+            [&](std::size_t i) {
+                total.branches += cells[i].branches;
+                total.divergences += cells[i].divergences;
+                total.mispredicts += cells[i].mispredicts;
+            });
+        ctx.printf("%-10u %-14llu %-12llu %-12.2f\n", latency,
+                   static_cast<unsigned long long>(total.branches),
+                   static_cast<unsigned long long>(total.divergences),
+                   100.0 * static_cast<double>(total.mispredicts) /
+                       static_cast<double>(total.branches));
     }
 
     // --- E11 buffer sizing -------------------------------------------
-    std::printf("\nPHT buffer entries required (B x 2^L, Section 3.3.1):\n");
-    std::printf("%-22s", "branches/cycle");
+    ctx.printf("\nPHT buffer entries required (B x 2^L, Section 3.3.1):\n");
+    ctx.printf("%-22s", "branches/cycle");
     for (unsigned latency : {1u, 2u, 3u, 5u, 8u})
-        std::printf("  L=%-6u", latency);
-    std::printf("\n");
+        ctx.printf("  L=%-6u", latency);
+    ctx.printf("\n");
     for (unsigned b : {1u, 2u, 4u, 8u, 16u}) {
-        std::printf("%-22u", b);
+        ctx.printf("%-22u", b);
         for (unsigned latency : {1u, 2u, 3u, 5u, 8u}) {
             GshareFastEngine::Config c;
             c.entries = 1 << 16;
             c.phtLatency = latency;
             c.branchesPerCycle = b;
-            std::printf("  %-8zu", GshareFastEngine(c).bufferEntries());
+            ctx.printf("  %-8zu", GshareFastEngine(c).bufferEntries());
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
 
     // --- E11b: bundled (multi-branch) prediction accuracy -------------
     // Section 3.3.1: with B predictions per cycle the select uses
     // speculative history that can be a whole fetch block stale; the
     // EV8 experience (and the claim here) is that this costs little.
-    std::printf("\nEngine mean misprediction vs branches/cycle "
-                "(64KB, latency 3):\n%-16s %-12s\n", "branches/cycle",
-                "misp (%)");
+    ctx.printf("\nEngine mean misprediction vs branches/cycle "
+               "(64KB, latency 3):\n%-16s %-12s\n", "branches/cycle",
+               "misp (%)");
     for (unsigned b : {1u, 2u, 4u, 8u}) {
+        struct Cell
+        {
+            Counter branches = 0;
+            Counter wrong = 0;
+        };
+        std::vector<Cell> cells(suite.size());
         Counter branches = 0, wrong = 0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            GshareFastEngine::Config c;
-            c.entries = 1 << 18;
-            c.phtLatency = 3;
-            c.branchesPerCycle = b;
-            GshareFastEngine engine(c);
-            for (const MicroOp &op : suite.trace(i)) {
-                if (op.cls != InstClass::CondBranch)
-                    continue;
-                ++branches;
-                engine.predictBranch(op.pc);
-                if (!engine.resolve(op.taken)) {
-                    ++wrong;
-                    engine.recover();
+        ctx.pool()->run(
+            suite.size(),
+            [&](std::size_t i) {
+                GshareFastEngine::Config c;
+                c.entries = 1 << 18;
+                c.phtLatency = 3;
+                c.branchesPerCycle = b;
+                GshareFastEngine engine(c);
+                for (const MicroOp &op : suite.trace(i)) {
+                    if (op.cls != InstClass::CondBranch)
+                        continue;
+                    ++cells[i].branches;
+                    engine.predictBranch(op.pc);
+                    if (!engine.resolve(op.taken)) {
+                        ++cells[i].wrong;
+                        engine.recover();
+                    }
                 }
-            }
-        }
-        std::printf("%-16u %-12.2f\n", b,
-                    100.0 * static_cast<double>(wrong) /
-                        static_cast<double>(branches));
+            },
+            [&](std::size_t i) {
+                branches += cells[i].branches;
+                wrong += cells[i].wrong;
+            });
+        ctx.printf("%-16u %-12.2f\n", b,
+                   100.0 * static_cast<double>(wrong) /
+                       static_cast<double>(branches));
     }
 
     // --- staleness sensitivity ----------------------------------------
-    std::printf("\ngshare.fast (64KB) mean misprediction vs row "
-                "staleness:\n%-12s %-12s\n", "staleness", "misp (%)");
+    ctx.printf("\ngshare.fast (64KB) mean misprediction vs row "
+               "staleness:\n%-12s %-12s\n", "staleness", "misp (%)");
     for (unsigned lag : {0u, 1u, 3u, 6u, 10u}) {
         double mean = 0;
         suiteAccuracyReport(
@@ -153,12 +168,37 @@ main(int argc, char **argv)
                 return std::make_unique<GshareFastPredictor>(
                     std::size_t{1} << 18, lag, 0);
             },
-            &mean, session.report(),
+            &mean, ctx.report(),
             "gshare.fast(lag=" + std::to_string(lag) + ")", 64 * 1024,
-            session.metricsIfEnabled(), session.pool());
-        std::printf("%-12u %-12.2f\n", lag, mean);
+            ctx.metricsIfEnabled(), ctx.pool());
+        ctx.printf("%-12u %-12.2f\n", lag, mean);
     }
-    std::printf("\nPaper reference: stale fetch history has "
-                "\"minimal impact\" (Section 3.3.1).\n");
+    ctx.printf("\nPaper reference: stale fetch history has "
+               "\"minimal impact\" (Section 3.3.1).\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+ablationPipelineArtifact()
+{
+    static const ArtifactDef def = {
+        {"ablation_pipeline",
+         "Sections 3.1/3.3.1: engine fidelity, buffers, staleness",
+         400000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::ablationPipelineArtifact(),
+                               argc, argv);
+}
+#endif

@@ -11,35 +11,33 @@
  * reports mean misprediction and harmonic-mean IPC per depth.
  */
 
-#include <cstdio>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "common/bitutil.hh"
 #include "predictors/gshare_fast.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "ablation_update_delay");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(800000);
-    benchHeader("Section 3.2 ablation",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Section 3.2 ablation",
                 "gshare.fast (256KB) accuracy/IPC vs PHT update delay",
                 ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
     CoreConfig cfg;
 
     const std::size_t budget = 256 * 1024;
     const std::size_t entries = budget * 4;
     const unsigned row_lag = 6; // ~the 256KB access latency - 1
 
-    std::printf("%-12s %-18s %-18s\n", "updateDelay",
-                "mean misp (%)", "harmonic IPC");
+    ctx.printf("%-12s %-18s %-18s\n", "updateDelay", "mean misp (%)",
+               "harmonic IPC");
 
     for (unsigned delay : {0u, 4u, 16u, 64u, 256u, 1024u}) {
         auto make = [&] {
@@ -49,9 +47,9 @@ main(int argc, char **argv)
         const std::string name =
             "gshare.fast(upd=" + std::to_string(delay) + ")";
         double mean = 0;
-        suiteAccuracyReport(suite, make, &mean, session.report(), name,
-                            budget, session.metricsIfEnabled(),
-                            session.pool());
+        suiteAccuracyReport(suite, make, &mean, ctx.report(), name,
+                            budget, ctx.metricsIfEnabled(),
+                            ctx.pool());
 
         double hm = 0;
         suiteTimingReport(
@@ -60,14 +58,37 @@ main(int argc, char **argv)
                 return std::make_unique<SingleCycleFetchPredictor>(
                     make());
             },
-            &hm, session.report(), name,
-            delayModeName(DelayMode::Ideal), budget,
-            session.metricsIfEnabled(), session.tracer(),
-            session.pool());
-        std::printf("%-12u %-18.3f %-18.3f\n", delay, mean, hm);
+            &hm, ctx.report(), name, delayModeName(DelayMode::Ideal),
+            budget, ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
+        ctx.printf("%-12u %-18.3f %-18.3f\n", delay, mean, hm);
     }
 
-    std::printf("\nPaper reference: delay 64 moves 4.03%% -> 4.07%% "
-                "misprediction, <1%% IPC loss.\n");
+    ctx.printf("\nPaper reference: delay 64 moves 4.03%% -> 4.07%% "
+               "misprediction, <1%% IPC loss.\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+ablationUpdateDelayArtifact()
+{
+    static const ArtifactDef def = {
+        {"ablation_update_delay",
+         "Section 3.2 ablation: accuracy/IPC vs PHT update delay",
+         800000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::ablationUpdateDelayArtifact(),
+                               argc, argv);
+}
+#endif

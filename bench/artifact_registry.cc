@@ -1,0 +1,39 @@
+#include "artifact_registry.hh"
+
+namespace bpsim {
+
+const std::vector<ArtifactDef> &
+artifactRegistry()
+{
+    // Canonical (paper) order: figures, table, ablations, studies.
+    // bpsweep launches and prints in this order; keep it stable so
+    // sweep output and report directories stay diffable over time.
+    static const std::vector<ArtifactDef> defs = {
+        fig1AccuracyBudgetArtifact(),
+        fig2IdealVsOverridingArtifact(),
+        fig5AccuracyLargeArtifact(),
+        fig6PerBenchmarkAccuracyArtifact(),
+        fig7IpcBudgetArtifact(),
+        fig8PerBenchmarkIpcArtifact(),
+        table2AccessDelayArtifact(),
+        ablationUpdateDelayArtifact(),
+        ablationDelayHidingArtifact(),
+        ablationPipelineArtifact(),
+        studyDisagreementArtifact(),
+        studyPipelineDepthArtifact(),
+        studyContextSwitchArtifact(),
+        studySoftErrorArtifact(),
+    };
+    return defs;
+}
+
+const ArtifactDef *
+findArtifact(const std::string &name)
+{
+    for (const ArtifactDef &def : artifactRegistry())
+        if (def.spec.name == name)
+            return &def;
+    return nullptr;
+}
+
+} // namespace bpsim

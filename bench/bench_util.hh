@@ -11,6 +11,10 @@
  * Trace length per workload defaults to a laptop-friendly value and
  * scales with the BPSIM_OPS_PER_WORKLOAD environment variable for
  * paper-scale runs.
+ *
+ * The artifact bodies themselves live behind the registry in
+ * artifact_registry.hh; this header holds the CLI-argument layer the
+ * thin per-artifact mains share.
  */
 
 #ifndef BPSIM_BENCH_BENCH_UTIL_HH
@@ -30,13 +34,13 @@ namespace bpsim {
 
 /**
  * Uniform CLI error handling for the bench binaries: after
- * BenchSession has stripped --report/--trace/--jobs and the bench
- * has consumed its own flags, anything left in argv is unknown (this
- * also catches a trailing `--report` or `--jobs` with no value,
- * which the session leaves in place). Prints a one-line error plus
- * usage to stderr and exits 2, matching the bpstat usage exit code.
- * @p extra_usage names bench-specific flags, e.g.
- * "[--manifest FILE]".
+ * BenchArgs::parse has stripped --report/--trace/--jobs (and
+ * --manifest where accepted) and the bench has consumed its own
+ * flags, anything left in argv is unknown (this also catches a
+ * trailing `--report` or `--jobs` with no value, which the strippers
+ * leave in place). Prints a one-line error plus usage to stderr and
+ * exits 2, matching the bpstat usage exit code. @p extra_usage names
+ * bench-specific flags, e.g. "[--manifest FILE]".
  */
 inline void
 requireNoExtraArgs(int argc, char **argv,
@@ -101,60 +105,51 @@ takeJobsFlag(int &argc, char **argv)
 }
 
 /**
- * Every bench binary constructs one of these first: it strips the
- * common `--report <path>` / `--trace <path>` / `--jobs <N>` flags
- * from argv (the one shared arg-parsing helper — no bench
- * hand-rolls these), and on exit writes the RunReport JSON and
- * event trace when requested. Benches append rows via the
- * suite*Report helpers in core/runner.hh, passing session.report()
- * / metricsIfEnabled() / tracer() / pool(); the session-owned
- * CellPool's utilization stats land in the report automatically.
+ * The common bench command line, parsed once and passed around as a
+ * plain value — so bpsweep (and tests) can construct one
+ * programmatically without fabricating an argv.
+ *
+ * parse() is the one shared arg-parsing path for every bench main:
+ * it strips --report/--trace (obs::takeFlag), --jobs (takeJobsFlag)
+ * and, when @p accepts_manifest, the separated `--manifest FILE`
+ * form, then rejects anything left over (requireNoExtraArgs: exit 2
+ * with the usage line). Flag syntax, precedence (last occurrence
+ * wins) and exit codes are exactly the pre-BenchArgs behavior.
  */
-class BenchSession : public obs::ReportSession
+struct BenchArgs
 {
-  public:
-    BenchSession(int &argc, char **argv,
-                 const std::string &experiment)
-        : obs::ReportSession(argc, argv, experiment),
-          pool_(takeJobsFlag(argc, argv))
+    std::string report;   ///< --report path, "" when absent
+    std::string trace;    ///< --trace path, "" when absent
+    unsigned jobs = 0;    ///< --jobs value, 0 = env/hardware
+    std::string manifest; ///< --manifest path, "" when absent
+
+    static BenchArgs
+    parse(int &argc, char **argv, bool accepts_manifest = false,
+          const std::string &extra_usage = "")
     {
+        BenchArgs args;
+        args.report = obs::takeFlag(argc, argv, "--report");
+        args.trace = obs::takeFlag(argc, argv, "--trace");
+        args.jobs = takeJobsFlag(argc, argv);
+        if (accepts_manifest) {
+            // Separated form only, as study_soft_error always
+            // accepted it.
+            int out = 1;
+            for (int i = 1; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--manifest") == 0 &&
+                    i + 1 < argc) {
+                    args.manifest = argv[i + 1];
+                    ++i;
+                    continue;
+                }
+                argv[out++] = argv[i];
+            }
+            argc = out;
+        }
+        requireNoExtraArgs(argc, argv, extra_usage);
+        return args;
     }
-
-    ~BenchSession()
-    {
-        // Before the base finish() snapshots the registry: stamp the
-        // pool's execution stats so --report runs carry utilization.
-        if (wantReport())
-            pool_.stats().publish(metrics());
-    }
-
-    /** Registry pointer only when a report will be written — so
-     *  plain stdout runs skip the metric bookkeeping entirely. */
-    obs::MetricRegistry *
-    metricsIfEnabled()
-    {
-        return wantReport() ? &metrics() : nullptr;
-    }
-
-    /** The suite-cell executor for this binary (--jobs/BPSIM_JOBS). */
-    parallel::CellPool *pool() { return &pool_; }
-
-  private:
-    parallel::CellPool pool_;
 };
-
-/** Print a standard bench header naming the reproduced artifact. */
-inline void
-benchHeader(const std::string &artifact, const std::string &what,
-            Counter ops)
-{
-    std::printf("==============================================================\n");
-    std::printf("%s — %s\n", artifact.c_str(), what.c_str());
-    std::printf("workloads: SPECint2000 stand-ins, %llu ops each "
-                "(BPSIM_OPS_PER_WORKLOAD to scale)\n",
-                static_cast<unsigned long long>(ops));
-    std::printf("==============================================================\n");
-}
 
 /** "16K", "512K" style budget label. */
 inline std::string

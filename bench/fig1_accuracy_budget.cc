@@ -9,23 +9,22 @@
  * bi-mode beats gshare.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "fig1_accuracy_budget");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(1200000);
-    benchHeader("Figure 1",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Figure 1",
                 "arithmetic-mean misprediction (%) vs hardware budget",
                 ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
 
     const std::vector<PredictorKind> kinds = {
         PredictorKind::Gshare,
@@ -34,22 +33,47 @@ main(int argc, char **argv)
         PredictorKind::Perceptron,
     };
 
-    std::printf("%-16s", "budget");
+    ctx.printf("%-16s", "budget");
     for (auto k : kinds)
-        std::printf("%16s", kindName(k).c_str());
-    std::printf("\n");
+        ctx.printf("%16s", kindName(k).c_str());
+    ctx.printf("\n");
 
     for (std::size_t budget : figure1BudgetsBytes()) {
-        std::printf("%-16s", budgetLabel(budget).c_str());
+        ctx.printf("%-16s", budgetLabel(budget).c_str());
         for (auto k : kinds) {
             double mean = 0;
             suiteAccuracyReport(
                 suite, [&] { return makePredictor(k, budget); },
-                &mean, session.report(), kindName(k), budget,
-                session.metricsIfEnabled(), session.pool());
-            std::printf("%16.2f", mean);
+                &mean, ctx.report(), kindName(k), budget,
+                ctx.metricsIfEnabled(), ctx.pool());
+            ctx.printf("%16.2f", mean);
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+fig1AccuracyBudgetArtifact()
+{
+    static const ArtifactDef def = {
+        {"fig1_accuracy_budget",
+         "Figure 1: mean misprediction (%) vs hardware budget",
+         1200000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::fig1AccuracyBudgetArtifact(),
+                               argc, argv);
+}
+#endif

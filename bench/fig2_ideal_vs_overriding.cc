@@ -11,22 +11,21 @@
  * paper's motivating result.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "fig2_ideal_vs_overriding");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(800000);
-    benchHeader("Figure 2",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Figure 2",
                 "harmonic-mean IPC: zero-delay vs overriding", ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
     CoreConfig cfg;
 
     const std::vector<PredictorKind> kinds = {
@@ -34,16 +33,16 @@ main(int argc, char **argv)
         PredictorKind::MultiComponent,
     };
 
-    std::printf("%-8s", "budget");
+    ctx.printf("%-8s", "budget");
     for (auto k : kinds) {
-        std::printf(" %21s", (kindName(k) + " (ideal)").c_str());
-        std::printf(" %21s", (kindName(k) + " (overr.)").c_str());
-        std::printf(" %5s", "lat");
+        ctx.printf(" %21s", (kindName(k) + " (ideal)").c_str());
+        ctx.printf(" %21s", (kindName(k) + " (overr.)").c_str());
+        ctx.printf(" %5s", "lat");
     }
-    std::printf("\n");
+    ctx.printf("\n");
 
     for (std::size_t budget : largeBudgetsBytes()) {
-        std::printf("%-8s", budgetLabel(budget).c_str());
+        ctx.printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : kinds) {
             double ideal = 0, over = 0;
             suiteTimingReport(
@@ -52,27 +51,50 @@ main(int argc, char **argv)
                     return makeFetchPredictor(k, budget,
                                               DelayMode::Ideal);
                 },
-                &ideal, session.report(), kindName(k),
+                &ideal, ctx.report(), kindName(k),
                 delayModeName(DelayMode::Ideal), budget,
-                session.metricsIfEnabled(), session.tracer(),
-                session.pool());
+                ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
             suiteTimingReport(
                 suite, cfg,
                 [&] {
                     return makeFetchPredictor(k, budget,
                                               DelayMode::Overriding);
                 },
-                &over, session.report(), kindName(k),
+                &over, ctx.report(), kindName(k),
                 delayModeName(DelayMode::Overriding), budget,
-                session.metricsIfEnabled(), session.tracer(),
-                session.pool());
-            std::printf(" %21.3f %21.3f %5u", ideal, over,
-                        predictorLatencyCycles(k, budget));
+                ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
+            ctx.printf(" %21.3f %21.3f %5u", ideal, over,
+                       predictorLatencyCycles(k, budget));
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
 
-    std::printf("\n(\"lat\" = modelled access latency in cycles; the "
-                "overriding penalty per disagreement)\n");
+    ctx.printf("\n(\"lat\" = modelled access latency in cycles; the "
+               "overriding penalty per disagreement)\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+fig2IdealVsOverridingArtifact()
+{
+    static const ArtifactDef def = {
+        {"fig2_ideal_vs_overriding",
+         "Figure 2: harmonic-mean IPC, zero-delay vs overriding",
+         800000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(
+        bpsim::fig2IdealVsOverridingArtifact(), argc, argv);
+}
+#endif

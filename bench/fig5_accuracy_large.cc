@@ -11,40 +11,63 @@
  * is stable.
  */
 
-#include <cstdio>
+#include "artifact_registry.hh"
 
-#include "bench_util.hh"
+namespace bpsim {
 
-using namespace bpsim;
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "fig5_accuracy_large");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(1200000);
-    benchHeader("Figure 5",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Figure 5",
                 "arithmetic-mean misprediction (%) of the four large "
                 "predictors",
                 ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
 
-    std::printf("%-8s", "budget");
+    ctx.printf("%-8s", "budget");
     for (auto k : largePredictorKinds())
-        std::printf("%16s", kindName(k).c_str());
-    std::printf("\n");
+        ctx.printf("%16s", kindName(k).c_str());
+    ctx.printf("\n");
 
     for (std::size_t budget : largeBudgetsBytes()) {
-        std::printf("%-8s", budgetLabel(budget).c_str());
+        ctx.printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : largePredictorKinds()) {
             double mean = 0;
             suiteAccuracyReport(
                 suite, [&] { return makePredictor(k, budget); },
-                &mean, session.report(), kindName(k), budget,
-                session.metricsIfEnabled(), session.pool());
-            std::printf("%16.2f", mean);
+                &mean, ctx.report(), kindName(k), budget,
+                ctx.metricsIfEnabled(), ctx.pool());
+            ctx.printf("%16.2f", mean);
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+fig5AccuracyLargeArtifact()
+{
+    static const ArtifactDef def = {
+        {"fig5_accuracy_large",
+         "Figure 5: mean misprediction (%) of the large predictors",
+         1200000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::fig5AccuracyLargeArtifact(),
+                               argc, argv);
+}
+#endif

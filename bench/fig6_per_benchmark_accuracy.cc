@@ -6,24 +6,23 @@
  * others), plus the arithmetic mean.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "common/stats.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "fig6_per_benchmark_accuracy");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(1200000);
-    benchHeader("Figure 6",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Figure 6",
                 "per-benchmark misprediction (%) at the 64KB budget",
                 ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
 
     const std::vector<std::pair<PredictorKind, std::size_t>> configs = {
         {PredictorKind::MultiComponent, 53 * 1024},
@@ -32,10 +31,10 @@ main(int argc, char **argv)
         {PredictorKind::GshareFast, 64 * 1024},
     };
 
-    std::printf("%-12s", "benchmark");
+    ctx.printf("%-12s", "benchmark");
     for (const auto &[k, b] : configs)
-        std::printf("%16s", kindName(k).c_str());
-    std::printf("\n");
+        ctx.printf("%16s", kindName(k).c_str());
+    ctx.printf("\n");
 
     std::vector<std::vector<double>> per_kind(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -45,22 +44,46 @@ main(int argc, char **argv)
                 return makePredictor(configs[c].first,
                                      configs[c].second);
             },
-            nullptr, session.report(), kindName(configs[c].first),
-            configs[c].second, session.metricsIfEnabled(),
-            session.pool());
+            nullptr, ctx.report(), kindName(configs[c].first),
+            configs[c].second, ctx.metricsIfEnabled(), ctx.pool());
         for (const auto &r : res)
             per_kind[c].push_back(r.percent());
     }
 
     for (std::size_t i = 0; i < suite.size(); ++i) {
-        std::printf("%-12s", shortName(suite.name(i)).c_str());
+        ctx.printf("%-12s", shortName(suite.name(i)).c_str());
         for (std::size_t c = 0; c < configs.size(); ++c)
-            std::printf("%16.2f", per_kind[c][i]);
-        std::printf("\n");
+            ctx.printf("%16.2f", per_kind[c][i]);
+        ctx.printf("\n");
     }
-    std::printf("%-12s", "arith.mean");
+    ctx.printf("%-12s", "arith.mean");
     for (std::size_t c = 0; c < configs.size(); ++c)
-        std::printf("%16.2f", arithmeticMean(per_kind[c]));
-    std::printf("\n");
+        ctx.printf("%16.2f", arithmeticMean(per_kind[c]));
+    ctx.printf("\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+fig6PerBenchmarkAccuracyArtifact()
+{
+    static const ArtifactDef def = {
+        {"fig6_per_benchmark_accuracy",
+         "Figure 6: per-benchmark misprediction (%) at 64KB",
+         1200000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(
+        bpsim::fig6PerBenchmarkAccuracyArtifact(), argc, argv);
+}
+#endif

@@ -12,56 +12,74 @@
  * hides its delay completely.
  */
 
-#include <cstdio>
+#include "artifact_registry.hh"
 
-#include "bench_util.hh"
-
-using namespace bpsim;
+namespace bpsim {
 
 namespace {
 
 void
-sweep(BenchSession &session, const SuiteTraces &suite,
+sweep(SweepContext &ctx, const SuiteTraces &suite,
       const CoreConfig &cfg, DelayMode mode, const char *title)
 {
-    std::printf("\n-- %s --\n", title);
-    std::printf("%-8s", "budget");
+    ctx.printf("\n-- %s --\n", title);
+    ctx.printf("%-8s", "budget");
     for (auto k : largePredictorKinds())
-        std::printf("%16s", kindName(k).c_str());
-    std::printf("\n");
+        ctx.printf("%16s", kindName(k).c_str());
+    ctx.printf("\n");
     for (std::size_t budget : largeBudgetsBytes()) {
-        std::printf("%-8s", budgetLabel(budget).c_str());
+        ctx.printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : largePredictorKinds()) {
             double hm = 0;
             suiteTimingReport(
                 suite, cfg,
                 [&] { return makeFetchPredictor(k, budget, mode); },
-                &hm, session.report(), kindName(k),
-                delayModeName(mode), budget,
-                session.metricsIfEnabled(), session.tracer(),
-                session.pool());
-            std::printf("%16.3f", hm);
+                &hm, ctx.report(), kindName(k), delayModeName(mode),
+                budget, ctx.metricsIfEnabled(), ctx.tracer(),
+                ctx.pool());
+            ctx.printf("%16.3f", hm);
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
+}
+
+int
+run(const ArtifactSpec &spec, SweepContext &ctx)
+{
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Figure 7",
+                "harmonic-mean IPC vs hardware budget", ops);
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
+    CoreConfig cfg;
+
+    sweep(ctx, suite, cfg, DelayMode::Ideal,
+          "left graph: 1-cycle (ideal) prediction");
+    sweep(ctx, suite, cfg, DelayMode::Overriding,
+          "right graph: overriding prediction (gshare.fast pipelined)");
+    return 0;
 }
 
 } // namespace
 
+const ArtifactDef &
+fig7IpcBudgetArtifact()
+{
+    static const ArtifactDef def = {
+        {"fig7_ipc_budget",
+         "Figure 7: harmonic-mean IPC vs hardware budget", 800000,
+         false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
 int
 main(int argc, char **argv)
 {
-    BenchSession session(argc, argv, "fig7_ipc_budget");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(800000);
-    benchHeader("Figure 7", "harmonic-mean IPC vs hardware budget",
-                ops);
-    SuiteTraces suite(ops, 42, session.pool());
-    CoreConfig cfg;
-
-    sweep(session, suite, cfg, DelayMode::Ideal,
-          "left graph: 1-cycle (ideal) prediction");
-    sweep(session, suite, cfg, DelayMode::Overriding,
-          "right graph: overriding prediction (gshare.fast pipelined)");
-    return 0;
+    return bpsim::artifactMain(bpsim::fig7IpcBudgetArtifact(), argc,
+                               argv);
 }
+#endif

@@ -10,25 +10,24 @@
  * slightly, others favour gshare.fast.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "common/stats.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "fig8_per_benchmark_ipc");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(800000);
-    benchHeader("Figure 8",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Figure 8",
                 "per-benchmark IPC at the 53KB/64KB budget "
                 "(overriding implementations)",
                 ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
     CoreConfig cfg;
 
     const std::vector<std::pair<PredictorKind, std::size_t>> configs = {
@@ -47,30 +46,54 @@ main(int argc, char **argv)
                                           configs[c].second,
                                           DelayMode::Overriding);
             },
-            nullptr, session.report(), kindName(configs[c].first),
+            nullptr, ctx.report(), kindName(configs[c].first),
             delayModeName(DelayMode::Overriding), configs[c].second,
-            session.metricsIfEnabled(), session.tracer(),
-            session.pool());
+            ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
         for (const auto &r : res)
             ipc[c].push_back(r.ipc());
     }
 
-    std::printf("%-12s", "benchmark");
+    ctx.printf("%-12s", "benchmark");
     for (const auto &[k, b] : configs)
-        std::printf("%16s", kindName(k).c_str());
-    std::printf("\n");
+        ctx.printf("%16s", kindName(k).c_str());
+    ctx.printf("\n");
     for (std::size_t i = 0; i < suite.size(); ++i) {
-        std::printf("%-12s", shortName(suite.name(i)).c_str());
+        ctx.printf("%-12s", shortName(suite.name(i)).c_str());
         for (std::size_t c = 0; c < configs.size(); ++c)
-            std::printf("%16.3f", ipc[c][i]);
-        std::printf("\n");
+            ctx.printf("%16.3f", ipc[c][i]);
+        ctx.printf("\n");
     }
-    std::printf("%-12s", "harm.mean");
+    ctx.printf("%-12s", "harm.mean");
     for (std::size_t c = 0; c < configs.size(); ++c)
-        std::printf("%16.3f", harmonicMean(ipc[c]));
-    std::printf("\n%-12s", "arith.mean");
+        ctx.printf("%16.3f", harmonicMean(ipc[c]));
+    ctx.printf("\n%-12s", "arith.mean");
     for (std::size_t c = 0; c < configs.size(); ++c)
-        std::printf("%16.3f", arithmeticMean(ipc[c]));
-    std::printf("\n");
+        ctx.printf("%16.3f", arithmeticMean(ipc[c]));
+    ctx.printf("\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+fig8PerBenchmarkIpcArtifact()
+{
+    static const ArtifactDef def = {
+        {"fig8_per_benchmark_ipc",
+         "Figure 8: per-benchmark IPC at 53KB/64KB (overriding)",
+         800000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::fig8PerBenchmarkIpcArtifact(),
+                               argc, argv);
+}
+#endif

@@ -15,6 +15,7 @@
 #include "common/vec_kernels.hh"
 #include "core/factory.hh"
 #include "core/runner.hh"
+#include "obs/report_session.hh"
 #include "parallel/cell_pool.hh"
 #include "trace/trace_cache.hh"
 #include "workloads/registry.hh"
@@ -273,6 +274,33 @@ BM_TraceCacheWarm(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 
+/**
+ * Compressed trace-cache codec: one store (delta+varint encode +
+ * fwrite) plus one load (read + checksum + decode) of a 200k-op
+ * trace per iteration. Isolates the v2 entry format from workload
+ * generation; items processed counts trace ops through the codec
+ * (encode + decode).
+ */
+void
+BM_TraceCacheCompressed(benchmark::State &state)
+{
+    const std::string dir =
+        std::filesystem::temp_directory_path() /
+        "bpsim_microbench_cache_compressed";
+    std::filesystem::remove_all(dir);
+    const TraceCache cache(dir);
+    const TraceBuffer &trace = sharedTrace();
+    Counter ops = 0;
+    for (auto _ : state) {
+        cache.store("176.gcc", trace.size(), 42, trace);
+        const auto loaded = cache.load("176.gcc", trace.size(), 42);
+        benchmark::DoNotOptimize(loaded->size());
+        ops += 2 * trace.size();
+    }
+    std::filesystem::remove_all(dir);
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
 } // namespace
 } // namespace bpsim
 
@@ -290,6 +318,8 @@ BENCHMARK(bpsim::BM_CellPoolSuiteAccuracy)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TraceCacheCold)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TraceCacheWarm)->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_TraceCacheCompressed)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_OooCoreStallSkip)
     ->Arg(0)
     ->Arg(1)
@@ -300,8 +330,11 @@ int
 main(int argc, char **argv)
 {
     // Strip --report/--trace/--jobs before google-benchmark sees argv
-    // so its own flag parser does not reject them.
-    bpsim::BenchSession session(argc, argv, "microbench");
+    // so its own flag parser does not reject them. BenchArgs::parse
+    // is unusable here: it rejects every leftover argument, including
+    // google-benchmark's own flags.
+    bpsim::obs::ReportSession session(argc, argv, "microbench");
+    (void)bpsim::takeJobsFlag(argc, argv);
     bpsim::registerKernelBenchmarks();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -10,14 +10,15 @@
  * running the workloads back to back.
  */
 
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
+#include "trace/shared_trace_pool.hh"
 #include "workloads/registry.hh"
 
-using namespace bpsim;
+namespace bpsim {
 
 namespace {
 
@@ -38,39 +39,40 @@ interleave(const TraceBuffer &a, const TraceBuffer &b,
     return out;
 }
 
-double
-mispOn(BenchSession &session, const std::string &workload,
-       const TraceBuffer &t, PredictorKind kind)
-{
-    auto p = makePredictor(kind, 64 * 1024);
-    const auto r = runAccuracy(*p, t);
-    if (session.wantReport())
-        session.report().rows.push_back(
-            reportRow(workload, kindName(kind), 64 * 1024, r));
-    return r.percent();
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "study_context_switch");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(400000);
-    std::printf("==============================================================\n");
-    std::printf("Context-switch study — interleaved gcc+crafty at 64KB\n");
-    std::printf("(the workload regime Evers' multi-component design "
-                "targets)\n");
-    std::printf("==============================================================\n");
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    ctx.printf("==============================================================\n");
+    ctx.printf("Context-switch study — interleaved gcc+crafty at 64KB\n");
+    ctx.printf("(the workload regime Evers' multi-component design "
+               "targets)\n");
+    ctx.printf("==============================================================\n");
 
-    const auto gcc = makeWorkload("176.gcc");
-    const auto crafty = makeWorkload("186.crafty");
-    const TraceBuffer ta = generateTrace(*gcc, ops, 42);
-    const TraceBuffer tb = generateTrace(*crafty, ops, 42);
-    const TraceBuffer back_to_back = interleave(ta, tb, ta.size());
-    session.report().opsPerWorkload = ops;
-    session.report().seed = 42;
+    // The base traces go through the shared pool (and the on-disk
+    // cache): in a sweep they are the same buffers the suite benches
+    // replay, materialized once per process.
+    const TraceCache cache = TraceCache::fromEnv();
+    const auto fetchShared = [&](const std::string &name) {
+        return SharedTracePool::global().fetch(
+            name, ops, 42, cache, [&] {
+                const auto w = makeWorkload(name);
+                return generateTrace(*w, ops, 42);
+            });
+    };
+    const auto ta = fetchShared("176.gcc");
+    const auto tb = fetchShared("186.crafty");
+    const TraceBuffer back_to_back =
+        interleave(*ta, *tb, ta->size());
+    ctx.report().opsPerWorkload = ops;
+    ctx.report().seed = 42;
+
+    const std::vector<std::size_t> quanta = {100000, 20000, 4000};
+    // Interleavings are deterministic; build each once up front
+    // instead of once per predictor kind.
+    std::vector<TraceBuffer> mixed;
+    for (std::size_t q : quanta)
+        mixed.push_back(interleave(*ta, *tb, q));
 
     const std::vector<PredictorKind> kinds = {
         PredictorKind::Gshare,
@@ -80,28 +82,76 @@ main(int argc, char **argv)
         PredictorKind::GshareFast,
     };
 
-    std::printf("%-16s %16s", "quantum (insts)", "back-to-back");
-    for (std::size_t q : {100000u, 20000u, 4000u})
-        std::printf("%16zu", q);
-    std::printf("\n");
+    ctx.printf("%-16s %16s", "quantum (insts)", "back-to-back");
+    for (std::size_t q : quanta)
+        ctx.printf("%16zu", q);
+    ctx.printf("\n");
+
+    // One cell per (kind, schedule): replay on the pool, commit rows
+    // and table text in schedule order per kind.
+    struct Schedule
+    {
+        std::string workload;
+        const TraceBuffer *trace;
+    };
+    std::vector<Schedule> schedules = {
+        {"gcc+crafty@back-to-back", &back_to_back}};
+    for (std::size_t qi = 0; qi < quanta.size(); ++qi)
+        schedules.push_back(
+            {"gcc+crafty@q=" + std::to_string(quanta[qi]),
+             &mixed[qi]});
 
     for (auto kind : kinds) {
-        std::printf("%-16s %16.2f", kindName(kind).c_str(),
-                    mispOn(session, "gcc+crafty@back-to-back",
-                           back_to_back, kind));
-        for (std::size_t q : {100000u, 20000u, 4000u}) {
-            const TraceBuffer mixed = interleave(ta, tb, q);
-            // Quantum goes into the workload name so row keys stay
-            // unique across the sweep.
-            std::printf("%16.2f",
-                        mispOn(session,
-                               "gcc+crafty@q=" + std::to_string(q),
-                               mixed, kind));
-        }
-        std::printf("\n");
+        std::vector<AccuracyResult> results(schedules.size());
+        ctx.pool()->run(
+            schedules.size(),
+            [&](std::size_t i) {
+                auto p = makePredictor(kind, 64 * 1024);
+                results[i] =
+                    runAccuracy(*p, *schedules[i].trace);
+            },
+            [&](std::size_t i) {
+                if (ctx.wantReport())
+                    ctx.report().rows.push_back(
+                        reportRow(schedules[i].workload,
+                                  kindName(kind), 64 * 1024,
+                                  results[i]));
+                if (i == 0)
+                    ctx.printf("%-16s %16.2f",
+                               kindName(kind).c_str(),
+                               results[i].percent());
+                else
+                    ctx.printf("%16.2f", results[i].percent());
+            });
+        ctx.printf("\n");
     }
 
-    std::printf("\n(mean misprediction %%; smaller quanta = more "
-                "frequent context switches)\n");
+    ctx.printf("\n(mean misprediction %%; smaller quanta = more "
+               "frequent context switches)\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+studyContextSwitchArtifact()
+{
+    static const ArtifactDef def = {
+        {"study_context_switch",
+         "Context-switch study: interleaved gcc+crafty at 64KB",
+         400000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::studyContextSwitchArtifact(),
+                               argc, argv);
+}
+#endif

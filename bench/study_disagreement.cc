@@ -12,46 +12,57 @@
  * lost to overriding bubbles.
  */
 
-#include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "common/stats.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "study_disagreement");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(800000);
-    benchHeader("Section 4.5 study",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Section 4.5 study",
                 "overriding disagreement rates at 64KB", ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
     CoreConfig cfg;
-    suite.describe(session.report());
+    suite.describe(ctx.report());
 
     for (auto kind :
          {PredictorKind::Perceptron, PredictorKind::MultiComponent}) {
-        std::printf("\n-- %s (latency %u cycles) --\n",
-                    kindName(kind).c_str(),
-                    predictorLatencyCycles(kind, 64 * 1024));
-        std::printf("%-12s %-16s %-16s %-14s\n", "benchmark",
-                    "disagree (%)", "bubble cyc (%)", "IPC");
+        ctx.printf("\n-- %s (latency %u cycles) --\n",
+                   kindName(kind).c_str(),
+                   predictorLatencyCycles(kind, 64 * 1024));
+        ctx.printf("%-12s %-16s %-16s %-14s\n", "benchmark",
+                   "disagree (%)", "bubble cyc (%)", "IPC");
         std::vector<double> rates;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            auto fp = makeFetchPredictor(kind, 64 * 1024,
-                                         DelayMode::Overriding);
-            auto *over =
-                dynamic_cast<OverridingFetchPredictor *>(fp.get());
-            const auto r =
-                runTiming(cfg, *fp, suite.trace(i), session.tracer());
-            session.report().rows.push_back(reportRow(
+        // Per-workload cells on the pool; predictors stay alive past
+        // compute so their disagreement counters can be read at
+        // commit time, in workload order. An event tracer needs one
+        // ordered stream, so it forces the serial path.
+        std::vector<std::unique_ptr<FetchPredictor>> preds(
+            suite.size());
+        std::vector<SimResult> results(suite.size());
+        const auto compute = [&](std::size_t i) {
+            preds[i] = makeFetchPredictor(kind, 64 * 1024,
+                                          DelayMode::Overriding);
+            results[i] =
+                runTiming(cfg, *preds[i], suite.trace(i),
+                          ctx.tracer());
+        };
+        const auto commit = [&](std::size_t i) {
+            const auto &r = results[i];
+            auto *over = dynamic_cast<OverridingFetchPredictor *>(
+                preds[i].get());
+            ctx.report().rows.push_back(reportRow(
                 suite.name(i), kindName(kind),
                 delayModeName(DelayMode::Overriding), 64 * 1024, cfg,
                 r));
-            if (auto *reg = session.metricsIfEnabled()) {
+            if (auto *reg = ctx.metricsIfEnabled()) {
                 r.publishMetrics(*reg, suite.name(i));
                 reg->gauge("fetch.overriding.disagree_percent{"
                            "predictor=" +
@@ -62,20 +73,54 @@ main(int argc, char **argv)
             const double dis =
                 over ? over->disagreements().percent() : 0.0;
             rates.push_back(dis);
-            std::printf("%-12s %-16.2f %-16.2f %-14.3f\n",
-                        shortName(suite.name(i)).c_str(), dis,
-                        100.0 *
-                            static_cast<double>(
-                                r.overridingBubbleCycles) /
-                            static_cast<double>(r.cycles),
-                        r.ipc());
+            ctx.printf("%-12s %-16.2f %-16.2f %-14.3f\n",
+                       shortName(suite.name(i)).c_str(), dis,
+                       100.0 *
+                           static_cast<double>(
+                               r.overridingBubbleCycles) /
+                           static_cast<double>(r.cycles),
+                       r.ipc());
+            preds[i].reset();
+        };
+        if (ctx.tracer()) {
+            for (std::size_t i = 0; i < suite.size(); ++i) {
+                compute(i);
+                commit(i);
+            }
+        } else {
+            ctx.pool()->run(suite.size(), compute, commit);
         }
-        std::printf("%-12s %-16.2f\n", "arith.mean",
-                    arithmeticMean(rates));
+        ctx.printf("%-12s %-16.2f\n", "arith.mean",
+                   arithmeticMean(rates));
     }
 
-    std::printf("\nPaper reference: perceptron overrides 7.38%% of "
-                "predictions on average;\nmulticomponent disagrees "
-                "18.1%% of the time on 300.twolf.\n");
+    ctx.printf("\nPaper reference: perceptron overrides 7.38%% of "
+               "predictions on average;\nmulticomponent disagrees "
+               "18.1%% of the time on 300.twolf.\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+studyDisagreementArtifact()
+{
+    static const ArtifactDef def = {
+        {"study_disagreement",
+         "Section 4.5 study: overriding disagreement rates at 64KB",
+         800000, false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::studyDisagreementArtifact(),
+                               argc, argv);
+}
+#endif

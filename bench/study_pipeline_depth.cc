@@ -12,26 +12,25 @@
  * the fetch stream the back end is trying to stay fed from.
  */
 
-#include <cstdio>
 #include <string>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "study_pipeline_depth");
-    requireNoExtraArgs(argc, argv);
-    const Counter ops = benchOpsPerWorkload(600000);
-    benchHeader("Pipeline-depth study",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Pipeline-depth study",
                 "512KB predictors vs front-end depth", ops);
-    SuiteTraces suite(ops, 42, session.pool());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
 
-    std::printf("%-12s %18s %18s %16s %12s\n", "front-end",
-                "perceptron ideal", "perceptron overr.",
-                "gshare.fast", "overr. loss");
+    ctx.printf("%-12s %18s %18s %16s %12s\n", "front-end",
+               "perceptron ideal", "perceptron overr.",
+               "gshare.fast", "overr. loss");
 
     for (unsigned depth : {6u, 10u, 15u, 20u, 25u}) {
         CoreConfig cfg;
@@ -47,11 +46,9 @@ main(int argc, char **argv)
                 return makeFetchPredictor(PredictorKind::Perceptron,
                                           512 * 1024, DelayMode::Ideal);
             },
-            &ideal, session.report(),
-            kindName(PredictorKind::Perceptron),
+            &ideal, ctx.report(), kindName(PredictorKind::Perceptron),
             delayModeName(DelayMode::Ideal) + depth_tag, 512 * 1024,
-            session.metricsIfEnabled(), session.tracer(),
-            session.pool());
+            ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
         suiteTimingReport(
             suite, cfg,
             [] {
@@ -59,11 +56,10 @@ main(int argc, char **argv)
                                           512 * 1024,
                                           DelayMode::Overriding);
             },
-            &over, session.report(),
-            kindName(PredictorKind::Perceptron),
+            &over, ctx.report(), kindName(PredictorKind::Perceptron),
             delayModeName(DelayMode::Overriding) + depth_tag,
-            512 * 1024, session.metricsIfEnabled(), session.tracer(),
-            session.pool());
+            512 * 1024, ctx.metricsIfEnabled(), ctx.tracer(),
+            ctx.pool());
         suiteTimingReport(
             suite, cfg,
             [] {
@@ -71,18 +67,41 @@ main(int argc, char **argv)
                                           512 * 1024,
                                           DelayMode::Pipelined);
             },
-            &fast, session.report(),
-            kindName(PredictorKind::GshareFast),
+            &fast, ctx.report(), kindName(PredictorKind::GshareFast),
             delayModeName(DelayMode::Pipelined) + depth_tag,
-            512 * 1024, session.metricsIfEnabled(), session.tracer(),
-            session.pool());
+            512 * 1024, ctx.metricsIfEnabled(), ctx.tracer(),
+            ctx.pool());
 
-        std::printf("%-12u %18.3f %18.3f %16.3f %11.1f%%\n", depth,
-                    ideal, over, fast,
-                    100.0 * (ideal - over) / ideal);
+        ctx.printf("%-12u %18.3f %18.3f %16.3f %11.1f%%\n", depth,
+                   ideal, over, fast, 100.0 * (ideal - over) / ideal);
     }
 
-    std::printf("\n(overr. loss = IPC the perceptron loses to "
-                "overriding bubbles at that depth)\n");
+    ctx.printf("\n(overr. loss = IPC the perceptron loses to "
+               "overriding bubbles at that depth)\n");
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+studyPipelineDepthArtifact()
+{
+    static const ArtifactDef def = {
+        {"study_pipeline_depth",
+         "Depth study: 512KB predictors vs front-end depth", 600000,
+         false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::studyPipelineDepthArtifact(),
+                               argc, argv);
+}
+#endif

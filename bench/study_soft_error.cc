@@ -18,37 +18,18 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "common/stats.hh"
 #include "robust/fault_injector.hh"
 #include "robust/hardened_runner.hh"
 
-using namespace bpsim;
+namespace bpsim {
 
 namespace {
-
-/** Remove "--manifest PATH" from argv; returns the path or "". */
-std::string
-takeManifestFlag(int &argc, char **argv)
-{
-    std::string value;
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
-            value = argv[i + 1];
-            ++i;
-            continue;
-        }
-        argv[out++] = argv[i];
-    }
-    argc = out;
-    return value;
-}
 
 /** "0", "1e-06", ... — stable across platforms for row keys. */
 std::string
@@ -77,20 +58,14 @@ cellSeed(std::size_t kind_i, std::size_t rate_i, std::size_t wl_i)
     return 0x5eedfa17 + kind_i * 1000003 + rate_i * 997 + wl_i;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &spec, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "study_soft_error");
-    const std::string manifestPath = takeManifestFlag(argc, argv);
-    requireNoExtraArgs(argc, argv, "[--manifest FILE]");
-
-    const Counter ops = benchOpsPerWorkload(250000);
-    benchHeader("Soft-error study",
+    const Counter ops = benchOpsPerWorkload(spec.defaultOps);
+    benchHeader(ctx, "Soft-error study",
                 "accuracy/IPC vs SRAM upset rate at 64KB", ops);
-    SuiteTraces suite(ops, 42, session.pool());
-    suite.describe(session.report());
+    SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
+    suite.describe(ctx.report());
     CoreConfig cfg;
 
     const std::size_t budget = 64 * 1024;
@@ -172,57 +147,83 @@ main(int argc, char **argv)
 
     // Generous per-cell watchdog: any wedged cell is timed out,
     // retried, and at worst annotated instead of hanging the sweep.
-    robust::HardenedSuiteRunner runner(manifestPath, robust::RetryPolicy{},
+    robust::HardenedSuiteRunner runner(ctx.manifestPath(),
+                                       robust::RetryPolicy{},
                                        std::chrono::minutes{5},
-                                       session.pool());
+                                       ctx.pool());
     const robust::HardenedRunSummary summary =
-        runner.run(cells, session.report());
+        runner.run(cells, ctx.report());
 
     // Reduce report rows back to the study tables.
     std::map<std::string, std::vector<double>> misp, ipcs;
-    for (const auto &row : session.report().rows) {
+    for (const auto &row : ctx.report().rows) {
         if (row.hasTiming)
             ipcs[row.predictor].push_back(row.ipc());
         else
             misp[row.predictor].push_back(row.mispredictPercent());
     }
 
-    std::printf("\nmean misprediction (%%) vs upset rate "
-                "(flips/bit/event, event every 256 branches)\n");
-    std::printf("%-10s", "rate");
+    ctx.printf("\nmean misprediction (%%) vs upset rate "
+               "(flips/bit/event, event every 256 branches)\n");
+    ctx.printf("%-10s", "rate");
     for (auto k : kinds)
-        std::printf("%16s", kindName(k).c_str());
-    std::printf("\n");
+        ctx.printf("%16s", kindName(k).c_str());
+    ctx.printf("\n");
     for (double rate : rates) {
-        std::printf("%-10s", rateLabel(rate).c_str());
+        ctx.printf("%-10s", rateLabel(rate).c_str());
         for (auto k : kinds) {
             const auto it = misp.find(cellLabel(k, rate));
             if (it == misp.end())
-                std::printf("%16s", "-");
+                ctx.printf("%16s", "-");
             else
-                std::printf("%16.3f", arithmeticMean(it->second));
+                ctx.printf("%16.3f", arithmeticMean(it->second));
         }
-        std::printf("\n");
+        ctx.printf("\n");
     }
 
-    std::printf("\ngshare.fast harmonic-mean IPC vs upset rate\n");
-    std::printf("%-10s %12s\n", "rate", "IPC");
+    ctx.printf("\ngshare.fast harmonic-mean IPC vs upset rate\n");
+    ctx.printf("%-10s %12s\n", "rate", "IPC");
     for (double rate : rates) {
         const auto it =
             ipcs.find(cellLabel(PredictorKind::GshareFast, rate));
         if (it == ipcs.end())
-            std::printf("%-10s %12s\n", rateLabel(rate).c_str(), "-");
+            ctx.printf("%-10s %12s\n", rateLabel(rate).c_str(), "-");
         else
-            std::printf("%-10s %12.3f\n", rateLabel(rate).c_str(),
-                        harmonicMean(it->second));
+            ctx.printf("%-10s %12.3f\n", rateLabel(rate).c_str(),
+                       harmonicMean(it->second));
     }
 
-    std::printf("\ncells: %zu completed, %zu resumed from manifest, "
-                "%zu failed (%zu retries)\n",
-                summary.completed, summary.resumed, summary.failed,
-                summary.retries);
-    if (!manifestPath.empty())
-        std::printf("manifest: %s\n", manifestPath.c_str());
+    ctx.printf("\ncells: %zu completed, %zu resumed from manifest, "
+               "%zu failed (%zu retries)\n",
+               summary.completed, summary.resumed, summary.failed,
+               summary.retries);
+    if (!ctx.manifestPath().empty())
+        ctx.printf("manifest: %s\n", ctx.manifestPath().c_str());
 
     return summary.allOk() ? 0 : 1;
 }
+
+} // namespace
+
+const ArtifactDef &
+studySoftErrorArtifact()
+{
+    static const ArtifactDef def = {
+        {"study_soft_error",
+         "Soft-error study: accuracy/IPC vs SRAM upset rate at 64KB",
+         250000, true, "[--manifest FILE]"},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::studySoftErrorArtifact(), argc,
+                               argv);
+}
+#endif

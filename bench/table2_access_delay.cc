@@ -11,29 +11,27 @@
  * 11 cycles and perceptron 9 cycles at 512KB).
  */
 
-#include <cstdio>
-
-#include "bench_util.hh"
+#include "artifact_registry.hh"
 #include "delay/clock_model.hh"
 #include "delay/sram_model.hh"
 
-using namespace bpsim;
+namespace bpsim {
+
+namespace {
 
 int
-main(int argc, char **argv)
+run(const ArtifactSpec &, SweepContext &ctx)
 {
-    BenchSession session(argc, argv, "table2_access_delay");
-    requireNoExtraArgs(argc, argv);
     const ClockModel clock;
     const SramModel sram;
 
-    std::printf("=============================================================\n");
-    std::printf("Table 2 — predictor access latencies (cycles)\n");
-    std::printf("clock: %.2f GHz (8 FO4 at 100 nm, %.0f ps period)\n",
-                clock.frequencyGHz(), clock.periodPs());
-    std::printf("=============================================================\n");
-    std::printf("%-8s %-16s %-12s %-12s %-10s\n", "budget",
-                "multicomponent", "2bc-gskew", "perceptron", "gshare");
+    ctx.printf("=============================================================\n");
+    ctx.printf("Table 2 — predictor access latencies (cycles)\n");
+    ctx.printf("clock: %.2f GHz (8 FO4 at 100 nm, %.0f ps period)\n",
+               clock.frequencyGHz(), clock.periodPs());
+    ctx.printf("=============================================================\n");
+    ctx.printf("%-8s %-16s %-12s %-12s %-10s\n", "budget",
+               "multicomponent", "2bc-gskew", "perceptron", "gshare");
 
     for (std::size_t budget : largeBudgetsBytes()) {
         const struct {
@@ -49,31 +47,55 @@ main(int argc, char **argv)
         for (std::size_t c = 0; c < 4; ++c) {
             lat[c] = predictorLatencyCycles(cols[c].kind, budget, sram,
                                             clock);
-            if (auto *reg = session.metricsIfEnabled())
+            if (auto *reg = ctx.metricsIfEnabled())
                 reg->gauge("model.latency_cycles{predictor=" +
                            std::string(cols[c].label) +
                            ",budget=" + budgetLabel(budget) + "}")
                     .set(static_cast<double>(lat[c]));
         }
-        std::printf("%-8s %-16u %-12u %-12u %-10u\n",
-                    budgetLabel(budget).c_str(), lat[0], lat[1], lat[2],
-                    lat[3]);
+        ctx.printf("%-8s %-16u %-12u %-12u %-10u\n",
+                   budgetLabel(budget).c_str(), lat[0], lat[1],
+                   lat[2], lat[3]);
     }
 
-    std::printf("\nPaper reference (legible anchors): multicomponent "
-                "3/3/4/5/7/9 over 18K..359K;\n2bc-gskew 11 and "
-                "perceptron 9 cycles at 512K; quick 2K-entry gshare "
-                "= 1 cycle.\n");
+    ctx.printf("\nPaper reference (legible anchors): multicomponent "
+               "3/3/4/5/7/9 over 18K..359K;\n2bc-gskew 11 and "
+               "perceptron 9 cycles at 512K; quick 2K-entry gshare "
+               "= 1 cycle.\n");
 
     // The single-cycle envelope the paper leans on (Section 2.5):
     // the largest PHT readable in one cycle.
-    std::printf("\nLargest two-bit-counter PHT per cycle budget:\n");
+    ctx.printf("\nLargest two-bit-counter PHT per cycle budget:\n");
     for (unsigned cycles = 1; cycles <= 4; ++cycles) {
         const auto entries = sram.maxEntriesForCycles(2, cycles, clock);
-        std::printf("  %u cycle(s): %llu entries (%llu bytes)\n",
-                    cycles,
-                    static_cast<unsigned long long>(entries),
-                    static_cast<unsigned long long>(entries / 4));
+        ctx.printf("  %u cycle(s): %llu entries (%llu bytes)\n",
+                   cycles, static_cast<unsigned long long>(entries),
+                   static_cast<unsigned long long>(entries / 4));
     }
     return 0;
 }
+
+} // namespace
+
+const ArtifactDef &
+table2AccessDelayArtifact()
+{
+    static const ArtifactDef def = {
+        {"table2_access_delay",
+         "Table 2: modelled predictor access latencies (cycles)", 0,
+         false, ""},
+        run,
+    };
+    return def;
+}
+
+} // namespace bpsim
+
+#ifndef BPSIM_ARTIFACT_LIB
+int
+main(int argc, char **argv)
+{
+    return bpsim::artifactMain(bpsim::table2AccessDelayArtifact(),
+                               argc, argv);
+}
+#endif

@@ -115,6 +115,14 @@ obs::RunReport::Row reportRow(const std::string &workload,
  * otherwise. Generation is deterministic per (workload, ops, seed),
  * so cached, parallel and serial construction all yield identical
  * traces.
+ *
+ * When constructed with shared_pool = true, the buffers come from
+ * the process-wide SharedTracePool: suites with the same key share
+ * one read-only copy instead of each holding a private gigabyte.
+ * The benches opt in; suites whose metrics are byte-compared against
+ * a private-copy baseline (tests) keep the default private copies.
+ * Either way a suite's traces are bitwise identical — only memory
+ * ownership differs.
  */
 class SuiteTraces
 {
@@ -128,17 +136,27 @@ class SuiteTraces
                          std::uint64_t seed = 42,
                          parallel::CellPool *pool = nullptr);
 
+    /** As above, sharing buffers through SharedTracePool::global()
+     *  when @p shared_pool is true. A pool hit counts as a cache
+     *  hit; only actual generation counts as a miss. */
+    SuiteTraces(Counter ops_per_workload, std::uint64_t seed,
+                parallel::CellPool *pool, bool shared_pool);
+
     /** As above with an explicit cache instead of BPSIM_TRACE_CACHE. */
     SuiteTraces(Counter ops_per_workload, std::uint64_t seed,
                 parallel::CellPool *pool, TraceCache cache);
 
     std::size_t size() const { return traces_.size(); }
     const std::string &name(std::size_t i) const { return names_[i]; }
-    const TraceBuffer &trace(std::size_t i) const { return traces_[i]; }
+    const TraceBuffer &trace(std::size_t i) const
+    {
+        return *traces_[i];
+    }
     Counter opsPerWorkload() const { return opsPerWorkload_; }
     std::uint64_t seed() const { return seed_; }
 
-    /** Workloads served from the on-disk cache at construction. */
+    /** Workloads served without generating: from the on-disk cache
+     *  or (shared_pool mode) already materialized in-process. */
     Counter cacheHits() const { return cacheHits_; }
     /** Workloads generated (and stored when a cache is enabled). */
     Counter cacheMisses() const { return cacheMisses_; }
@@ -147,8 +165,12 @@ class SuiteTraces
     void describe(obs::RunReport &report) const;
 
   private:
+    SuiteTraces(Counter ops_per_workload, std::uint64_t seed,
+                parallel::CellPool *pool, TraceCache cache,
+                bool shared_pool);
+
     std::vector<std::string> names_;
-    std::vector<TraceBuffer> traces_;
+    std::vector<std::shared_ptr<const TraceBuffer>> traces_;
     Counter opsPerWorkload_;
     std::uint64_t seed_;
     TraceCache cache_;

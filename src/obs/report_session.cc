@@ -5,14 +5,8 @@
 
 namespace bpsim::obs {
 
-namespace {
-
-/**
- * Remove "--<flag> value" pairs and "--<flag>=value" forms from argv
- * in place; returns the value of the last occurrence (or "").
- */
 std::string
-stripFlag(int &argc, char **argv, const char *flag)
+takeFlag(int &argc, char **argv, const char *flag)
 {
     const std::size_t flagLen = std::strlen(flag);
     std::string value;
@@ -34,12 +28,18 @@ stripFlag(int &argc, char **argv, const char *flag)
     return value;
 }
 
-} // namespace
-
 ReportSession::ReportSession(int &argc, char **argv,
                              const std::string &experiment)
-    : reportPath_(stripFlag(argc, argv, "--report")),
-      tracePath_(stripFlag(argc, argv, "--trace")),
+    : ReportSession(takeFlag(argc, argv, "--report"),
+                    takeFlag(argc, argv, "--trace"), experiment)
+{
+}
+
+ReportSession::ReportSession(std::string report_path,
+                             std::string trace_path,
+                             const std::string &experiment)
+    : reportPath_(std::move(report_path)),
+      tracePath_(std::move(trace_path)),
       metrics_(/*enabled=*/true)
 {
     report_.experiment = experiment;

@@ -27,6 +27,14 @@
 
 namespace bpsim::obs {
 
+/**
+ * Remove "--<flag> value" pairs and "--<flag>=value" forms from argv
+ * in place; returns the value of the last occurrence (or "").
+ * The primitive under ReportSession's flag stripping, public so
+ * programmatic argv handling (BenchArgs) can share it.
+ */
+std::string takeFlag(int &argc, char **argv, const char *flag);
+
 /** Per-binary observability session; see file comment. */
 class ReportSession
 {
@@ -36,6 +44,14 @@ class ReportSession
      * @p argc), and names the report after @p experiment.
      */
     ReportSession(int &argc, char **argv,
+                  const std::string &experiment);
+
+    /**
+     * Flag-free form for callers that already parsed their argv:
+     * writes the report to @p report_path and the event trace to
+     * @p trace_path when non-empty (a tracer exists only then).
+     */
+    ReportSession(std::string report_path, std::string trace_path,
                   const std::string &experiment);
 
     ReportSession(const ReportSession &) = delete;

@@ -75,7 +75,9 @@ unsigned envJobs();
 unsigned resolveJobs(unsigned requested);
 
 /** Runs indexed cells with deterministic commit order; see file
- *  comment. */
+ *  comment. run() is virtual so executors with a different worker
+ *  organization (the cross-artifact SweepPool in sweep_scheduler.hh)
+ *  can slot into every suite helper that takes a CellPool*. */
 class CellPool
 {
   public:
@@ -84,6 +86,8 @@ class CellPool
 
     CellPool(const CellPool &) = delete;
     CellPool &operator=(const CellPool &) = delete;
+
+    virtual ~CellPool() = default;
 
     unsigned jobs() const { return jobs_; }
 
@@ -94,12 +98,15 @@ class CellPool
      * callback throwing cancels outstanding cells and rethrows the
      * lowest-index failure after the workers are joined.
      */
-    void run(std::size_t count,
-             const std::function<void(std::size_t)> &compute,
-             const std::function<void(std::size_t)> &commit = {});
+    virtual void run(std::size_t count,
+                     const std::function<void(std::size_t)> &compute,
+                     const std::function<void(std::size_t)> &commit = {});
 
     /** Stats accumulated over every run() so far. */
     const PoolStats &stats() const { return stats_; }
+
+  protected:
+    PoolStats stats_;
 
   private:
     void runSerial(std::size_t count,
@@ -107,7 +114,6 @@ class CellPool
                    const std::function<void(std::size_t)> &commit);
 
     unsigned jobs_;
-    PoolStats stats_;
 };
 
 } // namespace bpsim::parallel

@@ -1,0 +1,261 @@
+#include "parallel/sweep_scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace bpsim::parallel {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+void
+SweepSchedulerStats::publish(obs::MetricRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.gauge(prefix + ".jobs").set(static_cast<double>(jobs));
+    reg.counter(prefix + ".cells").set(cells);
+    reg.counter(prefix + ".steals").set(steals);
+    reg.gauge(prefix + ".peak_active_queues")
+        .set(static_cast<double>(peakActiveQueues));
+}
+
+SweepScheduler::SweepScheduler(unsigned jobs)
+    : jobs_(resolveJobs(jobs))
+{
+    workers_.reserve(jobs_);
+    for (unsigned t = 0; t < jobs_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepScheduler::~SweepScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+SweepSchedulerStats
+SweepScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepSchedulerStats s;
+    s.jobs = jobs_;
+    s.cells = cells_;
+    s.steals = steals_;
+    s.peakActiveQueues = peakActiveQueues_;
+    return s;
+}
+
+SweepScheduler::QueuePtr
+SweepScheduler::addQueue(std::string label)
+{
+    auto q = std::make_shared<Queue>();
+    q->label = std::move(label);
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_.push_back(q);
+    return q;
+}
+
+void
+SweepScheduler::removeQueue(const QueuePtr &q)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_.erase(std::remove(queues_.begin(), queues_.end(), q),
+                  queues_.end());
+}
+
+void
+SweepScheduler::enqueue(Queue &q,
+                        std::vector<std::function<void()>> tasks)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &t : tasks)
+            q.tasks.push_back(std::move(t));
+        std::size_t active = 0;
+        for (const auto &qp : queues_)
+            if (!qp->tasks.empty() || qp->inFlight > 0)
+                ++active;
+        peakActiveQueues_ = std::max(peakActiveQueues_, active);
+    }
+    work_.notify_all();
+}
+
+std::size_t
+SweepScheduler::cancelPending(Queue &q)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t dropped = q.tasks.size();
+    q.tasks.clear();
+    return dropped;
+}
+
+void
+SweepScheduler::drain(Queue &q)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock,
+               [&] { return q.tasks.empty() && q.inFlight == 0; });
+}
+
+SweepScheduler::QueuePtr
+SweepScheduler::pickLocked(const QueuePtr &served) const
+{
+    if (served && !served->tasks.empty())
+        return served;
+    QueuePtr best;
+    for (const auto &q : queues_)
+        if (!q->tasks.empty() &&
+            (!best || q->tasks.size() > best->tasks.size()))
+            best = q;
+    return best;
+}
+
+void
+SweepScheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    QueuePtr served;
+    for (;;) {
+        QueuePtr q = pickLocked(served);
+        if (!q) {
+            if (stop_)
+                return;
+            work_.wait(lock);
+            continue;
+        }
+        if (served && q != served)
+            ++steals_;
+        served = q;
+        auto task = std::move(q->tasks.front());
+        q->tasks.pop_front();
+        ++q->inFlight;
+        ++cells_;
+        lock.unlock();
+        task();
+        lock.lock();
+        if (--q->inFlight == 0 && q->tasks.empty())
+            idle_.notify_all();
+    }
+}
+
+SweepPool::SweepPool(SweepScheduler &scheduler, std::string label)
+    : CellPool(scheduler.jobs()),
+      sched_(scheduler),
+      queue_(scheduler.addQueue(std::move(label)))
+{
+}
+
+SweepPool::~SweepPool()
+{
+    // run() always drains before returning, so the deque is idle.
+    sched_.removeQueue(queue_);
+}
+
+void
+SweepPool::run(std::size_t count,
+               const std::function<void(std::size_t)> &compute,
+               const std::function<void(std::size_t)> &commit)
+{
+    ++stats_.runs;
+    const auto runStart = Clock::now();
+    if (count == 0) {
+        stats_.wallMs += msSince(runStart);
+        return;
+    }
+    // Same backlog accounting as a standalone CellPool at this
+    // worker budget, so the published gauges stay comparable.
+    if (jobs() > 1 && count > jobs())
+        stats_.maxQueueDepth =
+            std::max(stats_.maxQueueDepth, count - jobs());
+
+    struct Slot
+    {
+        bool ready = false; ///< guarded by st.mu
+        double ms = 0.0;
+        std::exception_ptr error;
+    };
+    struct RunState
+    {
+        std::mutex mu;
+        std::condition_variable ready;
+        std::vector<Slot> slots;
+    };
+    RunState st;
+    st.slots.resize(count);
+
+    // The enqueued closures reference st/compute on this frame; run()
+    // never returns before every claimed task finished (drain below),
+    // and cancelled tasks are dropped unexecuted.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        tasks.push_back([i, &st, &compute] {
+            Slot s;
+            const auto t0 = Clock::now();
+            try {
+                compute(i);
+            } catch (...) {
+                s.error = std::current_exception();
+            }
+            s.ms = msSince(t0);
+            s.ready = true;
+            {
+                std::lock_guard<std::mutex> lock(st.mu);
+                st.slots[i] = std::move(s);
+            }
+            st.ready.notify_all();
+        });
+    sched_.enqueue(*queue_, std::move(tasks));
+
+    // In-order committer on the artifact's driver thread — the same
+    // loop a standalone CellPool runs, against scheduler-fed slots.
+    std::exception_ptr failure;
+    for (std::size_t i = 0; i < count && !failure; ++i) {
+        Slot s;
+        {
+            std::unique_lock<std::mutex> lock(st.mu);
+            st.ready.wait(lock, [&] { return st.slots[i].ready; });
+            s = std::move(st.slots[i]);
+        }
+        if (s.error) {
+            failure = s.error;
+            break;
+        }
+        stats_.busyMs += s.ms;
+        stats_.cellMs.push_back(s.ms);
+        ++stats_.cellsCompleted;
+        if (commit) {
+            try {
+                commit(i);
+            } catch (...) {
+                failure = std::current_exception();
+            }
+        }
+    }
+
+    if (failure)
+        sched_.cancelPending(*queue_);
+    sched_.drain(*queue_);
+    stats_.wallMs += msSince(runStart);
+    if (failure)
+        std::rethrow_exception(failure);
+}
+
+} // namespace bpsim::parallel

@@ -1,0 +1,102 @@
+#include "trace/shared_trace_pool.hh"
+
+#include <utility>
+
+namespace bpsim {
+
+void
+SharedTracePool::Stats::publish(obs::MetricRegistry &reg,
+                                const std::string &prefix) const
+{
+    reg.counter(prefix + ".memory_hits").set(memoryHits);
+    reg.counter(prefix + ".disk_hits").set(diskHits);
+    reg.counter(prefix + ".generated").set(generated);
+}
+
+SharedTracePool &
+SharedTracePool::global()
+{
+    static SharedTracePool pool;
+    return pool;
+}
+
+SharedTracePool::Stats
+SharedTracePool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+SharedTracePool::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    stats_ = Stats();
+}
+
+std::shared_ptr<const TraceBuffer>
+SharedTracePool::fetch(const std::string &workload, Counter ops,
+                       std::uint64_t seed, const TraceCache &cache,
+                       const std::function<TraceBuffer()> &generate,
+                       Source *source)
+{
+    const std::string key = workload + "|" + std::to_string(ops) +
+                            "|" + std::to_string(seed);
+    std::promise<TracePtr> mine;
+    std::shared_future<TracePtr> theirs;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Entry &e = entries_[key];
+        if (TracePtr sp = e.cached.lock()) {
+            ++stats_.memoryHits;
+            if (source)
+                *source = Source::Memory;
+            return sp;
+        }
+        if (e.inflight.valid())
+            theirs = e.inflight;
+        else
+            e.inflight = mine.get_future().share();
+    }
+
+    if (theirs.valid()) {
+        TracePtr sp = theirs.get(); // rethrows the producer's failure
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.memoryHits;
+        if (source)
+            *source = Source::Memory;
+        return sp;
+    }
+
+    // This thread owns the materialization for the key.
+    try {
+        bool hit = false;
+        TracePtr sp = std::make_shared<const TraceBuffer>(
+            cache.fetch(workload, ops, seed, generate, &hit));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            Entry &e = entries_[key];
+            e.cached = sp;
+            e.inflight = std::shared_future<TracePtr>();
+            if (hit)
+                ++stats_.diskHits;
+            else
+                ++stats_.generated;
+        }
+        if (source)
+            *source = hit ? Source::Disk : Source::Generated;
+        mine.set_value(sp);
+        return sp;
+    } catch (...) {
+        {
+            // Uncache the failure so the next request retries.
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_[key].inflight = std::shared_future<TracePtr>();
+        }
+        mine.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+} // namespace bpsim

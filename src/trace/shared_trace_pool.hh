@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Process-wide pool of materialized traces.
+ *
+ * A sweep runs many artifacts in one process, and most of them replay
+ * the same twelve workload traces at the same ops/seed. Without
+ * sharing, every SuiteTraces would deserialize (or regenerate) its
+ * own private copy — at paper scale that is gigabytes of redundant
+ * memory and most of the cold start. The pool guarantees each
+ * (workload, ops, seed) key is materialized at most once per process
+ * and handed out as a shared read-only buffer:
+ *
+ *  - the first requester materializes inline, through the supplied
+ *    TraceCache (disk hit) or generator (miss, then stored);
+ *  - concurrent requesters for the same key block on the in-flight
+ *    materialization instead of duplicating it;
+ *  - later requesters get the cached buffer for free.
+ *
+ * Entries are held by weak_ptr: the pool keeps nothing alive. When
+ * the last suite using a trace drops it, the memory is reclaimed and
+ * a later request re-materializes. Failures propagate to every
+ * blocked requester and are not cached — the next request retries.
+ *
+ * Sharing is opt-in per SuiteTraces (see runner.hh): suites that are
+ * byte-compared against a private-copy baseline keep private copies.
+ */
+
+#ifndef BPSIM_TRACE_SHARED_TRACE_POOL_HH
+#define BPSIM_TRACE_SHARED_TRACE_POOL_HH
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/types.hh"
+#include "obs/metrics.hh"
+#include "trace/trace_buffer.hh"
+#include "trace/trace_cache.hh"
+
+namespace bpsim {
+
+/** Once-per-process trace materialization; see file comment. */
+class SharedTracePool
+{
+  public:
+    /** How a fetch was served. */
+    enum class Source
+    {
+        Memory,   ///< already materialized in this process
+        Disk,      ///< first requester, served by the trace cache
+        Generated, ///< first requester, generated (and stored)
+    };
+
+    struct Stats
+    {
+        Counter memoryHits = 0;
+        Counter diskHits = 0;
+        Counter generated = 0;
+
+        /** Export as `<prefix>.*` counters. */
+        void publish(obs::MetricRegistry &reg,
+                     const std::string &prefix = "trace.pool") const;
+    };
+
+    /** The process-wide instance. */
+    static SharedTracePool &global();
+
+    SharedTracePool() = default;
+    SharedTracePool(const SharedTracePool &) = delete;
+    SharedTracePool &operator=(const SharedTracePool &) = delete;
+
+    /**
+     * The trace for a key, materializing it at most once per process
+     * (via @p cache, falling back to @p generate). Blocks when
+     * another thread is already materializing the same key.
+     * @p source (when non-null) reports how this call was served.
+     * Materialization failures rethrow to every waiting caller.
+     */
+    std::shared_ptr<const TraceBuffer>
+    fetch(const std::string &workload, Counter ops,
+          std::uint64_t seed, const TraceCache &cache,
+          const std::function<TraceBuffer()> &generate,
+          Source *source = nullptr);
+
+    Stats stats() const;
+
+    /** Drop every entry and zero the stats (test isolation only —
+     *  buffers still referenced elsewhere stay alive). */
+    void clear();
+
+  private:
+    using TracePtr = std::shared_ptr<const TraceBuffer>;
+
+    struct Entry
+    {
+        std::weak_ptr<const TraceBuffer> cached;
+        /** Valid while some thread is materializing this key. */
+        std::shared_future<TracePtr> inflight;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    Stats stats_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_SHARED_TRACE_POOL_HH

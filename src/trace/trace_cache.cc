@@ -54,10 +54,14 @@ TraceCache::load(const std::string &workload, Counter ops,
                                "' has wrong length");
         return trace;
     } catch (const TraceIoError &e) {
+        // Treat as a miss but do NOT unlink: between our failed read
+        // and a remove(), another process may have atomically renamed
+        // a good entry into place — deleting by path would throw that
+        // away (check-then-act race). Our own regeneration store()
+        // overwrites the corrupt file atomically instead.
         std::fprintf(stderr,
-                     "trace-cache: discarding corrupt entry: %s\n",
+                     "trace-cache: ignoring corrupt entry: %s\n",
                      e.what());
-        fs::remove(path, ec);
         return std::nullopt;
     }
 }
@@ -82,7 +86,7 @@ TraceCache::store(const std::string &workload, Counter ops,
             static_cast<unsigned long long>(
                 reinterpret_cast<std::uintptr_t>(&trace))));
     try {
-        writeTrace(trace, tmp);
+        writeTraceCompressed(trace, tmp);
     } catch (const TraceIoError &e) {
         std::fprintf(stderr, "trace-cache: store failed: %s\n",
                      e.what());

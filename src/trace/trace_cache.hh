@@ -11,12 +11,19 @@
  *
  * keyed by workload name, trace length, generation seed and the cache
  * format version (bumped whenever trace generation or the trace file
- * format changes meaning). Entries are ordinary trace_io files, so
- * read-back reuses the existing header/magic/count-vs-file-size
- * validation; a corrupted entry surfaces as TraceIoError, is removed
- * and regenerated. Writes go to a process-unique temp file followed
- * by an atomic rename, so concurrent bench binaries can share one
- * cache directory without ever observing a partial entry.
+ * format changes meaning). Entries are compressed trace_io files
+ * (writeTraceCompressed: delta+varint records with a trailing
+ * checksum), so read-back reuses the trace_io validation; a corrupt
+ * entry surfaces as TraceIoError and is treated as a miss. load()
+ * never unlinks — deleting by path would race other processes that
+ * may have already replaced the entry with a good one (classic
+ * check-then-act). Instead the following regeneration store()
+ * overwrites the corrupt file via its atomic rename; generation is
+ * deterministic per key, so even two processes healing the same
+ * entry concurrently rename identical bytes into place. Writes go to
+ * a process-unique temp file followed by that rename, so concurrent
+ * bench binaries can share one cache directory without ever
+ * observing a partial entry.
  *
  * The cache is opt-in: it is enabled only when constructed with a
  * directory, and fromEnv() reads BPSIM_TRACE_CACHE. A disabled cache
@@ -41,8 +48,9 @@ class TraceCache
 {
   public:
     /** Layout/meaning version of cache entries. Bump to invalidate
-     *  every existing cache when generation semantics change. */
-    static constexpr int kFormatVersion = 1;
+     *  every existing cache when generation semantics change.
+     *  v2: entries switched from raw to compressed trace files. */
+    static constexpr int kFormatVersion = 2;
 
     /** A disabled cache (all lookups miss, stores are no-ops). */
     TraceCache() = default;
@@ -64,8 +72,9 @@ class TraceCache
 
     /**
      * Load the cached trace for a key. Returns nullopt on a miss or
-     * when the entry fails trace_io validation (the corrupt file is
-     * deleted so the next store can replace it).
+     * when the entry fails trace_io validation. Corrupt entries are
+     * left in place (see file comment); the regeneration store()
+     * atomically replaces them.
      */
     std::optional<TraceBuffer> load(const std::string &workload,
                                     Counter ops,

@@ -11,7 +11,11 @@ namespace {
 
 constexpr char magic[8] = {'B', 'P', 'S', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t version = 1;
+constexpr std::uint32_t versionCompressed = 2;
 constexpr std::size_t recordBytes = 20;
+/** v2: 4 packed bytes + at least 1 byte per varint. */
+constexpr std::size_t minCompressedRecordBytes = 6;
+constexpr std::size_t checksumBytes = 8;
 
 struct FileCloser
 {
@@ -54,6 +58,60 @@ getU64(const std::uint8_t *p)
     for (int i = 0; i < 8; ++i)
         v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
     return v;
+}
+
+std::uint64_t
+fnv1a64(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Signed delta -> small unsigned value (zigzag). */
+std::uint64_t
+zigzag(std::uint64_t delta)
+{
+    const std::int64_t s = static_cast<std::int64_t>(delta);
+    return (static_cast<std::uint64_t>(s) << 1) ^
+           static_cast<std::uint64_t>(s >> 63);
+}
+
+std::uint64_t
+unzigzag(std::uint64_t z)
+{
+    return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/** Strict LEB128 decode: advances @p pos, throws on truncation or a
+ *  varint running past the 10-byte limit of a 64-bit value. */
+std::uint64_t
+getVarint(const std::uint8_t *p, std::size_t size, std::size_t &pos,
+          const std::string &path)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= size)
+            throw TraceIoError("truncated varint in '" + path + "'");
+        const std::uint8_t b = p[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+    }
+    throw TraceIoError("oversized varint in '" + path + "'");
 }
 
 } // namespace
@@ -105,6 +163,135 @@ writeTrace(const TraceBuffer &trace, const std::string &path)
     flush();
 }
 
+void
+writeTraceCompressed(const TraceBuffer &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        throw TraceIoError("cannot open '" + path + "' for writing");
+
+    std::uint8_t header[24];
+    std::memcpy(header, magic, 8);
+    putU32(header + 8, versionCompressed);
+    putU32(header + 12, 0);
+    putU64(header + 16, trace.size());
+    if (std::fwrite(header, 1, sizeof(header), f.get()) !=
+        sizeof(header))
+        throw TraceIoError("short write on header");
+
+    std::vector<std::uint8_t> payload;
+    payload.reserve(trace.size() * minCompressedRecordBytes +
+                    checksumBytes);
+
+    std::uint64_t prevPc = 0;
+    std::uint64_t prevExtra[6] = {};
+    for (const MicroOp &op : trace) {
+        const auto cls = static_cast<std::uint8_t>(op.cls);
+        // Same field domain as v1: srcA is 6 bits, srcB 7 bits.
+        const std::uint8_t srcA = op.srcA & 0x3f;
+        const std::uint8_t srcB = op.srcB & 0x7f;
+        const std::uint8_t b0 = static_cast<std::uint8_t>(
+            (cls & 0x07) | (op.taken ? 0x08 : 0) |
+            ((op.dst & 0x0f) << 4));
+        const std::uint8_t b1 = static_cast<std::uint8_t>(
+            ((op.dst >> 4) & 0x0f) | ((srcA & 0x0f) << 4));
+        const std::uint8_t b2 = static_cast<std::uint8_t>(
+            ((srcA >> 4) & 0x03) | ((srcB & 0x3f) << 2));
+        const std::uint8_t b3 =
+            static_cast<std::uint8_t>((srcB >> 6) & 0x01);
+        payload.push_back(b0);
+        payload.push_back(b1);
+        payload.push_back(b2);
+        payload.push_back(b3);
+        putVarint(payload, zigzag(op.pc - prevPc));
+        putVarint(payload, zigzag(op.extra - prevExtra[cls]));
+        prevPc = op.pc;
+        prevExtra[cls] = op.extra;
+    }
+
+    std::uint8_t sum[checksumBytes];
+    putU64(sum, fnv1a64(payload.data(), payload.size()));
+    payload.insert(payload.end(), sum, sum + checksumBytes);
+
+    if (!payload.empty() &&
+        std::fwrite(payload.data(), 1, payload.size(), f.get()) !=
+            payload.size())
+        throw TraceIoError("short write on records");
+}
+
+namespace {
+
+TraceBuffer
+readTraceCompressed(std::FILE *f, const std::string &path,
+                    std::uint64_t count)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        throw TraceIoError("cannot seek in '" + path + "'");
+    const long end = std::ftell(f);
+    if (end < 0 || static_cast<std::uint64_t>(end) < 24 + checksumBytes)
+        throw TraceIoError("truncated records in '" + path + "'");
+    const std::size_t payloadSize =
+        static_cast<std::size_t>(end) - 24 - checksumBytes;
+    // Sanity-check the declared count against the smallest possible
+    // record before reserving (see the v1 comment below).
+    if (count > payloadSize / minCompressedRecordBytes)
+        throw TraceIoError("record count in '" + path +
+                           "' exceeds file size (corrupt header?)");
+    if (std::fseek(f, 24, SEEK_SET) != 0)
+        throw TraceIoError("cannot seek in '" + path + "'");
+
+    std::vector<std::uint8_t> payload(payloadSize + checksumBytes);
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), f) !=
+            payload.size())
+        throw TraceIoError("truncated records in '" + path + "'");
+    const std::uint64_t want = getU64(payload.data() + payloadSize);
+    if (fnv1a64(payload.data(), payloadSize) != want)
+        throw TraceIoError("checksum mismatch in '" + path + "'");
+
+    TraceBuffer trace;
+    trace.reserve(count);
+    std::uint64_t prevPc = 0;
+    std::uint64_t prevExtra[6] = {};
+    std::size_t pos = 0;
+    for (std::uint64_t r = 0; r < count; ++r) {
+        if (pos + 4 > payloadSize)
+            throw TraceIoError("truncated records in '" + path + "'");
+        const std::uint8_t b0 = payload[pos];
+        const std::uint8_t b1 = payload[pos + 1];
+        const std::uint8_t b2 = payload[pos + 2];
+        const std::uint8_t b3 = payload[pos + 3];
+        pos += 4;
+        MicroOp op;
+        const std::uint8_t cls = b0 & 0x07;
+        if (cls > static_cast<std::uint8_t>(InstClass::UncondBranch) ||
+            (b3 & 0xfe) != 0)
+            throw TraceIoError("corrupt record in '" + path + "'");
+        op.cls = static_cast<InstClass>(cls);
+        op.taken = (b0 >> 3) & 1;
+        op.dst = static_cast<std::uint8_t>((b0 >> 4) |
+                                           ((b1 & 0x0f) << 4));
+        op.srcA =
+            static_cast<std::uint8_t>((b1 >> 4) | ((b2 & 0x03) << 4));
+        op.srcB = static_cast<std::uint8_t>(((b2 >> 2) & 0x3f) |
+                                            ((b3 & 0x01) << 6));
+        op.pc = prevPc + unzigzag(getVarint(payload.data(),
+                                            payloadSize, pos, path));
+        op.extra =
+            prevExtra[cls] + unzigzag(getVarint(payload.data(),
+                                                payloadSize, pos,
+                                                path));
+        prevPc = op.pc;
+        prevExtra[cls] = op.extra;
+        trace.push(op);
+    }
+    if (pos != payloadSize)
+        throw TraceIoError("trailing garbage in '" + path + "'");
+    return trace;
+}
+
+} // namespace
+
 TraceBuffer
 readTrace(const std::string &path)
 {
@@ -118,10 +305,13 @@ readTrace(const std::string &path)
         throw TraceIoError("truncated header in '" + path + "'");
     if (std::memcmp(header, magic, 8) != 0)
         throw TraceIoError("'" + path + "' is not a bpsim trace");
-    if (getU32(header + 8) != version)
+    const std::uint32_t ver = getU32(header + 8);
+    const std::uint64_t count = getU64(header + 16);
+    if (ver == versionCompressed)
+        return readTraceCompressed(f.get(), path, count);
+    if (ver != version)
         throw TraceIoError("unsupported trace version in '" + path +
                            "'");
-    const std::uint64_t count = getU64(header + 16);
 
     // Validate the declared count against the actual file size
     // before reserving: a corrupt count field must produce a clean

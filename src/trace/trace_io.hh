@@ -4,21 +4,34 @@
  *
  * Traces can be expensive to generate at paper scale, and external
  * traces (e.g. converted ChampSim/SimpleScalar traces) are the other
- * way to feed this simulator. The format is a fixed little-endian
- * record stream with a small header:
+ * way to feed this simulator. Two little-endian formats share one
+ * header; readTrace() dispatches on the version field:
  *
  *   offset  size  field
  *   0       8     magic "BPSTRACE"
- *   8       4     version (currently 1)
+ *   8       4     version (1 = raw, 2 = compressed)
  *   12      4     reserved (0)
  *   16      8     record count
- *   24      ...   records, 20 bytes each:
- *                   pc (8), extra (8), class (1),
- *                   flags (1: bit0 = taken, bits1-6 = srcB low),
- *                   dst (1), srcA low 6 bits + srcB bit6 (1)
  *
+ * Version 1 (writeTrace) is a fixed record stream, 20 bytes each:
+ *   pc (8), extra (8), class (1),
+ *   flags (1: bit0 = taken, bits1-6 = srcB low),
+ *   dst (1), srcA low 6 bits + srcB bit6 (1)
  * Register ids are 6 bits (0..63), so the two sources pack into the
- * spare flag bits.
+ * spare flag bits (srcB carries a 7th bit).
+ *
+ * Version 2 (writeTraceCompressed) delta+varint encodes the same
+ * field domain — the trace cache's on-disk format. Per record:
+ *   4 packed bytes: class (3b), taken (1b), dst (8b), srcA (6b),
+ *                   srcB (7b); the top 7 bits must be zero
+ *   LEB128 varint:  zigzag(pc - previous pc)
+ *   LEB128 varint:  zigzag(extra - previous extra *of this class*)
+ * The per-class extra baseline keeps interleaved streams (branch
+ * targets vs memory addresses vs constant-zero ALU extras) each
+ * delta-small. The payload ends with a FNV-1a-64 checksum (8 bytes),
+ * so truncation and bit flips surface as TraceIoError instead of a
+ * silently wrong trace; decode also rejects non-canonical spare
+ * bits, oversized varints and trailing garbage.
  */
 
 #ifndef BPSIM_TRACE_TRACE_IO_HH
@@ -39,10 +52,16 @@ class TraceIoError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Write @p trace to @p path; throws TraceIoError on failure. */
+/** Write @p trace to @p path (raw v1); throws TraceIoError. */
 void writeTrace(const TraceBuffer &trace, const std::string &path);
 
-/** Read a trace written by writeTrace; throws TraceIoError. */
+/** Write @p trace delta+varint compressed (v2) with a trailing
+ *  checksum; throws TraceIoError on failure. Reading it back yields
+ *  a bit-identical trace (same domain as the v1 format). */
+void writeTraceCompressed(const TraceBuffer &trace,
+                          const std::string &path);
+
+/** Read a trace written by either writer; throws TraceIoError. */
 TraceBuffer readTrace(const std::string &path);
 
 } // namespace bpsim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Contract tests for the artifact registry (bench/artifact_registry):
+ * stable unique names, and the determinism guarantee the sweep
+ * engine rests on — every artifact produces byte-identical RunReport
+ * rows and table text whether its body runs against a private
+ * CellPool (the standalone bench) or a SweepPool sharing one
+ * SweepScheduler with the other thirteen artifacts (bpsweep).
+ */
+
+#include "artifact_registry.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/cell_pool.hh"
+#include "parallel/sweep_scheduler.hh"
+#include "trace/shared_trace_pool.hh"
+
+namespace bpsim {
+namespace {
+
+TEST(ArtifactRegistry, NamesAreUniqueAndStable)
+{
+    const auto &defs = artifactRegistry();
+    ASSERT_EQ(defs.size(), 14u);
+
+    std::set<std::string> names;
+    for (const auto &def : defs) {
+        EXPECT_FALSE(def.spec.name.empty());
+        EXPECT_FALSE(def.spec.title.empty());
+        EXPECT_NE(def.fn, nullptr) << def.spec.name;
+        EXPECT_TRUE(names.insert(def.spec.name).second)
+            << "duplicate artifact name " << def.spec.name;
+    }
+
+    // These names are CLI arguments, report 'experiment' fields and
+    // CI job configuration — renaming one is a breaking change, so
+    // pin the full set.
+    const std::set<std::string> expected = {
+        "fig1_accuracy_budget", "fig2_ideal_vs_overriding",
+        "fig5_accuracy_large",  "fig6_per_benchmark_accuracy",
+        "fig7_ipc_budget",      "fig8_per_benchmark_ipc",
+        "table2_access_delay",  "ablation_update_delay",
+        "ablation_delay_hiding", "ablation_pipeline",
+        "study_disagreement",   "study_pipeline_depth",
+        "study_context_switch", "study_soft_error",
+    };
+    EXPECT_EQ(names, expected);
+}
+
+TEST(ArtifactRegistry, FindArtifactResolvesEveryNameOnly)
+{
+    for (const auto &def : artifactRegistry()) {
+        const ArtifactDef *found = findArtifact(def.spec.name);
+        ASSERT_NE(found, nullptr) << def.spec.name;
+        EXPECT_EQ(found, &def);
+    }
+    EXPECT_EQ(findArtifact("no_such_artifact"), nullptr);
+    EXPECT_EQ(findArtifact(""), nullptr);
+}
+
+/** One artifact's complete observable behavior. */
+struct Capture
+{
+    int exitCode = 0;
+    std::string output;
+    std::string rowsJson; ///< report minus the metrics snapshot
+};
+
+std::string
+rowsOnlyJson(const obs::RunReport &report)
+{
+    obs::RunReport stripped = report;
+    stripped.metrics = obs::Json();
+    return stripped.toJson().dump(2);
+}
+
+TEST(ArtifactRegistry, SweepRunsAreByteIdenticalToStandaloneRuns)
+{
+    // Small but non-trivial traces; enough cells that the sweep
+    // genuinely interleaves artifacts on the shared workers.
+    ASSERT_EQ(0, setenv("BPSIM_OPS_PER_WORKLOAD", "1000", 1));
+    ASSERT_EQ(0, unsetenv("BPSIM_TRACE_CACHE"));
+    ASSERT_EQ(0, unsetenv("BPSIM_JOBS"));
+    SharedTracePool::global().clear();
+
+    const auto &defs = artifactRegistry();
+
+    // Standalone shape: each body on its own private CellPool, one
+    // after another (what `bench/<name> --jobs 4 --report ...` does,
+    // minus the CLI).
+    std::vector<Capture> solo(defs.size());
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        parallel::CellPool pool(4);
+        BufferedSweepContext ctx(defs[i].spec, &pool,
+                                 /*want_report=*/true);
+        solo[i].exitCode = defs[i].fn(defs[i].spec, ctx);
+        ctx.finalize();
+        solo[i].output = ctx.output();
+        solo[i].rowsJson = rowsOnlyJson(ctx.report());
+        EXPECT_EQ(solo[i].exitCode, 0) << defs[i].spec.name;
+    }
+
+    // Sweep shape: all fourteen bodies concurrently, each on a
+    // SweepPool view of one shared 4-worker scheduler (what bpsweep
+    // --all --jobs 4 does, minus the CLI).
+    std::vector<Capture> swept(defs.size());
+    {
+        parallel::SweepScheduler scheduler(4);
+        std::vector<std::unique_ptr<parallel::SweepPool>> pools;
+        std::vector<std::unique_ptr<BufferedSweepContext>> contexts;
+        for (const auto &def : defs) {
+            pools.push_back(std::make_unique<parallel::SweepPool>(
+                scheduler, def.spec.name));
+            contexts.push_back(
+                std::make_unique<BufferedSweepContext>(
+                    def.spec, pools.back().get(),
+                    /*want_report=*/true));
+        }
+        std::vector<std::thread> drivers;
+        for (std::size_t i = 0; i < defs.size(); ++i)
+            drivers.emplace_back([&, i] {
+                swept[i].exitCode =
+                    defs[i].fn(defs[i].spec, *contexts[i]);
+                contexts[i]->finalize();
+            });
+        for (auto &t : drivers)
+            t.join();
+        for (std::size_t i = 0; i < defs.size(); ++i) {
+            swept[i].output = contexts[i]->output();
+            swept[i].rowsJson = rowsOnlyJson(contexts[i]->report());
+        }
+        contexts.clear();
+        pools.clear(); // all SweepPools die before the scheduler
+    }
+
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        EXPECT_EQ(swept[i].exitCode, solo[i].exitCode)
+            << defs[i].spec.name;
+        EXPECT_EQ(swept[i].output, solo[i].output)
+            << defs[i].spec.name;
+        EXPECT_EQ(swept[i].rowsJson, solo[i].rowsJson)
+            << defs[i].spec.name;
+    }
+}
+
+} // namespace
+} // namespace bpsim

@@ -9,13 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/runner.hh"
 #include "parallel/cell_pool.hh"
 #include "trace/trace_buffer.hh"
+#include "trace/trace_io.hh"
 
 namespace bpsim {
 namespace {
@@ -108,7 +112,7 @@ TEST(TraceCache, MissGeneratesAndStoresThenHits)
     fs::remove_all(dir);
 }
 
-TEST(TraceCache, CorruptEntryIsRemovedAndRegenerated)
+TEST(TraceCache, CorruptEntryIsIgnoredAndHealedByRegeneration)
 {
     const std::string dir = freshCacheDir("trace_cache_corrupt");
     TraceCache cache(dir);
@@ -116,15 +120,17 @@ TEST(TraceCache, CorruptEntryIsRemovedAndRegenerated)
     const std::string path = cache.entryPath("wl", 80, 3);
     ASSERT_TRUE(fs::exists(path));
 
-    // Stomp the entry with garbage: load must reject and delete it.
+    // Stomp the entry with garbage: load must reject it but leave
+    // the file alone — unlinking by path would race a concurrent
+    // writer that already renamed a good entry into place.
     std::FILE *f = std::fopen(path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fputs("this is not a trace file", f);
     std::fclose(f);
     EXPECT_FALSE(cache.load("wl", 80, 3).has_value());
-    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path));
 
-    // fetch regenerates and re-stores a valid entry.
+    // fetch regenerates and atomically overwrites the corrupt file.
     int generated = 0;
     bool hit = true;
     cache.fetch(
@@ -145,10 +151,11 @@ TEST(TraceCache, WrongLengthEntryIsRejected)
     const std::string dir = freshCacheDir("trace_cache_len");
     TraceCache cache(dir);
     // A valid trace file whose length does not match the key: the
-    // exact-length check must treat it as corrupt.
+    // exact-length check must treat it as corrupt (a miss; the file
+    // stays for a later store to overwrite).
     ASSERT_TRUE(cache.store("wl", 200, 1, syntheticTrace(50, 1)));
     EXPECT_FALSE(cache.load("wl", 200, 1).has_value());
-    EXPECT_FALSE(fs::exists(cache.entryPath("wl", 200, 1)));
+    EXPECT_TRUE(fs::exists(cache.entryPath("wl", 200, 1)));
     fs::remove_all(dir);
 }
 
@@ -162,6 +169,127 @@ TEST(TraceCache, FormatVersionBumpInvalidates)
     ASSERT_TRUE(v1.store("wl", 60, 2, syntheticTrace(60, 2)));
     EXPECT_TRUE(v1.load("wl", 60, 2).has_value());
     EXPECT_FALSE(v2.load("wl", 60, 2).has_value());
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, UnsupportedVersionEntryIsIgnoredAndHealed)
+{
+    const std::string dir = freshCacheDir("trace_cache_futurever");
+    TraceCache cache(dir);
+    const std::string path = cache.entryPath("wl", 70, 5);
+
+    // An entry whose trace header declares a version this build does
+    // not understand (e.g. written by a newer binary): must read as
+    // a miss, stay on disk, and be atomically replaced on store.
+    fs::create_directories(dir);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const unsigned char header[24] = {'B', 'P', 'S', 'T', 'R', 'A',
+                                      'C', 'E', 99,  0,   0,   0};
+    ASSERT_EQ(sizeof(header),
+              std::fwrite(header, 1, sizeof(header), f));
+    std::fclose(f);
+
+    EXPECT_FALSE(cache.load("wl", 70, 5).has_value());
+    EXPECT_TRUE(fs::exists(path));
+
+    int generated = 0;
+    cache.fetch("wl", 70, 5, [&] {
+        ++generated;
+        return syntheticTrace(70, 5);
+    });
+    EXPECT_EQ(generated, 1);
+    const auto healed = cache.load("wl", 70, 5);
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_EQ(healed->size(), 70u);
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, CompressedEntriesShrinkSuiteAtLeast2x)
+{
+    // The headline compression claim, measured on the real
+    // 12-workload suite: v2 (delta+varint) entries must be at least
+    // half the size of the same traces in the v1 fixed-record
+    // format.
+    const std::string dir = freshCacheDir("trace_cache_shrink");
+    const Counter ops = 20000;
+    const SuiteTraces suite(ops, 42, nullptr, TraceCache(dir));
+    TraceCache cache(dir);
+
+    std::uintmax_t rawTotal = 0, packedTotal = 0;
+    const std::string rawPath = dir + "/raw_tmp.bpt";
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const std::string entry =
+            cache.entryPath(suite.name(i), ops, 42);
+        ASSERT_TRUE(fs::exists(entry)) << suite.name(i);
+        packedTotal += fs::file_size(entry);
+        writeTrace(suite.trace(i), rawPath);
+        rawTotal += fs::file_size(rawPath);
+    }
+    EXPECT_GE(rawTotal, 2 * packedTotal)
+        << "raw " << rawTotal << " vs compressed " << packedTotal;
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, RacingWritersAndACorruptorConverge)
+{
+    // Many processes sharing one cache directory are modeled by many
+    // threads with *independent* TraceCache objects racing fetch()
+    // on one key, while a corruptor keeps stomping the entry with
+    // garbage. The contract under fire:
+    //   - every fetch returns the correct trace (corruption is never
+    //     served: entries are validated, rejected ones regenerate),
+    //   - nobody unlinks concurrently-renamed good entries, and
+    //   - after the dust settles one valid entry remains.
+    const std::string dir = freshCacheDir("trace_cache_race");
+    const TraceBuffer expect = syntheticTrace(400, 9);
+    const std::string entry =
+        TraceCache(dir).entryPath("wl", 400, 9);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 6; ++t) {
+        writers.emplace_back([&] {
+            TraceCache mine(dir); // own handle, like own process
+            for (int round = 0; round < 25; ++round) {
+                const TraceBuffer got = mine.fetch(
+                    "wl", 400, 9,
+                    [&] { return syntheticTrace(400, 9); });
+                if (got.size() != expect.size()) {
+                    ++mismatches;
+                    continue;
+                }
+                for (std::size_t i = 0; i < got.size(); ++i)
+                    if (got[i].pc != expect[i].pc ||
+                        got[i].taken != expect[i].taken) {
+                        ++mismatches;
+                        break;
+                    }
+            }
+        });
+    }
+    std::thread corruptor([&] {
+        while (!stop.load()) {
+            if (std::FILE *f = std::fopen(entry.c_str(), "wb")) {
+                std::fputs("garbage, not a trace", f);
+                std::fclose(f);
+            }
+            std::this_thread::yield();
+        }
+    });
+    for (auto &t : writers)
+        t.join();
+    stop = true;
+    corruptor.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    // Heal whatever the corruptor's final stomp left behind.
+    TraceCache cache(dir);
+    const TraceBuffer final_ = cache.fetch(
+        "wl", 400, 9, [&] { return syntheticTrace(400, 9); });
+    EXPECT_EQ(final_.size(), expect.size());
+    ASSERT_TRUE(cache.load("wl", 400, 9).has_value());
     fs::remove_all(dir);
 }
 

@@ -6,6 +6,8 @@
  *   bpstat check    REPORT.json          validate schema + invariants
  *   bpstat --check  REPORT.json          (same; flag spelling)
  *   bpstat diff     OLD.json NEW.json    per-cell deltas
+ *   bpstat summary  DIR                  one line per report in DIR
+ *                                        (a bpsweep --report-dir)
  *   bpstat manifest MANIFEST.json        summarise a campaign
  *                                        checkpoint (src/robust)
  *
@@ -28,9 +30,11 @@
  *   5  schema version mismatch
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,6 +60,7 @@ usage()
                  "usage: bpstat show REPORT.json\n"
                  "       bpstat check REPORT.json   (or --check)\n"
                  "       bpstat diff OLD.json NEW.json\n"
+                 "       bpstat summary DIR\n"
                  "       bpstat manifest MANIFEST.json\n");
     return 2;
 }
@@ -144,6 +149,71 @@ cmdManifest(const char *path)
     return failed ? 1 : 0;
 }
 
+/** A named metric from a report's snapshot, or NAN when absent. */
+double
+metricValue(const RunReport &r, const char *name)
+{
+    if (!r.metrics.isObject())
+        return NAN;
+    const auto *v = r.metrics.find(name);
+    return v && v->isNumber() ? v->asNumber() : NAN;
+}
+
+/**
+ * One line per RunReport in a directory (the shape bpsweep
+ * --report-dir writes): artifact name, row count, suite-cell wall
+ * time, trace-cache hits. Files that do not parse as reports are
+ * listed as skipped; only a missing directory is an error.
+ */
+int
+cmdSummary(const char *dir)
+{
+    if (!std::filesystem::is_directory(dir)) {
+        std::fprintf(stderr, "bpstat: not a directory: %s\n", dir);
+        return 3;
+    }
+    std::vector<std::string> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+
+    std::printf("%-28s %8s %12s %12s  %s\n", "artifact", "rows",
+                "wall ms", "cache hits", "file");
+    std::size_t reports = 0;
+    for (const auto &path : paths) {
+        RunReport r;
+        try {
+            r = load(path.c_str());
+        } catch (const RunReportError &e) {
+            std::fprintf(stderr, "bpstat: skipping %s: %s\n",
+                         path.c_str(), e.what());
+            continue;
+        }
+        ++reports;
+        const std::string file =
+            std::filesystem::path(path).filename().string();
+        std::printf("%-28s %8zu", r.experiment.c_str(),
+                    r.rows.size());
+        const double wall =
+            metricValue(r, "parallel.pool.wall_ms");
+        if (std::isnan(wall))
+            std::printf(" %12s", "-");
+        else
+            std::printf(" %12.0f", wall);
+        const double hits = metricValue(r, "trace.cache.hits");
+        if (std::isnan(hits))
+            std::printf(" %12s", "-");
+        else
+            std::printf(" %12.0f", hits);
+        std::printf("  %s\n", file.c_str());
+    }
+    std::printf("%zu report(s)\n", reports);
+    return 0;
+}
+
 /** Penalty attribution of a timing row as a fraction of cycles. */
 double
 penaltyShare(const RunReport::Row &r)
@@ -220,6 +290,8 @@ main(int argc, char **argv)
             return cmdShow(argv[2]);
         if (cmd == "diff" && argc == 4)
             return cmdDiff(argv[2], argv[3]);
+        if (cmd == "summary" && argc == 3)
+            return cmdSummary(argv[2]);
         if (cmd == "manifest" && argc == 3)
             return cmdManifest(argv[2]);
     } catch (const RunReportIoError &e) {

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * bpsweep — run every paper artifact in one process, on one shared
+ * worker pool.
+ *
+ *   bpsweep --list                      name + title of each artifact
+ *   bpsweep --all [--jobs N] [--report-dir DIR]
+ *   bpsweep NAME... [--jobs N] [--report-dir DIR]
+ *
+ * Fourteen separate bench processes at --jobs N each leave cores idle
+ * whenever one bench is in a serial phase (trace generation, report
+ * assembly, the tail of an uneven grid). bpsweep instead hosts every
+ * artifact body in one process: each gets a driver thread and a
+ * SweepPool view onto one SweepScheduler, whose N workers drain all
+ * artifacts' cell deques with work stealing — so the long-pole
+ * artifact keeps every core busy while short ones finish. Traces are
+ * materialized once process-wide through the SharedTracePool instead
+ * of once per bench.
+ *
+ * Determinism contract: each artifact's rows are computed on workers
+ * but committed on its own driver thread in strict index order (the
+ * CellPool contract), so each per-artifact report written under
+ * --report-dir is row-identical to the standalone bench's `--jobs N`
+ * report — `bpstat diff` between the two is the CI gate. Table text
+ * is buffered per artifact and flushed in registry order, so stdout
+ * is stable no matter how the sweep interleaved.
+ *
+ * Exit codes: 0 all artifacts succeeded, 1 any body failed (its
+ * buffered output and error still print), 2 usage error.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artifact_registry.hh"
+#include "obs/report_session.hh"
+#include "parallel/sweep_scheduler.hh"
+#include "trace/shared_trace_pool.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --list\n"
+                 "       %s (--all | NAME...) [--jobs N] "
+                 "[--report-dir DIR]\n",
+                 argv0, argv0);
+    return 2;
+}
+
+/** Result of one artifact body, filled in by its driver thread. */
+struct ArtifactResult
+{
+    int exitCode = 0;
+    std::string error; ///< what() of an escaped exception, if any
+    double wallMs = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using bpsim::ArtifactDef;
+    using bpsim::artifactRegistry;
+
+    const unsigned jobs = bpsim::takeJobsFlag(argc, argv);
+    const std::string reportDir =
+        bpsim::obs::takeFlag(argc, argv, "--report-dir");
+    bool all = false, list = false;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--all") == 0)
+            all = true;
+        else if (std::strcmp(argv[i], "--list") == 0)
+            list = true;
+        else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         argv[0], argv[i]);
+            return usage(argv[0]);
+        } else
+            names.emplace_back(argv[i]);
+    }
+
+    if (list) {
+        for (const ArtifactDef &def : artifactRegistry())
+            std::printf("%-28s %s\n", def.spec.name.c_str(),
+                        def.spec.title.c_str());
+        return 0;
+    }
+    if (!all && names.empty())
+        return usage(argv[0]);
+    for (const auto &name : names) {
+        if (!bpsim::findArtifact(name)) {
+            std::fprintf(stderr, "%s: unknown artifact '%s' "
+                         "(try --list)\n", argv[0], name.c_str());
+            return 2;
+        }
+    }
+
+    // Selection in registry (canonical) order, so output and report
+    // files are stable regardless of CLI argument order.
+    std::vector<const ArtifactDef *> selected;
+    for (const ArtifactDef &def : artifactRegistry()) {
+        if (all)
+            selected.push_back(&def);
+        else
+            for (const auto &name : names)
+                if (name == def.spec.name) {
+                    selected.push_back(&def);
+                    break;
+                }
+    }
+
+    const bool wantReport = !reportDir.empty();
+    if (wantReport) {
+        std::error_code ec;
+        std::filesystem::create_directories(reportDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "%s: cannot create %s: %s\n",
+                         argv[0], reportDir.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+    }
+
+    const auto sweepStart = std::chrono::steady_clock::now();
+    bpsim::parallel::SweepScheduler scheduler(jobs);
+    std::vector<ArtifactResult> results(selected.size());
+    std::vector<std::unique_ptr<bpsim::BufferedSweepContext>> contexts(
+        selected.size());
+    {
+        // Pools must die before the scheduler; contexts outlive the
+        // pools only because nothing touches ctx.pool() after join.
+        std::vector<std::unique_ptr<bpsim::parallel::SweepPool>> pools(
+            selected.size());
+        std::vector<std::thread> drivers;
+        drivers.reserve(selected.size());
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            const ArtifactDef *def = selected[i];
+            pools[i] = std::make_unique<bpsim::parallel::SweepPool>(
+                scheduler, def->spec.name);
+            contexts[i] = std::make_unique<bpsim::BufferedSweepContext>(
+                def->spec, pools[i].get(), wantReport);
+            drivers.emplace_back([def, &ctx = *contexts[i],
+                                  &res = results[i]] {
+                const auto t0 = std::chrono::steady_clock::now();
+                try {
+                    res.exitCode = def->fn(def->spec, ctx);
+                } catch (const std::exception &e) {
+                    res.exitCode = 1;
+                    res.error = e.what();
+                }
+                ctx.finalize();
+                res.wallMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            });
+        }
+        for (auto &t : drivers)
+            t.join();
+    }
+    const double sweepMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - sweepStart)
+            .count();
+
+    // Flush buffered output and reports in registry order.
+    bool failed = false;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const ArtifactDef *def = selected[i];
+        const auto &out = contexts[i]->output();
+        if (i > 0)
+            std::fputc('\n', stdout);
+        std::fwrite(out.data(), 1, out.size(), stdout);
+        if (!results[i].error.empty())
+            std::fprintf(stderr, "bpsweep: %s failed: %s\n",
+                         def->spec.name.c_str(),
+                         results[i].error.c_str());
+        if (results[i].exitCode != 0)
+            failed = true;
+        if (wantReport) {
+            const std::string path =
+                reportDir + "/" + def->spec.name + ".json";
+            if (contexts[i]->report().writeFile(path))
+                std::fprintf(stderr,
+                             "obs: wrote report %s (%zu rows)\n",
+                             path.c_str(),
+                             contexts[i]->report().rows.size());
+            else
+                failed = true;
+        }
+    }
+
+    const auto sched = scheduler.stats();
+    const auto pool = bpsim::SharedTracePool::global().stats();
+    std::printf("\n-- bpsweep summary --------------------------------"
+                "------------\n");
+    std::printf("%-28s %8s %10s\n", "artifact", "exit", "wall ms");
+    for (std::size_t i = 0; i < selected.size(); ++i)
+        std::printf("%-28s %8d %10.0f\n",
+                    selected[i]->spec.name.c_str(),
+                    results[i].exitCode, results[i].wallMs);
+    std::printf("sweep: %zu artifact(s), %u job(s), %.0f ms wall\n",
+                selected.size(), scheduler.jobs(), sweepMs);
+    std::printf("scheduler: %llu cell(s), %llu steal(s), "
+                "%zu peak active queue(s)\n",
+                static_cast<unsigned long long>(sched.cells),
+                static_cast<unsigned long long>(sched.steals),
+                sched.peakActiveQueues);
+    std::printf("trace pool: %llu memory hit(s), %llu disk hit(s), "
+                "%llu generated\n",
+                static_cast<unsigned long long>(pool.memoryHits),
+                static_cast<unsigned long long>(pool.diskHits),
+                static_cast<unsigned long long>(pool.generated));
+
+    return failed ? 1 : 0;
+}
