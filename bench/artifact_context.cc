@@ -35,9 +35,17 @@ SweepContext::printf(const char *fmt, ...)
 StandaloneSweepContext::StandaloneSweepContext(
     const ArtifactSpec &spec, const BenchArgs &args)
     : session_(args.report, args.trace, spec.name),
-      pool_(args.jobs),
+      pool_(args.jobs, spec.name),
       manifest_(args.manifest)
 {
+    // Timing runs under --trace bypass the pool (runner.cc hands the
+    // tracer a serial path so event streams stay in cycle order);
+    // say so instead of silently ignoring a multi-job request.
+    if (session_.tracer() && pool_.jobs() > 1)
+        std::fprintf(stderr,
+                     "%s: --trace forces serial cell execution; "
+                     "--jobs %u ignored for traced runs\n",
+                     spec.name.c_str(), pool_.jobs());
 }
 
 StandaloneSweepContext::~StandaloneSweepContext()

@@ -8,14 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
+#include <utility>
 
 #include "bench_util.hh"
 #include "common/vec_kernels.hh"
 #include "core/factory.hh"
 #include "core/runner.hh"
 #include "obs/report_session.hh"
+#include "obs/span_trace.hh"
 #include "parallel/cell_pool.hh"
 #include "trace/trace_cache.hh"
 #include "workloads/registry.hh"
@@ -133,6 +136,47 @@ BM_PredictUpdateVirtual(benchmark::State &state, PredictorKind kind)
     state.SetItemsProcessed(static_cast<std::int64_t>(branches));
 }
 
+/**
+ * Flight-recorder overhead on the disabled and enabled paths, around
+ * a trivial xorshift body:
+ *
+ *   none      the bare body — the baseline;
+ *   disabled  body + a SpanScope with no recorder installed: must
+ *             cost only the null-sink branch (CI gates this against
+ *             "none" within the same run);
+ *   enabled   body + a SpanScope recording into an installed ring —
+ *             the real per-span cost (clock reads + ring store).
+ */
+enum class SpanMode { None, Disabled, Enabled };
+
+void
+BM_SpanOverhead(benchmark::State &state, SpanMode mode)
+{
+    // One recorder per benchmark run; install only for "enabled".
+    obs::SpanRecorder recorder(1 << 10);
+    if (mode == SpanMode::Enabled)
+        obs::SpanRecorder::install(&recorder);
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    Counter spans = 0;
+    for (auto _ : state) {
+        if (mode == SpanMode::None) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        } else {
+            obs::SpanScope span("bench", "xorshift");
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        benchmark::DoNotOptimize(x);
+        ++spans;
+    }
+    if (mode == SpanMode::Enabled)
+        obs::SpanRecorder::install(nullptr);
+    state.SetItemsProcessed(static_cast<std::int64_t>(spans));
+}
+
 /** Register the per-kind replay-kernel benchmarks. Called from main
  *  (name/closure registration needs runtime values). */
 void
@@ -150,6 +194,15 @@ registerKernelBenchmarks()
             })
             ->Unit(benchmark::kMillisecond);
     }
+    const std::pair<const char *, SpanMode> spanModes[] = {
+        {"BM_SpanOverhead/none", SpanMode::None},
+        {"BM_SpanOverhead/disabled", SpanMode::Disabled},
+        {"BM_SpanOverhead/enabled", SpanMode::Enabled},
+    };
+    for (const auto &[name, mode] : spanModes)
+        benchmark::RegisterBenchmark(
+            name,
+            [mode](benchmark::State &s) { BM_SpanOverhead(s, mode); });
 }
 
 /**

@@ -1,0 +1,233 @@
+#include "obs/span_trace.hh"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace bpsim::obs {
+
+namespace {
+
+/** The process sink. Acquire/release so a thread that loads the
+ *  pointer sees the fully constructed recorder even without a
+ *  thread-creation edge. */
+std::atomic<SpanRecorder *> g_recorder{nullptr};
+
+/** Generation stamp: bumped per recorder so a thread-local cached
+ *  ring is never reused across recorder instances that happen to
+ *  share an address. */
+std::atomic<std::uint64_t> g_generation{0};
+
+struct ThreadCache
+{
+    std::uint64_t generation = 0;
+    SpanRecorder *owner = nullptr;
+    SpanThreadLog *log = nullptr;
+};
+
+thread_local ThreadCache t_cache;
+
+/** Escaped, quoted JSON string (reuses the Json dumper). */
+std::string
+quoted(std::string_view s)
+{
+    return Json(std::string(s)).dump();
+}
+
+/** Microseconds with nanosecond precision, as Chrome's "ts" wants. */
+void
+appendUs(std::string &out, std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                  static_cast<unsigned>(ns % 1000));
+    out += buf;
+}
+
+} // namespace
+
+SpanRecorder::SpanRecorder(std::size_t per_thread_capacity)
+    : capacity_(per_thread_capacity ? per_thread_capacity : 1),
+      epoch_(std::chrono::steady_clock::now()),
+      generation_(
+          g_generation.fetch_add(1, std::memory_order_relaxed) + 1)
+{
+}
+
+SpanRecorder::~SpanRecorder()
+{
+    // Self-uninstall as a backstop; callers should have done this
+    // (and joined their threads) already.
+    SpanRecorder *self = this;
+    g_recorder.compare_exchange_strong(self, nullptr,
+                                       std::memory_order_acq_rel);
+}
+
+SpanRecorder *
+SpanRecorder::current()
+{
+    return g_recorder.load(std::memory_order_acquire);
+}
+
+void
+SpanRecorder::install(SpanRecorder *rec)
+{
+    g_recorder.store(rec, std::memory_order_release);
+}
+
+std::uint64_t
+SpanRecorder::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+SpanThreadLog &
+SpanRecorder::localLog()
+{
+    ThreadCache &c = t_cache;
+    if (c.owner == this && c.generation == generation_)
+        return *c.log;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto tid = static_cast<std::uint32_t>(logs_.size() + 1);
+    logs_.push_back(std::make_unique<SpanThreadLog>(
+        tid, "thread " + std::to_string(tid), capacity_));
+    c.owner = this;
+    c.generation = generation_;
+    c.log = logs_.back().get();
+    return *c.log;
+}
+
+void
+SpanRecorder::nameThisThread(std::string_view name)
+{
+    SpanRecorder *rec = current();
+    if (!rec)
+        return;
+    SpanThreadLog &log = rec->localLog();
+    std::lock_guard<std::mutex> lock(rec->mu_);
+    log.setThreadName(std::string(name));
+}
+
+void
+SpanRecorder::span(const char *cat, std::string_view name,
+                   std::uint64_t start_ns, std::uint64_t dur_ns,
+                   const char *arg_name, std::uint64_t arg)
+{
+    SpanEvent e;
+    e.startNs = start_ns;
+    e.durNs = dur_ns;
+    e.arg = arg;
+    e.cat = cat;
+    e.argName = arg_name;
+    e.setName(name);
+    localLog().push(e);
+}
+
+void
+SpanRecorder::instant(const char *cat, std::string_view name,
+                      const char *arg_name, std::uint64_t arg)
+{
+    SpanEvent e;
+    e.startNs = nowNs();
+    e.arg = arg;
+    e.cat = cat;
+    e.argName = arg_name;
+    e.setName(name);
+    e.instant = true;
+    localLog().push(e);
+}
+
+std::size_t
+SpanRecorder::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return logs_.size();
+}
+
+std::uint64_t
+SpanRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t total = 0;
+    for (const auto &log : logs_)
+        total += log->dropped();
+    return total;
+}
+
+void
+SpanRecorder::exportChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    out += "{\"traceEvents\":[\n";
+    bool first = true;
+    const auto emit = [&](const std::string &line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+    for (const auto &log : logs_) {
+        std::string meta = "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+        meta += std::to_string(log->tid());
+        meta += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        meta += quoted(log->threadName());
+        meta += "}}";
+        emit(meta);
+    }
+    for (const auto &log : logs_) {
+        const std::string tid = std::to_string(log->tid());
+        for (std::size_t i = 0; i < log->size(); ++i) {
+            const SpanEvent &e = log->at(i);
+            std::string line = "{\"ph\":\"";
+            line += e.instant ? "i" : "X";
+            line += "\",\"pid\":1,\"tid\":";
+            line += tid;
+            line += ",\"cat\":";
+            line += quoted(e.cat ? e.cat : "span");
+            line += ",\"name\":";
+            line += quoted(e.name);
+            line += ",\"ts\":";
+            appendUs(line, e.startNs);
+            if (e.instant) {
+                line += ",\"s\":\"t\""; // thread-scoped instant
+            } else {
+                line += ",\"dur\":";
+                appendUs(line, e.durNs);
+            }
+            if (e.argName) {
+                line += ",\"args\":{";
+                line += quoted(e.argName);
+                line += ":";
+                line += std::to_string(e.arg);
+                line += "}";
+            }
+            line += "}";
+            emit(line);
+        }
+    }
+    out += "\n]}\n";
+    os << out;
+}
+
+bool
+SpanRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "obs: cannot open timeline file '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    exportChromeTrace(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace bpsim::obs

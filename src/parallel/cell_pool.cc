@@ -8,6 +8,9 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
+
+#include "obs/span_trace.hh"
 
 namespace bpsim::parallel {
 
@@ -78,7 +81,8 @@ resolveJobs(unsigned requested)
     return hardwareJobs();
 }
 
-CellPool::CellPool(unsigned jobs) : jobs_(resolveJobs(jobs))
+CellPool::CellPool(unsigned jobs, std::string label)
+    : jobs_(resolveJobs(jobs)), label_(std::move(label))
 {
     stats_.jobs = jobs_;
 }
@@ -90,7 +94,10 @@ CellPool::runSerial(std::size_t count,
 {
     for (std::size_t i = 0; i < count; ++i) {
         const auto t0 = Clock::now();
-        compute(i);
+        {
+            obs::SpanScope cellSpan("cell", label_, "cell", i);
+            compute(i);
+        }
         const double ms = msSince(t0);
         stats_.busyMs += ms;
         stats_.cellMs.push_back(ms);
@@ -140,6 +147,7 @@ CellPool::run(std::size_t count,
             Slot s;
             const auto t0 = Clock::now();
             try {
+                obs::SpanScope cellSpan("cell", label_, "cell", i);
                 compute(i);
             } catch (...) {
                 s.error = std::current_exception();
@@ -169,7 +177,11 @@ CellPool::run(std::size_t count,
         Slot s;
         {
             std::unique_lock<std::mutex> lock(mu);
-            ready.wait(lock, [&] { return slots[i].ready; });
+            if (!slots[i].ready) {
+                obs::SpanScope waitSpan("commit_wait", label_, "cell",
+                                        i);
+                ready.wait(lock, [&] { return slots[i].ready; });
+            }
             s = std::move(slots[i]);
         }
         if (s.error) {

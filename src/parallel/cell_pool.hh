@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -81,8 +82,10 @@ unsigned resolveJobs(unsigned requested);
 class CellPool
 {
   public:
-    /** @param jobs Worker budget; 0 resolves via resolveJobs(). */
-    explicit CellPool(unsigned jobs = 0);
+    /** @param jobs Worker budget; 0 resolves via resolveJobs().
+     *  @param label Name cell spans carry when a flight recorder
+     *  (obs::SpanRecorder) is installed; typically the artifact. */
+    explicit CellPool(unsigned jobs = 0, std::string label = "pool");
 
     CellPool(const CellPool &) = delete;
     CellPool &operator=(const CellPool &) = delete;
@@ -90,6 +93,7 @@ class CellPool
     virtual ~CellPool() = default;
 
     unsigned jobs() const { return jobs_; }
+    const std::string &label() const { return label_; }
 
     /**
      * Execute @p compute for every index in [0, @p count) across the
@@ -114,6 +118,7 @@ class CellPool
                    const std::function<void(std::size_t)> &commit);
 
     unsigned jobs_;
+    std::string label_;
 };
 
 } // namespace bpsim::parallel

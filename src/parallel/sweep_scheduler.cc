@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/span_trace.hh"
+
 namespace bpsim::parallel {
 
 namespace {
@@ -36,7 +38,7 @@ SweepScheduler::SweepScheduler(unsigned jobs)
 {
     workers_.reserve(jobs_);
     for (unsigned t = 0; t < jobs_; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, t] { workerLoop(t); });
 }
 
 SweepScheduler::~SweepScheduler()
@@ -80,12 +82,39 @@ SweepScheduler::removeQueue(const QueuePtr &q)
                   queues_.end());
 }
 
+SweepProgress
+SweepScheduler::progress() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepProgress p;
+    p.jobs = jobs_;
+    p.cellsDone = 0;
+    for (const auto &q : queues_) {
+        SweepQueueProgress qp;
+        qp.label = q->label;
+        qp.enqueued = q->enqueued;
+        qp.done = q->done;
+        qp.pending = q->tasks.size();
+        qp.inFlight = q->inFlight;
+        p.busyWorkers += q->inFlight;
+        p.queues.push_back(std::move(qp));
+    }
+    // cells_ counts claims, including cells still in flight; "done"
+    // for the human-facing meter means finished.
+    Counter inFlight = 0;
+    for (const auto &q : queues_)
+        inFlight += q->inFlight;
+    p.cellsDone = cells_ >= inFlight ? cells_ - inFlight : 0;
+    return p;
+}
+
 void
 SweepScheduler::enqueue(Queue &q,
                         std::vector<std::function<void()>> tasks)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        q.enqueued += tasks.size();
         for (auto &t : tasks)
             q.tasks.push_back(std::move(t));
         std::size_t active = 0;
@@ -128,8 +157,10 @@ SweepScheduler::pickLocked(const QueuePtr &served) const
 }
 
 void
-SweepScheduler::workerLoop()
+SweepScheduler::workerLoop(unsigned index)
 {
+    obs::SpanRecorder::nameThisThread("worker " +
+                                      std::to_string(index));
     std::unique_lock<std::mutex> lock(mu_);
     QueuePtr served;
     for (;;) {
@@ -137,11 +168,22 @@ SweepScheduler::workerLoop()
         if (!q) {
             if (stop_)
                 return;
-            work_.wait(lock);
+            // An empty-deque wait is exactly the idle gap the
+            // timeline should show; recording is two thread-local
+            // stores, so doing it with mu_ held is harmless.
+            if (obs::SpanRecorder *rec = obs::SpanRecorder::current()) {
+                const std::uint64_t t0 = rec->nowNs();
+                work_.wait(lock);
+                rec->span("sched", "idle", t0, rec->nowNs() - t0);
+            } else {
+                work_.wait(lock);
+            }
             continue;
         }
-        if (served && q != served)
+        if (served && q != served) {
             ++steals_;
+            obs::spanInstant("steal", q->label);
+        }
         served = q;
         auto task = std::move(q->tasks.front());
         q->tasks.pop_front();
@@ -150,6 +192,7 @@ SweepScheduler::workerLoop()
         lock.unlock();
         task();
         lock.lock();
+        ++q->done;
         if (--q->inFlight == 0 && q->tasks.empty())
             idle_.notify_all();
     }
@@ -205,11 +248,13 @@ SweepPool::run(std::size_t count,
     // and cancelled tasks are dropped unexecuted.
     std::vector<std::function<void()>> tasks;
     tasks.reserve(count);
+    const std::string &label = queue_->label;
     for (std::size_t i = 0; i < count; ++i)
-        tasks.push_back([i, &st, &compute] {
+        tasks.push_back([i, &st, &compute, &label] {
             Slot s;
             const auto t0 = Clock::now();
             try {
+                obs::SpanScope cellSpan("cell", label, "cell", i);
                 compute(i);
             } catch (...) {
                 s.error = std::current_exception();
@@ -231,7 +276,14 @@ SweepPool::run(std::size_t count,
         Slot s;
         {
             std::unique_lock<std::mutex> lock(st.mu);
-            st.ready.wait(lock, [&] { return st.slots[i].ready; });
+            if (!st.slots[i].ready) {
+                // The driver is stalled on an out-of-order cell —
+                // the commit-order wait the timeline attributes.
+                obs::SpanScope waitSpan("commit_wait", label, "cell",
+                                        i);
+                st.ready.wait(lock,
+                              [&] { return st.slots[i].ready; });
+            }
             s = std::move(st.slots[i]);
         }
         if (s.error) {

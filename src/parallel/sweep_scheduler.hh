@@ -24,6 +24,14 @@
  * its in-flight ones, and rethrows the lowest-index failure. Other
  * artifacts sharing the scheduler are unaffected.
  *
+ * Observability: when a flight recorder is installed
+ * (obs::SpanRecorder::install, bpsweep --timeline) the workers name
+ * their timeline tracks, record an idle span for every empty-deque
+ * wait and a steal instant for every deque switch, and SweepPool
+ * wraps each cell compute in a span tagged artifact + cell index.
+ * None of it is observable to the committed rows; without a recorder
+ * each site is a branch on a null pointer.
+ *
  * Lifetime: every SweepPool must be destroyed before its scheduler.
  */
 
@@ -60,6 +68,26 @@ struct SweepSchedulerStats
                  const std::string &prefix = "sweep.scheduler") const;
 };
 
+/** Point-in-time view of one participant's deque (for live progress
+ *  display; values race the workers and are only for humans). */
+struct SweepQueueProgress
+{
+    std::string label;
+    Counter enqueued = 0;     ///< cells ever enqueued on this deque
+    Counter done = 0;         ///< cells finished on this deque
+    std::size_t pending = 0;  ///< enqueued, not yet claimed
+    std::size_t inFlight = 0; ///< claimed, not yet finished
+};
+
+/** Point-in-time view of the whole scheduler. */
+struct SweepProgress
+{
+    unsigned jobs = 1;            ///< worker budget
+    std::size_t busyWorkers = 0;  ///< workers executing a cell now
+    Counter cellsDone = 0;        ///< cells finished, all deques ever
+    std::vector<SweepQueueProgress> queues; ///< live deques only
+};
+
 class SweepPool;
 
 /** Shared worker pool with per-participant deques; see file
@@ -82,6 +110,9 @@ class SweepScheduler
     /** Snapshot of the aggregate counters. */
     SweepSchedulerStats stats() const;
 
+    /** Racy-but-consistent snapshot for live progress display. */
+    SweepProgress progress() const;
+
   private:
     friend class SweepPool;
 
@@ -91,6 +122,8 @@ class SweepScheduler
         std::string label;
         std::deque<std::function<void()>> tasks;
         std::size_t inFlight = 0; ///< claimed, not yet finished
+        Counter enqueued = 0;     ///< cells ever enqueued
+        Counter done = 0;         ///< cells finished
     };
     using QueuePtr = std::shared_ptr<Queue>;
 
@@ -102,7 +135,7 @@ class SweepScheduler
     /** Block until @p q has no pending or in-flight tasks. */
     void drain(Queue &q);
 
-    void workerLoop();
+    void workerLoop(unsigned index);
     /** Next deque to serve: the sticky one while it has work, else
      *  the one with the most pending cells (the long pole). Must be
      *  called with mu_ held; nullptr when everything is empty. */

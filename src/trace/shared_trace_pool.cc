@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/span_trace.hh"
+
 namespace bpsim {
 
 void
@@ -52,6 +54,7 @@ SharedTracePool::fetch(const std::string &workload, Counter ops,
             ++stats_.memoryHits;
             if (source)
                 *source = Source::Memory;
+            obs::spanInstant("pool.hit", workload);
             return sp;
         }
         if (e.inflight.valid())
@@ -61,7 +64,13 @@ SharedTracePool::fetch(const std::string &workload, Counter ops,
     }
 
     if (theirs.valid()) {
-        TracePtr sp = theirs.get(); // rethrows the producer's failure
+        TracePtr sp;
+        {
+            // Blocked behind another thread's materialization of the
+            // same trace — the contention the timeline attributes.
+            obs::SpanScope waitSpan("pool.wait", workload);
+            sp = theirs.get(); // rethrows the producer's failure
+        }
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.memoryHits;
         if (source)
@@ -72,8 +81,13 @@ SharedTracePool::fetch(const std::string &workload, Counter ops,
     // This thread owns the materialization for the key.
     try {
         bool hit = false;
-        TracePtr sp = std::make_shared<const TraceBuffer>(
-            cache.fetch(workload, ops, seed, generate, &hit));
+        TracePtr sp;
+        {
+            obs::SpanScope matSpan("pool.materialize", workload,
+                                   "ops", ops);
+            sp = std::make_shared<const TraceBuffer>(
+                cache.fetch(workload, ops, seed, generate, &hit));
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             Entry &e = entries_[key];

@@ -6,6 +6,7 @@
 #include <system_error>
 #include <thread>
 
+#include "obs/span_trace.hh"
 #include "trace/trace_io.hh"
 
 namespace bpsim {
@@ -110,15 +111,25 @@ TraceCache::fetch(const std::string &workload, Counter ops,
                   const std::function<TraceBuffer()> &generate,
                   bool *hit) const
 {
-    if (auto cached = load(workload, ops, seed)) {
-        if (hit)
-            *hit = true;
-        return std::move(*cached);
+    {
+        obs::SpanScope loadSpan("cache.load", workload, "ops", ops);
+        if (auto cached = load(workload, ops, seed)) {
+            if (hit)
+                *hit = true;
+            return std::move(*cached);
+        }
     }
     if (hit)
         *hit = false;
-    TraceBuffer trace = generate();
-    store(workload, ops, seed, trace);
+    TraceBuffer trace;
+    {
+        obs::SpanScope genSpan("trace.generate", workload, "ops", ops);
+        trace = generate();
+    }
+    {
+        obs::SpanScope storeSpan("cache.store", workload, "ops", ops);
+        store(workload, ops, seed, trace);
+    }
     return trace;
 }
 

@@ -12,13 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/span_trace.hh"
 #include "parallel/cell_pool.hh"
 #include "parallel/sweep_scheduler.hh"
 #include "trace/shared_trace_pool.hh"
@@ -149,6 +153,249 @@ TEST(ArtifactRegistry, SweepRunsAreByteIdenticalToStandaloneRuns)
         EXPECT_EQ(swept[i].rowsJson, solo[i].rowsJson)
             << defs[i].spec.name;
     }
+}
+
+TEST(ArtifactRegistry,
+     SweepRowsAreByteIdenticalWithFlightRecorderInstalled)
+{
+    // The flight recorder observes the harness only; rows and table
+    // text must not change when it is installed (the --timeline
+    // variant of the determinism contract). A subset of artifacts
+    // keeps this affordable next to the full-suite test above.
+    ASSERT_EQ(0, setenv("BPSIM_OPS_PER_WORKLOAD", "500", 1));
+    ASSERT_EQ(0, unsetenv("BPSIM_TRACE_CACHE"));
+    ASSERT_EQ(0, unsetenv("BPSIM_JOBS"));
+    SharedTracePool::global().clear();
+
+    const auto &all = artifactRegistry();
+    const std::vector<const ArtifactDef *> defs = {
+        &all[0], &all[1], &all[2], &all[3]};
+
+    std::vector<Capture> solo(defs.size());
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        parallel::CellPool pool(4);
+        BufferedSweepContext ctx(defs[i]->spec, &pool,
+                                 /*want_report=*/true);
+        solo[i].exitCode = defs[i]->fn(defs[i]->spec, ctx);
+        ctx.finalize();
+        solo[i].output = ctx.output();
+        solo[i].rowsJson = rowsOnlyJson(ctx.report());
+    }
+
+    std::vector<Capture> swept(defs.size());
+    auto recorder = std::make_unique<obs::SpanRecorder>();
+    obs::SpanRecorder::install(recorder.get());
+    {
+        parallel::SweepScheduler scheduler(4);
+        std::vector<std::unique_ptr<parallel::SweepPool>> pools;
+        std::vector<std::unique_ptr<BufferedSweepContext>> contexts;
+        for (const auto *def : defs) {
+            pools.push_back(std::make_unique<parallel::SweepPool>(
+                scheduler, def->spec.name));
+            contexts.push_back(
+                std::make_unique<BufferedSweepContext>(
+                    def->spec, pools.back().get(),
+                    /*want_report=*/true));
+        }
+        std::vector<std::thread> drivers;
+        for (std::size_t i = 0; i < defs.size(); ++i)
+            drivers.emplace_back([&, i] {
+                obs::SpanRecorder::nameThisThread(
+                    "driver " + defs[i]->spec.name);
+                swept[i].exitCode =
+                    defs[i]->fn(defs[i]->spec, *contexts[i]);
+                contexts[i]->finalize();
+            });
+        for (auto &t : drivers)
+            t.join();
+        for (std::size_t i = 0; i < defs.size(); ++i) {
+            swept[i].output = contexts[i]->output();
+            swept[i].rowsJson = rowsOnlyJson(contexts[i]->report());
+        }
+        contexts.clear();
+        pools.clear();
+    }
+    obs::SpanRecorder::install(nullptr);
+
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        EXPECT_EQ(swept[i].exitCode, solo[i].exitCode)
+            << defs[i]->spec.name;
+        EXPECT_EQ(swept[i].output, solo[i].output)
+            << defs[i]->spec.name;
+        EXPECT_EQ(swept[i].rowsJson, solo[i].rowsJson)
+            << defs[i]->spec.name;
+    }
+    // The sweep actually recorded something: worker + driver rings.
+    EXPECT_GT(recorder->threadCount(), 4u);
+}
+
+int
+orderedOkBody(const ArtifactSpec &spec, SweepContext &ctx)
+{
+    ctx.printf("%s: header\n", spec.name.c_str());
+    ctx.pool()->run(
+        3, [](std::size_t) {},
+        [&](std::size_t i) {
+            ctx.printf("%s: cell %zu committed\n",
+                       spec.name.c_str(), i);
+        });
+    ctx.printf("%s: footer\n", spec.name.c_str());
+    return 0;
+}
+
+int
+orderedFailingBody(const ArtifactSpec &spec, SweepContext &ctx)
+{
+    ctx.printf("%s: header\n", spec.name.c_str());
+    ctx.pool()->run(
+        4,
+        [](std::size_t i) {
+            if (i == 2)
+                throw std::runtime_error("cell 2 exploded");
+        },
+        [&](std::size_t i) {
+            ctx.printf("%s: cell %zu committed\n",
+                       spec.name.c_str(), i);
+        });
+    ctx.printf("%s: footer\n", spec.name.c_str());
+    return 0;
+}
+
+ArtifactSpec
+probeSpec(const std::string &name, const std::string &title)
+{
+    ArtifactSpec spec;
+    spec.name = name;
+    spec.title = title;
+    return spec;
+}
+
+TEST(ArtifactRegistry, BufferedOutputStaysOrderedWhenABodyFails)
+{
+    // A mid-sweep compute failure must not garble the other
+    // artifacts' buffered output, and the failing artifact's buffer
+    // must hold exactly the text committed before the failing index
+    // (the CellPool contract: commits happen in index order, and the
+    // lowest-index failure stops the committer).
+    ArtifactDef alpha{probeSpec("alpha", "ok artifact"),
+                      &orderedOkBody};
+    ArtifactDef beta{probeSpec("beta", "failing artifact"),
+                     &orderedFailingBody};
+    ArtifactDef gamma{probeSpec("gamma", "ok artifact"),
+                      &orderedOkBody};
+    const std::vector<const ArtifactDef *> defs = {&alpha, &beta,
+                                                   &gamma};
+
+    std::vector<Capture> res(defs.size());
+    std::vector<std::string> errors(defs.size());
+    {
+        parallel::SweepScheduler scheduler(2);
+        std::vector<std::unique_ptr<parallel::SweepPool>> pools;
+        std::vector<std::unique_ptr<BufferedSweepContext>> contexts;
+        for (const auto *def : defs) {
+            pools.push_back(std::make_unique<parallel::SweepPool>(
+                scheduler, def->spec.name));
+            contexts.push_back(
+                std::make_unique<BufferedSweepContext>(
+                    def->spec, pools.back().get(),
+                    /*want_report=*/false));
+        }
+        std::vector<std::thread> drivers;
+        for (std::size_t i = 0; i < defs.size(); ++i)
+            drivers.emplace_back([&, i] {
+                // The bpsweep driver shape: catch, record, finalize.
+                try {
+                    res[i].exitCode =
+                        defs[i]->fn(defs[i]->spec, *contexts[i]);
+                } catch (const std::exception &e) {
+                    res[i].exitCode = 1;
+                    errors[i] = e.what();
+                }
+                contexts[i]->finalize();
+            });
+        for (auto &t : drivers)
+            t.join();
+        for (std::size_t i = 0; i < defs.size(); ++i)
+            res[i].output = contexts[i]->output();
+        contexts.clear();
+        pools.clear();
+    }
+
+    const std::string okOutput =
+        "{0}: header\n"
+        "{0}: cell 0 committed\n"
+        "{0}: cell 1 committed\n"
+        "{0}: cell 2 committed\n"
+        "{0}: footer\n";
+    const auto expand = [](std::string tmpl, const std::string &n) {
+        std::string out;
+        std::size_t pos = 0, hit;
+        while ((hit = tmpl.find("{0}", pos)) != std::string::npos) {
+            out += tmpl.substr(pos, hit - pos);
+            out += n;
+            pos = hit + 3;
+        }
+        out += tmpl.substr(pos);
+        return out;
+    };
+
+    EXPECT_EQ(res[0].exitCode, 0);
+    EXPECT_EQ(res[0].output, expand(okOutput, "alpha"));
+    EXPECT_EQ(res[2].exitCode, 0);
+    EXPECT_EQ(res[2].output, expand(okOutput, "gamma"));
+
+    EXPECT_EQ(res[1].exitCode, 1);
+    EXPECT_EQ(errors[1], "cell 2 exploded");
+    EXPECT_EQ(res[1].output, "beta: header\n"
+                             "beta: cell 0 committed\n"
+                             "beta: cell 1 committed\n");
+}
+
+TEST(ArtifactRegistry, StandaloneTraceWithJobsWarnsSerialFallback)
+{
+    const ArtifactSpec spec =
+        probeSpec("warn_probe", "warning probe");
+    const std::string tracePath =
+        (std::filesystem::temp_directory_path() /
+         "bpsim_test_warn_probe_trace.json")
+            .string();
+
+    BenchArgs traced;
+    traced.trace = tracePath;
+    traced.jobs = 4;
+    testing::internal::CaptureStderr();
+    {
+        StandaloneSweepContext ctx(spec, traced);
+    }
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("--trace forces serial cell execution"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("--jobs 4 ignored"), std::string::npos) << err;
+
+    // No warning without --trace, or when the run is serial anyway.
+    BenchArgs untraced;
+    untraced.jobs = 4;
+    testing::internal::CaptureStderr();
+    {
+        StandaloneSweepContext ctx(spec, untraced);
+    }
+    err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("serial cell execution"), std::string::npos)
+        << err;
+
+    BenchArgs serialTraced;
+    serialTraced.trace = tracePath;
+    serialTraced.jobs = 1;
+    testing::internal::CaptureStderr();
+    {
+        StandaloneSweepContext ctx(spec, serialTraced);
+    }
+    err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("serial cell execution"), std::string::npos)
+        << err;
+
+    std::remove(tracePath.c_str());
 }
 
 } // namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the flight recorder (obs/span_trace): the disabled
+ * null-sink path, per-thread recording, ring overflow accounting,
+ * thread naming, Chrome trace-event export shape, and the
+ * thread-local cache across recorder instances.
+ */
+
+#include "obs/span_trace.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace bpsim::obs {
+namespace {
+
+/** Uninstall on scope exit, so a failing test can't leak an
+ *  installed recorder into the next one. */
+struct InstallGuard
+{
+    explicit InstallGuard(SpanRecorder *rec)
+    {
+        SpanRecorder::install(rec);
+    }
+    ~InstallGuard() { SpanRecorder::install(nullptr); }
+};
+
+TEST(SpanTrace, DisabledPathRecordsNothing)
+{
+    ASSERT_EQ(SpanRecorder::current(), nullptr);
+    {
+        SpanScope span("cat", "noop");
+        spanInstant("cat", "noop");
+        SpanRecorder::nameThisThread("nobody");
+    }
+    // Still nothing installed, and installing later starts empty.
+    SpanRecorder rec;
+    InstallGuard guard(&rec);
+    EXPECT_EQ(rec.threadCount(), 0u);
+}
+
+TEST(SpanTrace, RecordsSpansInstantsAndThreadNames)
+{
+    SpanRecorder rec;
+    InstallGuard guard(&rec);
+
+    SpanRecorder::nameThisThread("main");
+    {
+        SpanScope span("cell", "fig7", "cell", 41);
+    }
+    spanInstant("steal", "fig7");
+
+    std::thread worker([] {
+        SpanRecorder::nameThisThread("worker 0");
+        SpanScope span("sched", "idle");
+    });
+    worker.join();
+
+    EXPECT_EQ(rec.threadCount(), 2u);
+    EXPECT_EQ(rec.dropped(), 0u);
+
+    std::ostringstream os;
+    rec.exportChromeTrace(os);
+    const Json doc = Json::parse(os.str());
+    const Json &events = doc.get("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    std::vector<std::string> threadNames;
+    bool sawCell = false, sawSteal = false, sawIdle = false;
+    for (const auto &ev : events.items()) {
+        const std::string &ph = ev.get("ph").asString();
+        if (ph == "M") {
+            EXPECT_EQ(ev.get("name").asString(), "thread_name");
+            threadNames.push_back(
+                ev.get("args").get("name").asString());
+            continue;
+        }
+        EXPECT_GE(ev.get("ts").asNumber(), 0.0);
+        if (ph == "X" && ev.get("cat").asString() == "cell") {
+            sawCell = true;
+            EXPECT_EQ(ev.get("name").asString(), "fig7");
+            EXPECT_GE(ev.get("dur").asNumber(), 0.0);
+            EXPECT_EQ(ev.get("args").get("cell").asNumber(), 41.0);
+        } else if (ph == "i") {
+            sawSteal = true;
+            EXPECT_EQ(ev.get("cat").asString(), "steal");
+            EXPECT_EQ(ev.get("s").asString(), "t");
+            EXPECT_FALSE(ev.has("dur"));
+        } else if (ph == "X" &&
+                   ev.get("cat").asString() == "sched") {
+            sawIdle = true;
+            EXPECT_EQ(ev.get("name").asString(), "idle");
+        }
+    }
+    EXPECT_EQ(threadNames,
+              (std::vector<std::string>{"main", "worker 0"}));
+    EXPECT_TRUE(sawCell);
+    EXPECT_TRUE(sawSteal);
+    EXPECT_TRUE(sawIdle);
+}
+
+TEST(SpanTrace, UnnamedThreadsGetPlaceholderNames)
+{
+    SpanRecorder rec;
+    InstallGuard guard(&rec);
+    std::thread worker([] { spanInstant("cat", "hello"); });
+    worker.join();
+
+    std::ostringstream os;
+    rec.exportChromeTrace(os);
+    const Json doc = Json::parse(os.str());
+    ASSERT_GE(doc.get("traceEvents").size(), 1u);
+    const Json &meta = doc.get("traceEvents").at(0);
+    EXPECT_EQ(meta.get("ph").asString(), "M");
+    EXPECT_EQ(meta.get("args").get("name").asString(), "thread 1");
+}
+
+TEST(SpanTrace, RingKeepsMostRecentEventsAndCountsDrops)
+{
+    SpanRecorder rec(/*per_thread_capacity=*/4);
+    InstallGuard guard(&rec);
+    for (int i = 0; i < 10; ++i)
+        rec.span("cat", "s" + std::to_string(i), 100 * i, 1);
+
+    EXPECT_EQ(rec.dropped(), 6u);
+    std::ostringstream os;
+    rec.exportChromeTrace(os);
+    const Json doc = Json::parse(os.str());
+    const Json &events = doc.get("traceEvents");
+    // 1 metadata row + the 4 retained spans, oldest first.
+    ASSERT_EQ(events.size(), 5u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_EQ(events.at(i).get("name").asString(),
+                  "s" + std::to_string(i + 5));
+}
+
+TEST(SpanTrace, LongNamesAreTruncatedNotCorrupted)
+{
+    SpanRecorder rec;
+    InstallGuard guard(&rec);
+    const std::string longName(100, 'x');
+    rec.span("cat", longName, 0, 1);
+
+    std::ostringstream os;
+    rec.exportChromeTrace(os);
+    const Json doc = Json::parse(os.str());
+    const Json &span = doc.get("traceEvents").at(1);
+    const std::string &name = span.get("name").asString();
+    EXPECT_EQ(name, std::string(SpanEvent::kNameCap - 1, 'x'));
+}
+
+TEST(SpanTrace, ThreadLocalCacheDoesNotLeakAcrossRecorders)
+{
+    {
+        SpanRecorder first;
+        InstallGuard guard(&first);
+        spanInstant("cat", "one");
+        EXPECT_EQ(first.threadCount(), 1u);
+    }
+    // A second recorder (possibly at the same address) must see this
+    // thread register a fresh ring, not scribble on a stale pointer.
+    SpanRecorder second;
+    InstallGuard guard(&second);
+    spanInstant("cat", "two");
+    EXPECT_EQ(second.threadCount(), 1u);
+
+    std::ostringstream os;
+    second.exportChromeTrace(os);
+    const Json doc = Json::parse(os.str());
+    ASSERT_EQ(doc.get("traceEvents").size(), 2u);
+    EXPECT_EQ(doc.get("traceEvents").at(1).get("name").asString(),
+              "two");
+}
+
+TEST(SpanTrace, WriteFileRoundTripsAndFailsCleanly)
+{
+    SpanRecorder rec;
+    InstallGuard guard(&rec);
+    SpanRecorder::nameThisThread("main");
+    rec.span("cell", "t", 0, 1000);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "bpsim_test_span_trace.json")
+            .string();
+    ASSERT_TRUE(rec.writeFile(path));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NO_THROW(Json::parse(buf.str()));
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(rec.writeFile("/no/such/dir/timeline.json"));
+}
+
+} // namespace
+} // namespace bpsim::obs

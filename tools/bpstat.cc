@@ -10,6 +10,12 @@
  *                                        (a bpsweep --report-dir)
  *   bpstat manifest MANIFEST.json        summarise a campaign
  *                                        checkpoint (src/robust)
+ *   bpstat timeline TIMELINE.json        summarise a flight
+ *                                        recording (bpsweep
+ *                                        --timeline): per-worker
+ *                                        utilization, steal counts,
+ *                                        slowest cells, where the
+ *                                        waits went
  *
  * `check` exits 1 when the report violates its invariants (duplicate
  * row keys, squashed-uop/flush-cycle accounting, schema version), so
@@ -35,10 +41,13 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
 #include "obs/run_report.hh"
 #include "robust/run_manifest.hh"
 
@@ -61,7 +70,8 @@ usage()
                  "       bpstat check REPORT.json   (or --check)\n"
                  "       bpstat diff OLD.json NEW.json\n"
                  "       bpstat summary DIR\n"
-                 "       bpstat manifest MANIFEST.json\n");
+                 "       bpstat manifest MANIFEST.json\n"
+                 "       bpstat timeline TIMELINE.json\n");
     return 2;
 }
 
@@ -180,8 +190,9 @@ cmdSummary(const char *dir)
             paths.push_back(entry.path().string());
     std::sort(paths.begin(), paths.end());
 
-    std::printf("%-28s %8s %12s %12s  %s\n", "artifact", "rows",
-                "wall ms", "cache hits", "file");
+    std::printf("%-28s %8s %12s %12s %8s %7s  %s\n", "artifact",
+                "rows", "wall ms", "cache hits", "steals", "peak q",
+                "file");
     std::size_t reports = 0;
     for (const auto &path : paths) {
         RunReport r;
@@ -208,9 +219,189 @@ cmdSummary(const char *dir)
             std::printf(" %12s", "-");
         else
             std::printf(" %12.0f", hits);
+        // Present only in reports written by a bpsweep run, where
+        // the shared scheduler stamps its counters into every
+        // artifact's registry; standalone reports show "-".
+        const double steals =
+            metricValue(r, "sweep.scheduler.steals");
+        if (std::isnan(steals))
+            std::printf(" %8s", "-");
+        else
+            std::printf(" %8.0f", steals);
+        const double peakq =
+            metricValue(r, "sweep.scheduler.peak_active_queues");
+        if (std::isnan(peakq))
+            std::printf(" %7s", "-");
+        else
+            std::printf(" %7.0f", peakq);
         std::printf("  %s\n", file.c_str());
     }
     std::printf("%zu report(s)\n", reports);
+    return 0;
+}
+
+/**
+ * Summarise a bpsweep --timeline flight recording (Chrome
+ * trace-event JSON): per-worker utilization against the sweep wall
+ * time, steal counts, the slowest cells, and per-category totals so
+ * pool/cache waits are attributable at a glance. Tolerates events it
+ * does not recognise (the format is Perfetto's, not ours).
+ */
+int
+cmdTimeline(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "bpstat: cannot open %s\n", path);
+        return 3;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    bpsim::obs::Json doc;
+    try {
+        doc = bpsim::obs::Json::parse(buf.str());
+    } catch (const bpsim::obs::JsonError &e) {
+        std::fprintf(stderr, "bpstat: %s: %s\n", path, e.what());
+        return 4;
+    }
+    const bpsim::obs::Json *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr,
+                     "bpstat: %s: no traceEvents array\n", path);
+        return 4;
+    }
+
+    struct ThreadAgg
+    {
+        std::string name;
+        double busyUs = 0.0; ///< summed "cell" span durations
+        std::size_t cells = 0;
+        std::size_t steals = 0;
+    };
+    struct CatAgg
+    {
+        std::size_t count = 0;
+        double totalUs = 0.0;
+    };
+    struct SlowCell
+    {
+        std::string name;
+        double tid = 0.0;
+        double cell = -1.0; ///< args.cell, -1 when absent
+        double durUs = 0.0;
+    };
+    std::map<double, ThreadAgg> threads;
+    std::map<std::string, CatAgg> cats;
+    std::vector<SlowCell> slow;
+    double minTs = HUGE_VAL, maxEnd = 0.0;
+    std::size_t parsed = 0;
+
+    for (const auto &ev : events->items()) {
+        if (!ev.isObject())
+            continue;
+        const auto *ph = ev.find("ph");
+        const auto *tid = ev.find("tid");
+        if (!ph || !ph->isString() || !tid || !tid->isNumber())
+            continue;
+        const std::string &phase = ph->asString();
+        ThreadAgg &t = threads[tid->asNumber()];
+        if (phase == "M") {
+            const auto *aobj = ev.find("args");
+            const auto *nm =
+                aobj && aobj->isObject() ? aobj->find("name") : nullptr;
+            if (nm && nm->isString())
+                t.name = nm->asString();
+            continue;
+        }
+        const auto *ts = ev.find("ts");
+        if (!ts || !ts->isNumber())
+            continue;
+        ++parsed;
+        const auto *cat = ev.find("cat");
+        const auto *name = ev.find("name");
+        const std::string catStr =
+            cat && cat->isString() ? cat->asString() : "";
+        minTs = std::min(minTs, ts->asNumber());
+        if (phase == "i") {
+            maxEnd = std::max(maxEnd, ts->asNumber());
+            if (catStr == "steal")
+                ++t.steals;
+            continue;
+        }
+        if (phase != "X")
+            continue;
+        const auto *dur = ev.find("dur");
+        const double durUs =
+            dur && dur->isNumber() ? dur->asNumber() : 0.0;
+        maxEnd = std::max(maxEnd, ts->asNumber() + durUs);
+        CatAgg &c = cats[catStr];
+        ++c.count;
+        c.totalUs += durUs;
+        if (catStr == "cell") {
+            t.busyUs += durUs;
+            ++t.cells;
+            SlowCell sc;
+            sc.name = name && name->isString() ? name->asString()
+                                               : "?";
+            sc.tid = tid->asNumber();
+            const auto *aobj = ev.find("args");
+            const auto *ci =
+                aobj && aobj->isObject() ? aobj->find("cell") : nullptr;
+            if (ci && ci->isNumber())
+                sc.cell = ci->asNumber();
+            sc.durUs = durUs;
+            slow.push_back(std::move(sc));
+        }
+    }
+    if (parsed == 0) {
+        std::fprintf(stderr, "bpstat: %s: no span events\n", path);
+        return 4;
+    }
+    const double wallUs = maxEnd > minTs ? maxEnd - minTs : 0.0;
+    std::printf("%s: %zu thread(s), %zu event(s), %.1f ms wall\n",
+                path, threads.size(), parsed, wallUs / 1000.0);
+
+    std::printf("\n%-24s %8s %8s %10s %8s\n", "thread", "cells",
+                "steals", "busy ms", "util %");
+    for (const auto &[tid, t] : threads) {
+        std::string name = t.name;
+        if (name.empty())
+            name = "tid " + std::to_string(
+                                static_cast<long long>(tid));
+        // Utilization is meaningful for cell-executing threads; the
+        // main/driver tracks show "-" rather than a misleading 0.
+        std::printf("%-24s %8zu %8zu", name.c_str(), t.cells,
+                    t.steals);
+        if (t.cells > 0 && wallUs > 0.0)
+            std::printf(" %10.1f %8.1f\n", t.busyUs / 1000.0,
+                        100.0 * t.busyUs / wallUs);
+        else
+            std::printf(" %10s %8s\n", "-", "-");
+    }
+
+    std::printf("\n%-16s %8s %12s\n", "category", "count",
+                "total ms");
+    for (const auto &[cat, c] : cats)
+        std::printf("%-16s %8zu %12.1f\n",
+                    cat.empty() ? "(none)" : cat.c_str(), c.count,
+                    c.totalUs / 1000.0);
+
+    std::sort(slow.begin(), slow.end(),
+              [](const SlowCell &a, const SlowCell &b) {
+                  return a.durUs > b.durUs;
+              });
+    const std::size_t top = std::min<std::size_t>(10, slow.size());
+    std::printf("\ntop %zu slowest cell(s):\n", top);
+    for (std::size_t i = 0; i < top; ++i) {
+        const SlowCell &sc = slow[i];
+        if (sc.cell >= 0.0)
+            std::printf("  %10.1f ms  %s cell %.0f\n",
+                        sc.durUs / 1000.0, sc.name.c_str(), sc.cell);
+        else
+            std::printf("  %10.1f ms  %s\n", sc.durUs / 1000.0,
+                        sc.name.c_str());
+    }
     return 0;
 }
 
@@ -294,6 +485,8 @@ main(int argc, char **argv)
             return cmdSummary(argv[2]);
         if (cmd == "manifest" && argc == 3)
             return cmdManifest(argv[2]);
+        if (cmd == "timeline" && argc == 3)
+            return cmdTimeline(argv[2]);
     } catch (const RunReportIoError &e) {
         std::fprintf(stderr, "bpstat: %s\n", e.what());
         return 3;

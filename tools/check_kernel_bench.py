@@ -10,9 +10,18 @@ BM_PredictUpdate/gshare, at a 10% tolerance: machine-to-machine noise
 stays well under that, while losing the devirtualized fast path or
 the packed-PHT locality shows up as 2x.
 
+--same-run gates a ratio *within* the current run instead of against
+the baseline: `--same-run NUM:DEN --min-ratio R` fails when
+current[NUM] / current[DEN] < R. That makes it machine-independent —
+the standing use is holding the flight recorder's disabled path to
+"a branch on a null sink": BM_SpanOverhead/disabled must keep at
+least --min-ratio of BM_SpanOverhead/none's throughput on whatever
+box CI landed on.
+
 Usage:
   check_kernel_bench.py BASELINE.json CURRENT.json \
-      [--key BM_PredictUpdate/gshare] [--threshold 0.10]
+      [--key BM_PredictUpdate/gshare] [--threshold 0.10] \
+      [--same-run NUM:DEN --min-ratio R]
 
 Exit codes: 0 ok, 1 regression, 2 usage/IO error.
 """
@@ -57,6 +66,14 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="maximum tolerated fractional throughput "
                          "drop (default 0.10)")
+    ap.add_argument("--same-run", action="append", default=[],
+                    metavar="NUM:DEN",
+                    help="also require current[NUM]/current[DEN] "
+                         ">= --min-ratio (within-run gate, no "
+                         "baseline involved)")
+    ap.add_argument("--min-ratio", type=float, default=0.5,
+                    help="minimum throughput ratio for every "
+                         "--same-run pair (default 0.5)")
     args = ap.parse_args()
     keys = args.key or ["BM_PredictUpdate/gshare"]
 
@@ -96,6 +113,32 @@ def main():
         else:
             print(f"ok: {key} within tolerance "
                   f"({cur[key]:.3e} vs {base[key]:.3e} items/s)")
+
+    for pair in args.same_run:
+        num, sep, den = pair.partition(":")
+        if not sep or not num or not den:
+            print(f"check_kernel_bench: bad --same-run '{pair}' "
+                  f"(want NUM:DEN)", file=sys.stderr)
+            sys.exit(2)
+        for key in (num, den):
+            if key not in cur:
+                print(f"check_kernel_bench: --same-run benchmark "
+                      f"'{key}' missing from {args.current}",
+                      file=sys.stderr)
+                sys.exit(2)
+        if not cur[den]:
+            print(f"check_kernel_bench: --same-run denominator "
+                  f"'{den}' is zero", file=sys.stderr)
+            sys.exit(2)
+        ratio = cur[num] / cur[den]
+        if ratio < args.min_ratio:
+            print(f"FAIL: {num} at {ratio:.2f}x of {den} "
+                  f"(minimum {args.min_ratio:.2f}x)",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok: {num} at {ratio:.2f}x of {den} "
+                  f"(minimum {args.min_ratio:.2f}x)")
     sys.exit(1 if failed else 0)
 
 

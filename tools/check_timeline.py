@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Flight-recording validity gate.
+
+Checks a `bpsweep --timeline` Chrome trace-event JSON file for the
+structural invariants CI relies on:
+
+  - the file parses and has a traceEvents array with span events;
+  - every thread announced as a scheduler worker (thread_name
+    metadata "worker N") recorded at least one "X" span;
+  - every event's ts (and dur, for spans) is a non-negative number;
+  - per thread, span *end* times (ts + dur) are monotonically
+    non-decreasing in file order — the recorder's rings are written
+    at span close, so completion order is the file order and any
+    backwards step means a clock or drain bug;
+  - with --expect-cell NAME (repeatable), at least one "cell" span
+    named NAME exists — the sweep really executed that artifact's
+    cells under the recorder.
+
+Usage:
+  check_timeline.py TIMELINE.json [--expect-cell NAME]...
+
+Exit codes: 0 ok, 1 invariant violated, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("timeline")
+    ap.add_argument("--expect-cell", action="append", default=[],
+                    metavar="NAME",
+                    help="require a 'cell' span with this name")
+    args = ap.parse_args()
+
+    try:
+        with open(args.timeline) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_timeline: cannot read {args.timeline}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"check_timeline: {args.timeline}: no traceEvents "
+              f"array", file=sys.stderr)
+        sys.exit(1)
+
+    problems = []
+    thread_names = {}    # tid -> thread_name metadata
+    spans_per_tid = {}   # tid -> "X" event count
+    last_end = {}        # tid -> latest span end (ts + dur)
+    cell_names = set()   # names of "cell" spans seen
+    spans = 0
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        tid = ev.get("tid")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                name = ev.get("args", {}).get("name")
+                if isinstance(name, str):
+                    thread_names[tid] = name
+            continue
+        if ph not in ("X", "i"):
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if ph == "i":
+            continue
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"event {i}: bad dur {dur!r}")
+            continue
+        spans += 1
+        spans_per_tid[tid] = spans_per_tid.get(tid, 0) + 1
+        end = ts + dur
+        if end < last_end.get(tid, 0.0):
+            problems.append(
+                f"event {i}: span end {end} precedes an earlier end "
+                f"{last_end[tid]} on tid {tid} (non-monotonic)")
+        else:
+            last_end[tid] = end
+        if ev.get("cat") == "cell":
+            cell_names.add(ev.get("name"))
+
+    if spans == 0:
+        problems.append("no span (ph=X) events at all")
+
+    workers = {tid: name for tid, name in thread_names.items()
+               if name.startswith("worker")}
+    if not workers:
+        problems.append("no threads named 'worker N' — scheduler "
+                        "workers never registered")
+    for tid, name in sorted(workers.items(),
+                            key=lambda kv: str(kv[0])):
+        if spans_per_tid.get(tid, 0) == 0:
+            problems.append(f"{name} (tid {tid}) recorded no spans")
+
+    for name in args.expect_cell:
+        if name not in cell_names:
+            problems.append(f"no 'cell' span named '{name}'")
+
+    if problems:
+        print(f"check_timeline: {args.timeline}: "
+              f"{len(problems)} problem(s)", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_timeline: {args.timeline}: OK — {spans} span(s), "
+          f"{len(workers)} worker(s), {len(cell_names)} distinct "
+          f"cell label(s)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
