@@ -23,6 +23,8 @@ artifactRegistry()
         studyPipelineDepthArtifact(),
         studyContextSwitchArtifact(),
         studySoftErrorArtifact(),
+        studyProtectionSurfaceArtifact(),
+        studyFieldVulnerabilityArtifact(),
     };
     return defs;
 }

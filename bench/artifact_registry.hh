@@ -125,6 +125,8 @@ const ArtifactDef &studyDisagreementArtifact();
 const ArtifactDef &studyPipelineDepthArtifact();
 const ArtifactDef &studyContextSwitchArtifact();
 const ArtifactDef &studySoftErrorArtifact();
+const ArtifactDef &studyProtectionSurfaceArtifact();
+const ArtifactDef &studyFieldVulnerabilityArtifact();
 
 /**
  * The standalone host: stdout output, a ReportSession for

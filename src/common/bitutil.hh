@@ -28,6 +28,13 @@ bits(std::uint64_t v, unsigned hi, unsigned lo)
     return (v >> lo) & loMask(hi - lo + 1);
 }
 
+/** Number of set bits in @p v. */
+constexpr unsigned
+popcount64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
 /** True iff @p v is a power of two (0 is not). */
 constexpr bool
 isPowerOfTwo(std::uint64_t v)

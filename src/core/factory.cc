@@ -256,88 +256,120 @@ makePredictor(PredictorKind kind, std::size_t budget_bytes)
     return nullptr;
 }
 
-unsigned
-predictorLatencyCycles(PredictorKind kind, std::size_t budget_bytes,
-                       const SramModel &sram, const ClockModel &clock)
+namespace {
+
+/** The inputs predictorLatencyCycles combines: the largest table's
+ *  geometry, the combining-logic FO4s, and any whole extra cycles
+ *  (the perceptron's dot product). Shared with the protected path so
+ *  both charge the same table. */
+struct LatencyParts
+{
+    SramGeometry geom;
+    double combineFo4 = 0.0;
+    unsigned extraCycles = 0;
+};
+
+LatencyParts
+latencyPartsFor(PredictorKind kind, std::size_t budget_bytes)
 {
     // One fan-out-of-four inverter of combining logic for the
     // table-based predictors (Section 4.1.5).
     const double combine_fo4 = 1.0;
+    LatencyParts p;
+    p.geom.bitsPerEntry = 2;
     switch (kind) {
       case PredictorKind::Bimodal:
       case PredictorKind::Gshare:
-      case PredictorKind::GshareFast: {
-        SramGeometry g;
-        g.entries = phtEntriesFor(budget_bytes);
-        g.bitsPerEntry = 2;
-        return clock.cyclesForFo4(sram.accessFo4(g));
-      }
-      case PredictorKind::BiMode: {
-        SramGeometry g;
-        g.entries = prevPow2(budget_bytes * 8 / (3 * 2));
-        g.bitsPerEntry = 2;
-        return clock.cyclesForFo4(sram.accessFo4(g) + combine_fo4);
-      }
-      case PredictorKind::Yags: {
+      case PredictorKind::GshareFast:
+        p.geom.entries = phtEntriesFor(budget_bytes);
+        break;
+      case PredictorKind::BiMode:
+        p.geom.entries = prevPow2(budget_bytes * 8 / (3 * 2));
+        p.combineFo4 = combine_fo4;
+        break;
+      case PredictorKind::Yags:
         // The choice PHT is the largest structure; tag compare adds
         // the combining FO4.
-        SramGeometry g;
-        g.entries = prevPow2(budget_bytes * 8 / 2 / 2);
-        g.bitsPerEntry = 2;
-        return clock.cyclesForFo4(sram.accessFo4(g) + combine_fo4);
-      }
-      case PredictorKind::Gskew: {
-        SramGeometry g;
-        g.entries = prevPow2(budget_bytes * 8 / (4 * 2));
-        g.bitsPerEntry = 2;
+        p.geom.entries = prevPow2(budget_bytes * 8 / 2 / 2);
+        p.combineFo4 = combine_fo4;
+        break;
+      case PredictorKind::Gskew:
         // Majority + meta selection adds the combining FO4.
-        return clock.cyclesForFo4(sram.accessFo4(g) + combine_fo4);
-      }
-      case PredictorKind::Tournament: {
-        SramGeometry g;
-        g.entries = prevPow2(budget_bytes * 8 / 8);
-        g.bitsPerEntry = 2;
-        return clock.cyclesForFo4(sram.accessFo4(g) + combine_fo4);
-      }
-      case PredictorKind::MultiComponent: {
-        const MultiComponentConfig c =
-            multiComponentConfigFor(budget_bytes);
-        SramGeometry g;
-        g.entries = c.largestEntries;
-        g.bitsPerEntry = 2;
-        return clock.cyclesForFo4(sram.accessFo4(g) + combine_fo4);
-      }
+        p.geom.entries = prevPow2(budget_bytes * 8 / (4 * 2));
+        p.combineFo4 = combine_fo4;
+        break;
+      case PredictorKind::Tournament:
+        p.geom.entries = prevPow2(budget_bytes * 8 / 8);
+        p.combineFo4 = combine_fo4;
+        break;
+      case PredictorKind::MultiComponent:
+        p.geom.entries =
+            multiComponentConfigFor(budget_bytes).largestEntries;
+        p.combineFo4 = combine_fo4;
+        break;
       case PredictorKind::Perceptron: {
         const PerceptronConfig c = perceptronConfigFor(budget_bytes);
-        SramGeometry g;
-        g.entries = c.rows;
-        g.bitsPerEntry = (1 + c.globalBits + c.localBits) * 8;
+        p.geom.entries = c.rows;
+        p.geom.bitsPerEntry = (1 + c.globalBits + c.localBits) * 8;
         // Table read plus one (optimistic) cycle for the dot
         // product (Section 4.1.2).
-        return clock.cyclesForFo4(sram.accessFo4(g)) + 1;
+        p.extraCycles = 1;
+        break;
       }
     }
-    return 1;
+    return p;
 }
 
-std::unique_ptr<FetchPredictor>
-makeFetchPredictor(PredictorKind kind, std::size_t budget_bytes,
-                   DelayMode mode, const SramModel &sram,
-                   const ClockModel &clock)
-{
-    auto pred = makePredictor(kind, budget_bytes);
-    assert(pred);
+} // namespace
 
+unsigned
+predictorLatencyCycles(PredictorKind kind, std::size_t budget_bytes,
+                       const SramModel &sram, const ClockModel &clock)
+{
+    const LatencyParts p = latencyPartsFor(kind, budget_bytes);
+    return clock.cyclesForFo4(sram.accessFo4(p.geom) + p.combineFo4) +
+           p.extraCycles;
+}
+
+std::unique_ptr<robust::ProtectedPredictor>
+makeProtectedPredictor(PredictorKind kind, std::size_t budget_bytes,
+                       const robust::ProtectionConfig &prot,
+                       const robust::FaultPlan &plan)
+{
+    auto inner = makePredictor(
+        kind, robust::protectedEffectiveBudget(budget_bytes, prot));
+    return std::make_unique<robust::ProtectedPredictor>(
+        std::move(inner), plan, prot);
+}
+
+unsigned
+protectedPredictorLatencyCycles(PredictorKind kind,
+                                std::size_t budget_bytes,
+                                const robust::ProtectionConfig &prot,
+                                const SramModel &sram,
+                                const ClockModel &clock)
+{
+    LatencyParts p = latencyPartsFor(
+        kind, robust::protectedEffectiveBudget(budget_bytes, prot));
+    p.geom.checkBits = robust::protectionCheckBitsTotal(
+        p.geom.entries * p.geom.bitsPerEntry, prot);
+    return clock.cyclesForFo4(sram.accessFo4(p.geom) + p.combineFo4 +
+                              robust::protectionCheckFo4(prot)) +
+           p.extraCycles;
+}
+
+namespace {
+
+/** Mode dispatch shared by the bare and protected fetch factories:
+ *  wrap @p pred for @p mode at @p latency cycles. */
+std::unique_ptr<FetchPredictor>
+wrapFetchPredictor(std::unique_ptr<DirectionPredictor> pred,
+                   PredictorKind kind, DelayMode mode,
+                   unsigned latency)
+{
     // gshare.fast is pipelined: single-cycle at any budget.
     if (kind == PredictorKind::GshareFast || mode == DelayMode::Ideal ||
-        mode == DelayMode::Pipelined) {
-        return std::make_unique<SingleCycleFetchPredictor>(
-            std::move(pred));
-    }
-
-    const unsigned latency =
-        predictorLatencyCycles(kind, budget_bytes, sram, clock);
-    if (latency <= 1) {
+        mode == DelayMode::Pipelined || latency <= 1) {
         return std::make_unique<SingleCycleFetchPredictor>(
             std::move(pred));
     }
@@ -362,6 +394,35 @@ makeFetchPredictor(PredictorKind kind, std::size_t budget_bytes,
         std::make_unique<GsharePredictor>(quickPredictorEntries);
     return std::make_unique<OverridingFetchPredictor>(
         std::move(quick), std::move(pred), latency);
+}
+
+} // namespace
+
+std::unique_ptr<FetchPredictor>
+makeFetchPredictor(PredictorKind kind, std::size_t budget_bytes,
+                   DelayMode mode, const SramModel &sram,
+                   const ClockModel &clock)
+{
+    auto pred = makePredictor(kind, budget_bytes);
+    assert(pred);
+    const unsigned latency =
+        predictorLatencyCycles(kind, budget_bytes, sram, clock);
+    return wrapFetchPredictor(std::move(pred), kind, mode, latency);
+}
+
+std::unique_ptr<FetchPredictor>
+makeProtectedFetchPredictor(PredictorKind kind,
+                            std::size_t budget_bytes, DelayMode mode,
+                            const robust::ProtectionConfig &prot,
+                            const robust::FaultPlan &plan,
+                            const SramModel &sram,
+                            const ClockModel &clock)
+{
+    auto pred =
+        makeProtectedPredictor(kind, budget_bytes, prot, plan);
+    const unsigned latency = protectedPredictorLatencyCycles(
+        kind, budget_bytes, prot, sram, clock);
+    return wrapFetchPredictor(std::move(pred), kind, mode, latency);
 }
 
 std::string

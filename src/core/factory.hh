@@ -23,6 +23,8 @@
 #include "delay/sram_model.hh"
 #include "pipeline/fetch_predictor.hh"
 #include "predictors/predictor.hh"
+#include "robust/fault_injector.hh"
+#include "robust/protection.hh"
 
 namespace bpsim {
 
@@ -92,6 +94,46 @@ makeFetchPredictor(PredictorKind kind, std::size_t budget_bytes,
                    DelayMode mode,
                    const SramModel &sram = SramModel{},
                    const ClockModel &clock = ClockModel{});
+
+/**
+ * Protected variant of makeFetchPredictor: the slow predictor is a
+ * ProtectedPredictor built at the effective budget (the quick 2K
+ * front predictor, where the mode has one, stays unprotected and
+ * unbombarded — the policy protects the big table), and the fetch
+ * wrapper is sized with protectedPredictorLatencyCycles so the delay
+ * tax reaches the timing core.
+ */
+std::unique_ptr<FetchPredictor>
+makeProtectedFetchPredictor(PredictorKind kind,
+                            std::size_t budget_bytes, DelayMode mode,
+                            const robust::ProtectionConfig &prot,
+                            const robust::FaultPlan &plan,
+                            const SramModel &sram = SramModel{},
+                            const ClockModel &clock = ClockModel{});
+
+/**
+ * Build @p kind protected by @p prot and bombarded per @p plan. The
+ * protection's storage tax is charged here: the inner predictor is
+ * built at protectedEffectiveBudget(@p budget_bytes, @p prot) so the
+ * nominal budget pays for data plus check bits. Policy None with a
+ * zero-rate plan is byte-equivalent to the bare predictor.
+ */
+std::unique_ptr<robust::ProtectedPredictor>
+makeProtectedPredictor(PredictorKind kind, std::size_t budget_bytes,
+                       const robust::ProtectionConfig &prot,
+                       const robust::FaultPlan &plan);
+
+/**
+ * predictorLatencyCycles for a protected predictor: the largest
+ * table is re-derived at the effective (post-tax) budget, widened by
+ * its check bits (wire term), and the policy's check/correct FO4s
+ * land on the read path before the cycle ceiling.
+ */
+unsigned protectedPredictorLatencyCycles(
+    PredictorKind kind, std::size_t budget_bytes,
+    const robust::ProtectionConfig &prot,
+    const SramModel &sram = SramModel{},
+    const ClockModel &clock = ClockModel{});
 
 /** Entries in the single-cycle quick predictor (Section 4.1.2: a
  *  2K-entry gshare, optimistically assumed single-cycle). */

@@ -43,9 +43,17 @@ struct SramGeometry
     unsigned bitsPerEntry = 2;
     /** Read/write port count; extra ports add area and wire delay. */
     unsigned ports = 1;
+    /** ECC/parity check bits stored alongside the data array. They
+     *  are not addressable (the decoder fans into data entries) but
+     *  widen the physical array, so they count toward the wire term
+     *  via totalBits(). */
+    std::uint64_t checkBits = 0;
 
-    /** Total capacity in bits. */
-    std::uint64_t totalBits() const { return entries * bitsPerEntry; }
+    /** Total capacity in bits (data plus check bits). */
+    std::uint64_t totalBits() const
+    {
+        return entries * bitsPerEntry + checkBits;
+    }
     /** Total capacity in bytes (rounded up). */
     std::uint64_t totalBytes() const { return (totalBits() + 7) / 8; }
 };

@@ -106,11 +106,16 @@ MultiComponentPredictor::visitState(robust::StateVisitor &v)
 {
     // Selector confidences are two-bit SatCounters; every component
     // then exposes its own tables, so the walk covers the full
-    // storageBits() budget.
+    // storageBits() budget. Component fields are prefixed with their
+    // slot so the three gshare components stay distinguishable to
+    // fault plans and protection ledgers.
     v.visit(robust::satCounterField("pred.multicomponent.selector",
                                     selector_, 2));
-    for (auto &c : components_)
-        c->visitState(v);
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+        robust::PrefixingStateVisitor pv(
+            v, "pred.multicomponent.c" + std::to_string(c) + ".");
+        components_[c]->visitState(pv);
+    }
 }
 
 std::vector<PredictorStat>

@@ -4,6 +4,34 @@
 
 namespace bpsim::robust {
 
+namespace {
+
+bool
+hasPrefix(const std::string &name, const std::string &prefix)
+{
+    return !prefix.empty() &&
+           name.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+bool
+FaultPlan::matches(const std::string &field_name) const
+{
+    if (targetPrefix.empty() && targetPrefixes.empty() &&
+        targetFields.empty())
+        return true;
+    if (hasPrefix(field_name, targetPrefix))
+        return true;
+    for (const std::string &p : targetPrefixes)
+        if (hasPrefix(field_name, p))
+            return true;
+    for (const std::string &f : targetFields)
+        if (field_name == f)
+            return true;
+    return false;
+}
+
 FaultInjector::FaultInjector(const FaultPlan &plan)
     : plan_(plan), rng_(plan.seed)
 {
@@ -41,9 +69,7 @@ FaultInjector::sampleFlipCount(std::size_t total_bits)
 void
 FaultInjector::visit(const StateField &field)
 {
-    if (!plan_.targetPrefix.empty() &&
-        field.name.compare(0, plan_.targetPrefix.size(),
-                           plan_.targetPrefix) != 0)
+    if (!plan_.matches(field.name))
         return;
 
     const std::size_t total = field.totalBits();
@@ -57,8 +83,10 @@ FaultInjector::visit(const StateField &field)
         const std::size_t elem =
             static_cast<std::size_t>(pos / field.bits);
         const unsigned bit = static_cast<unsigned>(pos % field.bits);
-        field.store(elem,
-                    field.load(elem) ^ (std::uint64_t{1} << bit));
+        const std::uint64_t before = field.load(elem);
+        if (observer_)
+            observer_(field, elem, bit, before);
+        field.store(elem, before ^ (std::uint64_t{1} << bit));
     }
     flips_ += n;
     if (n)

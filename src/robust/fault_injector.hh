@@ -46,15 +46,41 @@ struct FaultPlan
     std::uint64_t seed = 0x5eedfa17;
     /** Only fields whose name starts with this are hit ("" = all). */
     std::string targetPrefix;
+    /** Additional eligible prefixes (any-of, alongside
+     *  targetPrefix). */
+    std::vector<std::string> targetPrefixes;
+    /** Exact field names to hit (any-of, alongside the prefixes).
+     *  The vulnerability-ranking pass bombards one field at a time
+     *  through this. */
+    std::vector<std::string> targetFields;
+
+    /** True when @p field_name is eligible under the plan: no
+     *  targeting at all means every field, otherwise the name must
+     *  match one prefix or one exact name. */
+    bool matches(const std::string &field_name) const;
 };
 
 /** Walks visitState() fields and flips bits per a FaultPlan. */
 class FaultInjector : public StateVisitor
 {
   public:
+    /** Called for every flip as it lands: the field, the element
+     *  index, the bit within it, and the element's value *before*
+     *  the flip. Protection policies record flips through this so
+     *  detection/repair replays the exact injection stream. */
+    using FlipObserver = std::function<void(
+        const StateField &field, std::size_t elem, unsigned bit,
+        std::uint64_t before)>;
+
     explicit FaultInjector(const FaultPlan &plan);
 
     void visit(const StateField &field) override;
+
+    /** Install @p obs (empty = none); does not perturb sampling. */
+    void setFlipObserver(FlipObserver obs)
+    {
+        observer_ = std::move(obs);
+    }
 
     /** Total bits flipped so far. */
     Counter flips() const { return flips_; }
@@ -78,6 +104,7 @@ class FaultInjector : public StateVisitor
 
     FaultPlan plan_;
     Rng rng_;
+    FlipObserver observer_;
     Counter flips_ = 0;
     Counter bitsVisited_ = 0;
     Counter events_ = 0;

@@ -50,6 +50,10 @@ struct StateField
     unsigned bits;     ///< SRAM bits per element (1..64)
     std::function<std::uint64_t(std::size_t)> load;
     std::function<void(std::size_t, std::uint64_t)> store;
+    /** The neutral pattern a protection policy writes when it must
+     *  invalidate an uncorrectable element (e.g. weakly-not-taken
+     *  for two-bit counters, zero for weights and histories). */
+    std::uint64_t resetValue = 0;
 
     /** Total SRAM bits this field contributes. */
     std::size_t totalBits() const { return count * bits; }
@@ -63,6 +67,34 @@ class StateVisitor
 
     /** Called once per field, in a stable order. */
     virtual void visit(const StateField &field) = 0;
+};
+
+/**
+ * Forwards every field to an inner visitor with @p prefix prepended
+ * to its name. Hybrid predictors wrap their component walks in this
+ * so nested fields get unique names (three gshare components must
+ * not all expose "pred.gshare.pht" — per-field targeting and the
+ * protection ledger key on names).
+ */
+class PrefixingStateVisitor : public StateVisitor
+{
+  public:
+    PrefixingStateVisitor(StateVisitor &inner, std::string prefix)
+        : inner_(inner), prefix_(std::move(prefix))
+    {
+    }
+
+    void
+    visit(const StateField &field) override
+    {
+        StateField renamed = field;
+        renamed.name = prefix_ + field.name;
+        inner_.visit(renamed);
+    }
+
+  private:
+    StateVisitor &inner_;
+    std::string prefix_;
 };
 
 // ---------------------------------------------------------------------
@@ -79,7 +111,8 @@ counterField(std::string name, std::vector<TwoBitCounter> &pht)
             },
             [&pht](std::size_t i, std::uint64_t v) {
                 pht[i].set(static_cast<std::uint8_t>(v & 3));
-            }};
+            },
+            1};
 }
 
 /**
@@ -97,7 +130,8 @@ packedCounterField(std::string name, PackedPhtStorage &pht)
             },
             [&pht](std::size_t i, std::uint64_t v) {
                 pht.set(i, static_cast<std::uint8_t>(v & 3));
-            }};
+            },
+            1};
 }
 
 /** A bit-packed table of n-bit unsigned saturating counters; same
@@ -113,7 +147,8 @@ packedSatField(std::string name, PackedSatStorage &table)
             [&table, bits](std::size_t i, std::uint64_t v) {
                 table.set(i, static_cast<std::uint8_t>(v &
                                                        loMask(bits)));
-            }};
+            },
+            loMask(bits) >> 1};
 }
 
 /** A table of n-bit unsigned saturating counters (all same width). */
@@ -128,7 +163,8 @@ satCounterField(std::string name, std::vector<SatCounter> &table,
             [&table, bits](std::size_t i, std::uint64_t v) {
                 table[i].set(static_cast<std::uint8_t>(v &
                                                        loMask(bits)));
-            }};
+            },
+            loMask(bits) >> 1};
 }
 
 /** A table of n-bit two's-complement signed weights. */

@@ -1,5 +1,6 @@
 #include "trace/trace_cache.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -12,6 +13,41 @@
 namespace bpsim {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Process-wide (TraceCache is a value type copied into every
+// SuiteTraces): a cache that cannot be written to is one condition,
+// so it earns one warning, not one per trace per bench.
+std::atomic<Counter> storeFailureCount{0};
+std::atomic<bool> storeFailureWarned{false};
+
+void
+noteStoreFailure(const std::string &what)
+{
+    storeFailureCount.fetch_add(1, std::memory_order_relaxed);
+    if (!storeFailureWarned.exchange(true,
+                                     std::memory_order_relaxed))
+        std::fprintf(stderr,
+                     "trace-cache: %s; continuing without the cache "
+                     "(further store failures suppressed)\n",
+                     what.c_str());
+}
+
+} // namespace
+
+Counter
+TraceCache::storeFailures()
+{
+    return storeFailureCount.load(std::memory_order_relaxed);
+}
+
+void
+TraceCache::resetStoreFailuresForTest()
+{
+    storeFailureCount.store(0, std::memory_order_relaxed);
+    storeFailureWarned.store(false, std::memory_order_relaxed);
+}
 
 TraceCache::TraceCache(std::string dir, int format_version)
     : dir_(std::move(dir)), formatVersion_(format_version)
@@ -89,16 +125,14 @@ TraceCache::store(const std::string &workload, Counter ops,
     try {
         writeTraceCompressed(trace, tmp);
     } catch (const TraceIoError &e) {
-        std::fprintf(stderr, "trace-cache: store failed: %s\n",
-                     e.what());
+        noteStoreFailure(std::string("store failed: ") + e.what());
         fs::remove(tmp, ec);
         return false;
     }
     fs::rename(tmp, path, ec);
     if (ec) {
-        std::fprintf(stderr,
-                     "trace-cache: cannot publish '%s': %s\n",
-                     path.c_str(), ec.message().c_str());
+        noteStoreFailure("cannot publish '" + path +
+                         "': " + ec.message());
         fs::remove(tmp, ec);
         return false;
     }

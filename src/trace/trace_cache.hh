@@ -81,12 +81,24 @@ class TraceCache
                                     std::uint64_t seed) const;
 
     /**
-     * Atomically persist @p trace under a key. Returns false (after
-     * a stderr warning) when the cache is disabled or the write
-     * fails; a failed store never leaves a partial entry behind.
+     * Atomically persist @p trace under a key. Returns false when
+     * the cache is disabled or the write fails; a failed store never
+     * leaves a partial entry behind. Write failures (read-only or
+     * vanished cache dir, disk full) degrade gracefully: the run
+     * continues on the in-memory trace, a warning is printed for the
+     * FIRST failure only (the cause — a bad BPSIM_TRACE_CACHE — is
+     * one condition, not one per trace), and every failure counts
+     * into storeFailures().
      */
     bool store(const std::string &workload, Counter ops,
                std::uint64_t seed, const TraceBuffer &trace) const;
+
+    /** Process-wide count of failed store() attempts. The warn-once
+     *  state is process-wide too because TraceCache is copied freely
+     *  (SuiteTraces holds it by value). */
+    static Counter storeFailures();
+    /** Reset the failure counter and re-arm the warning (tests). */
+    static void resetStoreFailuresForTest();
 
     /**
      * load() or, on a miss, run @p generate and store the result.

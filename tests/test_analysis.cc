@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/vulnerability.hh"
+#include "core/factory.hh"
+#include "robust/fault_injector.hh"
 #include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
@@ -90,6 +93,66 @@ TEST(MispredictProfile, AttributesMisses)
     EXPECT_NEAR(top[0].shareOfAllMisses, 50.0 / 75.0, 1e-12);
     EXPECT_DOUBLE_EQ(top[0].localRate(), 0.5);
     EXPECT_EQ(top[1].pc, 0x200u);
+}
+
+TEST(Vulnerability, EnumeratesGshareFields)
+{
+    auto pred = makePredictor(PredictorKind::Gshare, 16 * 1024);
+    const auto fields = analysis::enumerateStateFields(*pred);
+    ASSERT_EQ(fields.size(), 2u);
+
+    std::size_t total = 0;
+    bool saw_pht = false;
+    for (const auto &f : fields) {
+        total += f.totalBits();
+        if (f.name == "pred.gshare.pht") {
+            saw_pht = true;
+            EXPECT_EQ(f.bits, 2u);
+            EXPECT_GT(f.count, 0u);
+        }
+    }
+    EXPECT_TRUE(saw_pht);
+    EXPECT_EQ(total, pred->storageBits());
+}
+
+TEST(Vulnerability, RanksGshareFieldsDeterministically)
+{
+    auto w = makeWorkload("176.gcc");
+    const TraceBuffer trace = generateTrace(*w, 60000, 3);
+
+    robust::FaultPlan plan;
+    plan.upsetRatePerBit = 1e-3;
+    plan.intervalBranches = 256;
+    plan.seed = 0xfeedbee5;
+
+    const auto make = [] {
+        return makePredictor(PredictorKind::Gshare, 16 * 1024);
+    };
+    const auto a = analysis::rankFieldVulnerability(make, trace, plan);
+    const auto b = analysis::rankFieldVulnerability(make, trace, plan);
+
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(b.size(), 2u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].field, b[i].field);
+        EXPECT_EQ(a[i].flips, b[i].flips);
+        EXPECT_EQ(a[i].baselineMisses, b[i].baselineMisses);
+        EXPECT_EQ(a[i].bombardedMisses, b[i].bombardedMisses);
+    }
+
+    // Sorted most-vulnerable first; ties break by name.
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        EXPECT_GE(a[i - 1].deltaMpkiPerFlip(), a[i].deltaMpkiPerFlip());
+    }
+
+    // The PHT is by far the largest field at this rate, so the
+    // campaign must have landed flips in it.
+    for (const auto &v : a) {
+        EXPECT_EQ(v.ops, trace.size());
+        if (v.field == "pred.gshare.pht") {
+            EXPECT_GT(v.flips, 0u);
+        }
+    }
 }
 
 } // namespace

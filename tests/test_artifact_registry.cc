@@ -33,7 +33,7 @@ namespace {
 TEST(ArtifactRegistry, NamesAreUniqueAndStable)
 {
     const auto &defs = artifactRegistry();
-    ASSERT_EQ(defs.size(), 14u);
+    ASSERT_EQ(defs.size(), 16u);
 
     std::set<std::string> names;
     for (const auto &def : defs) {
@@ -55,6 +55,7 @@ TEST(ArtifactRegistry, NamesAreUniqueAndStable)
         "ablation_delay_hiding", "ablation_pipeline",
         "study_disagreement",   "study_pipeline_depth",
         "study_context_switch", "study_soft_error",
+        "study_protection_surface", "study_field_vulnerability",
     };
     EXPECT_EQ(names, expected);
 }
@@ -112,7 +113,7 @@ TEST(ArtifactRegistry, SweepRunsAreByteIdenticalToStandaloneRuns)
         EXPECT_EQ(solo[i].exitCode, 0) << defs[i].spec.name;
     }
 
-    // Sweep shape: all fourteen bodies concurrently, each on a
+    // Sweep shape: all registered artifact bodies concurrently, each on a
     // SweepPool view of one shared 4-worker scheduler (what bpsweep
     // --all --jobs 4 does, minus the CLI).
     std::vector<Capture> swept(defs.size());

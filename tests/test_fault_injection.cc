@@ -185,6 +185,74 @@ TEST(FaultInjector, TargetPrefixRestrictsFields)
     }
 }
 
+TEST(FaultPlan, MatchesCombinesPrefixesAndExactNames)
+{
+    robust::FaultPlan plan;
+    // No targeting at all: everything matches.
+    EXPECT_TRUE(plan.matches("pred.gshare.pht"));
+    EXPECT_TRUE(plan.matches(""));
+
+    plan.targetPrefix = "pred.gshare.";
+    EXPECT_TRUE(plan.matches("pred.gshare.pht"));
+    EXPECT_FALSE(plan.matches("pred.perceptron.weights"));
+
+    // Multiple prefixes OR together, and with the legacy single one.
+    plan.targetPrefixes = {"pred.2bc-gskew.g0", "pred.2bc-gskew.g1"};
+    EXPECT_TRUE(plan.matches("pred.gshare.history"));
+    EXPECT_TRUE(plan.matches("pred.2bc-gskew.g0"));
+    EXPECT_TRUE(plan.matches("pred.2bc-gskew.g1"));
+    EXPECT_FALSE(plan.matches("pred.2bc-gskew.meta"));
+
+    // Exact names are exact: no prefix semantics.
+    plan.targetPrefix.clear();
+    plan.targetPrefixes.clear();
+    plan.targetFields = {"pred.perceptron.global_history"};
+    EXPECT_TRUE(plan.matches("pred.perceptron.global_history"));
+    EXPECT_FALSE(plan.matches("pred.perceptron.global_histories"));
+    EXPECT_FALSE(plan.matches("pred.perceptron"));
+}
+
+TEST(FaultInjector, ExactFieldTargetingHitsOnlyThatField)
+{
+    robust::FaultPlan plan;
+    plan.upsetRatePerBit = 1e-2;
+    plan.targetFields = {"pred.gshare.history"};
+    robust::FaultInjector injector(plan);
+
+    auto pred = makePredictor(PredictorKind::Gshare, 64 * 1024);
+    // The history register is tiny; fire enough events for the
+    // Poisson sampler to land at least one flip in it.
+    for (int i = 0; i < 200; ++i) {
+        injector.beginEvent();
+        pred->visitState(injector);
+    }
+    EXPECT_GT(injector.flips(), 0u);
+    ASSERT_EQ(injector.flipsByField().size(), 1u);
+    EXPECT_EQ(injector.flipsByField().begin()->first,
+              "pred.gshare.history");
+}
+
+TEST(FaultInjector, MultiPrefixTargetingCoversListedBanksOnly)
+{
+    robust::FaultPlan plan;
+    plan.upsetRatePerBit = 1e-2;
+    plan.targetPrefixes = {"pred.2bc-gskew.g0", "pred.2bc-gskew.g1"};
+    robust::FaultInjector injector(plan);
+
+    auto pred = makePredictor(PredictorKind::Gskew, 64 * 1024);
+    injector.beginEvent();
+    pred->visitState(injector);
+
+    EXPECT_GT(injector.flips(), 0u);
+    EXPECT_GE(injector.flipsByField().size(), 2u);
+    for (const auto &[name, n] : injector.flipsByField()) {
+        EXPECT_TRUE(name.rfind("pred.2bc-gskew.g0", 0) == 0 ||
+                    name.rfind("pred.2bc-gskew.g1", 0) == 0)
+            << name;
+        EXPECT_GT(n, 0u);
+    }
+}
+
 TEST(FaultInjector, BombardsTheBtb)
 {
     Btb btb(512, 2);

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -290,6 +292,92 @@ TEST(TraceCache, RacingWritersAndACorruptorConverge)
         "wl", 400, 9, [&] { return syntheticTrace(400, 9); });
     EXPECT_EQ(final_.size(), expect.size());
     ASSERT_TRUE(cache.load("wl", 400, 9).has_value());
+    fs::remove_all(dir);
+}
+
+/** Occurrences of @p needle in @p hay. */
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle);
+         at != std::string::npos; at = hay.find(needle, at + 1))
+        ++n;
+    return n;
+}
+
+TEST(TraceCache, UnwritableCacheDegradesGracefullyAndWarnsOnce)
+{
+    // An unwritable cache is a degraded environment, not a failed
+    // run: stores fail, fetches keep working from memory, and the
+    // warning fires once for the condition — not once per trace.
+    const std::string dir = freshCacheDir("trace_cache_readonly");
+    // A regular file where the cache directory should be: every
+    // store hits ENOTDIR on the way in, even when running as root
+    // (where a chmod'd directory would not stop writes).
+    const std::string blocker = dir + "/blocker";
+    std::FILE *f = std::fopen(blocker.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+
+    TraceCache::resetStoreFailuresForTest();
+    TraceCache cache(blocker + "/cache");
+    EXPECT_TRUE(cache.enabled());
+
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(cache.store("wl", 60, 1, syntheticTrace(60, 1)));
+    EXPECT_FALSE(cache.store("wl", 60, 2, syntheticTrace(60, 2)));
+
+    // fetch degrades to generate-every-time but still serves the
+    // right trace.
+    int generated = 0;
+    bool hit = true;
+    const TraceBuffer t = cache.fetch(
+        "wl", 60, 3,
+        [&] {
+            ++generated;
+            return syntheticTrace(60, 3);
+        },
+        &hit);
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(generated, 1);
+    EXPECT_EQ(t.size(), 60u);
+
+    EXPECT_EQ(TraceCache::storeFailures(), 3u);
+    EXPECT_EQ(countOccurrences(err, "continuing without the cache"),
+              1u)
+        << err;
+
+    TraceCache::resetStoreFailuresForTest();
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, ReadOnlyDirectoryFailsStoreNotFetch)
+{
+    if (::geteuid() == 0)
+        GTEST_SKIP() << "root ignores directory write permissions";
+    const std::string dir = freshCacheDir("trace_cache_ro_dir");
+    fs::permissions(dir, fs::perms::owner_read |
+                             fs::perms::owner_exec);
+    TraceCache::resetStoreFailuresForTest();
+    TraceCache cache(dir);
+
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(cache.store("wl", 40, 1, syntheticTrace(40, 1)));
+    const TraceBuffer t = cache.fetch(
+        "wl", 40, 2, [&] { return syntheticTrace(40, 2); });
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(t.size(), 40u);
+    EXPECT_GE(TraceCache::storeFailures(), 2u);
+    EXPECT_EQ(countOccurrences(err, "continuing without the cache"),
+              1u)
+        << err;
+
+    TraceCache::resetStoreFailuresForTest();
+    fs::permissions(dir, fs::perms::owner_all);
     fs::remove_all(dir);
 }
 

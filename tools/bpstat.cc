@@ -39,6 +39,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -68,6 +69,7 @@ usage()
     std::fprintf(stderr,
                  "usage: bpstat show REPORT.json\n"
                  "       bpstat check REPORT.json   (or --check)\n"
+                 "              [--monotone-upsets [TOLERANCE_PP]]\n"
                  "       bpstat diff OLD.json NEW.json\n"
                  "       bpstat summary DIR\n"
                  "       bpstat manifest MANIFEST.json\n"
@@ -117,26 +119,103 @@ cmdShow(const char *path)
     return 0;
 }
 
+/**
+ * The resilience gate: rows whose predictor label carries a swept
+ * upset rate ("gshare@u=1e-04", optionally "...@p=secded" — the
+ * shape study_soft_error and study_protection_surface emit) are
+ * grouped into (predictor+policy, mode, budget) slices, misprediction
+ * is averaged across workloads per rate, and every slice must be
+ * monotone non-decreasing in the rate. A flip can accidentally help
+ * one workload, but if *more* upsets mean *fewer* mispredictions on
+ * the suite mean, the injection or repair path is broken — that is
+ * the regression this catches. @p tolerance_pp absorbs suite-mean
+ * noise at small trace lengths.
+ */
 int
-cmdCheck(const char *path)
+checkMonotoneUpsets(const RunReport &r, const char *path,
+                    double tolerance_pp)
+{
+    struct Slice
+    {
+        // rate -> per-workload misprediction percents
+        std::map<double, std::vector<double>> byRate;
+    };
+    std::map<std::string, Slice> slices;
+    for (const auto &row : r.rows) {
+        const std::size_t at = row.predictor.find("@u=");
+        if (at == std::string::npos)
+            continue;
+        const char *rate_str = row.predictor.c_str() + at + 3;
+        char *end = nullptr;
+        const double rate = std::strtod(rate_str, &end);
+        if (end == rate_str)
+            continue;
+        // Slice key: the label with the rate spliced out, so the
+        // policy suffix (when present) stays part of the key.
+        std::string label = row.predictor;
+        label.erase(at, static_cast<std::size_t>(end - rate_str) + 3);
+        const std::string key = label + "|" + row.mode + "|" +
+                                std::to_string(row.budgetBytes);
+        slices[key].byRate[rate].push_back(row.mispredictPercent());
+    }
+    if (slices.empty()) {
+        std::fprintf(stderr,
+                     "%s: monotone-upsets: no rows with @u=RATE "
+                     "labels — gate misapplied?\n",
+                     path);
+        return 1;
+    }
+
+    std::size_t violations = 0;
+    for (const auto &[key, slice] : slices) {
+        double prev = -HUGE_VAL, prev_rate = 0.0;
+        for (const auto &[rate, misps] : slice.byRate) {
+            double mean = 0.0;
+            for (double m : misps)
+                mean += m;
+            mean /= static_cast<double>(misps.size());
+            if (mean < prev - tolerance_pp) {
+                std::fprintf(stderr,
+                             "%s: monotone-upsets: %s improves from "
+                             "%.3f%% at u=%g to %.3f%% at u=%g\n",
+                             path, key.c_str(), prev, prev_rate,
+                             mean, rate);
+                ++violations;
+            }
+            prev = mean;
+            prev_rate = rate;
+        }
+    }
+    std::printf("%s: monotone-upsets: %zu slice(s) checked, "
+                "%zu violation(s) (tolerance %.3fpp)\n",
+                path, slices.size(), violations, tolerance_pp);
+    return violations ? 1 : 0;
+}
+
+int
+cmdCheck(const char *path, bool monotone_upsets,
+         double monotone_tolerance_pp)
 {
     const RunReport r = load(path);
     const auto problems = r.validate();
-    if (problems.empty()) {
-        if (r.annotations.empty())
-            std::printf("%s: OK (%zu rows, schema v%d)\n", path,
-                        r.rows.size(), r.schemaVersion);
-        else
-            std::printf("%s: OK but PARTIAL (%zu rows, %zu failed "
-                        "cell(s), schema v%d)\n",
-                        path, r.rows.size(), r.annotations.size(),
-                        r.schemaVersion);
-        return 0;
+    if (!problems.empty()) {
+        std::fprintf(stderr, "%s: %zu problem(s)\n", path,
+                     problems.size());
+        for (const auto &p : problems)
+            std::fprintf(stderr, "  - %s\n", p.c_str());
+        return 1;
     }
-    std::fprintf(stderr, "%s: %zu problem(s)\n", path, problems.size());
-    for (const auto &p : problems)
-        std::fprintf(stderr, "  - %s\n", p.c_str());
-    return 1;
+    if (r.annotations.empty())
+        std::printf("%s: OK (%zu rows, schema v%d)\n", path,
+                    r.rows.size(), r.schemaVersion);
+    else
+        std::printf("%s: OK but PARTIAL (%zu rows, %zu failed "
+                    "cell(s), schema v%d)\n",
+                    path, r.rows.size(), r.annotations.size(),
+                    r.schemaVersion);
+    if (monotone_upsets)
+        return checkMonotoneUpsets(r, path, monotone_tolerance_pp);
+    return 0;
 }
 
 int
@@ -235,6 +314,49 @@ cmdSummary(const char *dir)
         else
             std::printf(" %7.0f", peakq);
         std::printf("  %s\n", file.c_str());
+
+        // Resilience view: artifacts that model protected state
+        // (study_protection_surface) publish per-policy tax gauges;
+        // surface them inline so the cost of each ECC choice is
+        // readable next to the run that measured it.
+        if (r.metrics.isObject()) {
+            struct Taxes
+            {
+                double storagePct = NAN;
+                double delayCycles = NAN;
+            };
+            std::map<std::string, Taxes> byPolicy;
+            for (const auto &[name, value] : r.metrics.members()) {
+                if (!value.isNumber())
+                    continue;
+                static const std::string kStorage =
+                    "robust.protection.storage_tax_pct{policy=";
+                static const std::string kDelay =
+                    "robust.protection.delay_tax_cycles{policy=";
+                if (name.compare(0, kStorage.size(), kStorage) == 0)
+                    byPolicy[name.substr(kStorage.size(),
+                                         name.size() -
+                                             kStorage.size() - 1)]
+                        .storagePct = value.asNumber();
+                else if (name.compare(0, kDelay.size(), kDelay) == 0)
+                    byPolicy[name.substr(kDelay.size(),
+                                         name.size() -
+                                             kDelay.size() - 1)]
+                        .delayCycles = value.asNumber();
+            }
+            for (const auto &[policy, t] : byPolicy) {
+                std::printf("  %-26s", ("  policy " + policy).c_str());
+                if (std::isnan(t.storagePct))
+                    std::printf(" %14s", "-");
+                else
+                    std::printf(" storage %5.2f%%", t.storagePct);
+                if (std::isnan(t.delayCycles))
+                    std::printf(" %14s\n", "-");
+                else
+                    std::printf("  delay %+3.0f cyc\n",
+                                t.delayCycles);
+            }
+        }
     }
     std::printf("%zu report(s)\n", reports);
     return 0;
@@ -475,8 +597,24 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
     try {
-        if ((cmd == "check" || cmd == "--check") && argc == 3)
-            return cmdCheck(argv[2]);
+        if ((cmd == "check" || cmd == "--check") && argc >= 3 &&
+            argc <= 5) {
+            bool monotone = false;
+            double tolerance_pp = 0.05;
+            if (argc >= 4) {
+                if (std::strcmp(argv[3], "--monotone-upsets") != 0)
+                    return usage();
+                monotone = true;
+                if (argc == 5) {
+                    char *end = nullptr;
+                    tolerance_pp = std::strtod(argv[4], &end);
+                    if (end == argv[4] || *end != '\0' ||
+                        tolerance_pp < 0.0)
+                        return usage();
+                }
+            }
+            return cmdCheck(argv[2], monotone, tolerance_pp);
+        }
         if (cmd == "show" && argc == 3)
             return cmdShow(argv[2]);
         if (cmd == "diff" && argc == 4)
