@@ -38,16 +38,28 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         ctx.printf("%16s", kindName(k).c_str());
     ctx.printf("\n");
 
+    // Budget-major, kind-minor — the row order of the serial sweep.
+    // The ensemble engine groups the cells by kind across budgets
+    // and replays each group in one pass per trace; rows and means
+    // come out byte-identical to the per-cell suiteAccuracyReport
+    // calls this loop used to make.
+    std::vector<AccuracyCellConfig> cells;
+    for (std::size_t budget : figure1BudgetsBytes())
+        for (auto k : kinds) {
+            AccuracyCellConfig c;
+            c.make = [k, budget] { return makePredictor(k, budget); };
+            c.name = kindName(k);
+            c.budgetBytes = budget;
+            cells.push_back(std::move(c));
+        }
+    suiteAccuracyReportEnsemble(suite, cells, ctx.report(),
+                                ctx.metricsIfEnabled(), ctx.pool());
+
+    std::size_t cell = 0;
     for (std::size_t budget : figure1BudgetsBytes()) {
         ctx.printf("%-16s", budgetLabel(budget).c_str());
-        for (auto k : kinds) {
-            double mean = 0;
-            suiteAccuracyReport(
-                suite, [&] { return makePredictor(k, budget); },
-                &mean, ctx.report(), kindName(k), budget,
-                ctx.metricsIfEnabled(), ctx.pool());
-            ctx.printf("%16.2f", mean);
-        }
+        for ([[maybe_unused]] auto k : kinds)
+            ctx.printf("%16.2f", cells[cell++].meanPercent);
         ctx.printf("\n");
     }
     return 0;

@@ -32,16 +32,25 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         ctx.printf("%16s", kindName(k).c_str());
     ctx.printf("\n");
 
+    // Same structure as Figure 1: list the cells in the serial row
+    // order, let the ensemble engine batch each kind across budgets.
+    std::vector<AccuracyCellConfig> cells;
+    for (std::size_t budget : largeBudgetsBytes())
+        for (auto k : largePredictorKinds()) {
+            AccuracyCellConfig c;
+            c.make = [k, budget] { return makePredictor(k, budget); };
+            c.name = kindName(k);
+            c.budgetBytes = budget;
+            cells.push_back(std::move(c));
+        }
+    suiteAccuracyReportEnsemble(suite, cells, ctx.report(),
+                                ctx.metricsIfEnabled(), ctx.pool());
+
+    std::size_t cell = 0;
     for (std::size_t budget : largeBudgetsBytes()) {
         ctx.printf("%-8s", budgetLabel(budget).c_str());
-        for (auto k : largePredictorKinds()) {
-            double mean = 0;
-            suiteAccuracyReport(
-                suite, [&] { return makePredictor(k, budget); },
-                &mean, ctx.report(), kindName(k), budget,
-                ctx.metricsIfEnabled(), ctx.pool());
-            ctx.printf("%16.2f", mean);
-        }
+        for ([[maybe_unused]] auto k : largePredictorKinds())
+            ctx.printf("%16.2f", cells[cell++].meanPercent);
         ctx.printf("\n");
     }
     return 0;

@@ -36,19 +36,25 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         ctx.printf("%16s", kindName(k).c_str());
     ctx.printf("\n");
 
-    std::vector<std::vector<double>> per_kind(configs.size());
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const auto res = suiteAccuracyReport(
-            suite,
-            [&] {
-                return makePredictor(configs[c].first,
-                                     configs[c].second);
-            },
-            nullptr, ctx.report(), kindName(configs[c].first),
-            configs[c].second, ctx.metricsIfEnabled(), ctx.pool());
-        for (const auto &r : res)
-            per_kind[c].push_back(r.percent());
+    // Every kind appears once here, so the ensemble engine forms no
+    // batched groups — but routing through it keeps the reporting
+    // path uniform with Figures 1 and 5 (and would batch any future
+    // same-kind configs automatically).
+    std::vector<AccuracyCellConfig> cells;
+    for (const auto &[k, b] : configs) {
+        AccuracyCellConfig c;
+        c.make = [k = k, b = b] { return makePredictor(k, b); };
+        c.name = kindName(k);
+        c.budgetBytes = b;
+        cells.push_back(std::move(c));
     }
+    suiteAccuracyReportEnsemble(suite, cells, ctx.report(),
+                                ctx.metricsIfEnabled(), ctx.pool());
+
+    std::vector<std::vector<double>> per_kind(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        for (const auto &r : cells[c].results)
+            per_kind[c].push_back(r.percent());
 
     for (std::size_t i = 0; i < suite.size(); ++i) {
         ctx.printf("%-12s", shortName(suite.name(i)).c_str());

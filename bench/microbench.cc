@@ -15,6 +15,7 @@
 
 #include "bench_util.hh"
 #include "common/vec_kernels.hh"
+#include "core/ensemble.hh"
 #include "core/factory.hh"
 #include "core/runner.hh"
 #include "obs/report_session.hh"
@@ -177,6 +178,39 @@ BM_SpanOverhead(benchmark::State &state, SpanMode mode)
     state.SetItemsProcessed(static_cast<std::int64_t>(spans));
 }
 
+/**
+ * Batched ensemble replay: one pass over the shared trace stepping
+ * one member per standard budget (the widest group a figure sweep
+ * forms). Items processed counts member-branches, so items/s divides
+ * directly against BM_PredictUpdate's serial per-cell rate — the
+ * ratio is the per-member saving from amortizing the trace stream
+ * (and, for the perceptron, the shared input vector).
+ */
+void
+BM_EnsembleReplay(benchmark::State &state, PredictorKind kind)
+{
+    const auto &trace = sharedTrace();
+    Counter memberBranches = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<std::unique_ptr<DirectionPredictor>> owned;
+        std::vector<DirectionPredictor *> members;
+        for (const std::size_t budget : standardBudgets()) {
+            owned.push_back(makePredictor(kind, budget));
+            members.push_back(owned.back().get());
+        }
+        state.ResumeTiming();
+        const auto results = runAccuracyEnsemble(members, trace);
+        benchmark::DoNotOptimize(results.data());
+        for (const auto &r : results)
+            memberBranches += r.branches;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(memberBranches));
+    state.SetLabel("width=" +
+                   std::to_string(standardBudgets().size()));
+}
+
 /** Register the per-kind replay-kernel benchmarks. Called from main
  *  (name/closure registration needs runtime values). */
 void
@@ -192,6 +226,10 @@ registerKernelBenchmarks()
             [kind](benchmark::State &s) {
                 BM_PredictUpdateVirtual(s, kind);
             })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("BM_EnsembleReplay/" + kindName(kind)).c_str(),
+            [kind](benchmark::State &s) { BM_EnsembleReplay(s, kind); })
             ->Unit(benchmark::kMillisecond);
     }
     const std::pair<const char *, SpanMode> spanModes[] = {
@@ -243,10 +281,10 @@ BM_PerceptronKernel(benchmark::State &state)
         x[i] = -1;
     Counter weights = 0;
     for (auto _ : state) {
-        const int y = dotSignedI16(w.data(), x.data(), n);
+        const int y = dotSignedI16Wide(w.data(), x.data(), n);
         benchmark::DoNotOptimize(y);
-        trainSignedI16(w.data(), x.data(), n, y >= 0 ? -1 : 1, -128,
-                       127);
+        trainSignedI16Wide(w.data(), x.data(), n, y >= 0 ? -1 : 1,
+                           -128, 127);
         benchmark::DoNotOptimize(w.data());
         weights += 2 * n;
     }
@@ -341,13 +379,41 @@ BM_TraceCacheCompressed(benchmark::State &state)
         std::filesystem::temp_directory_path() /
         "bpsim_microbench_cache_compressed";
     std::filesystem::remove_all(dir);
-    const TraceCache cache(dir);
+    const TraceCache cache(dir, 2); // pin the legacy v2 codec
     const TraceBuffer &trace = sharedTrace();
     Counter ops = 0;
     for (auto _ : state) {
         cache.store("176.gcc", trace.size(), 42, trace);
         const auto loaded = cache.load("176.gcc", trace.size(), 42);
         benchmark::DoNotOptimize(loaded->size());
+        ops += 2 * trace.size();
+    }
+    std::filesystem::remove_all(dir);
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+/**
+ * Columnar (v3) trace-cache codec, the BM_TraceCacheCompressed
+ * analogue: one store (column split + delta encode + checksums)
+ * plus one load of a 200k-op trace. The load side is the v3 cold
+ * cost — mmap, header/dir/block-checksum validation, zero-copy
+ * branch columns; op decoding stays lazy and unpaid, which is why
+ * this runs far ahead of the v2 codec.
+ */
+void
+BM_TraceCacheColumnar(benchmark::State &state)
+{
+    const std::string dir =
+        std::filesystem::temp_directory_path() /
+        "bpsim_microbench_cache_columnar";
+    std::filesystem::remove_all(dir);
+    const TraceCache cache(dir, 3);
+    const TraceBuffer &trace = sharedTrace();
+    Counter ops = 0;
+    for (auto _ : state) {
+        cache.store("176.gcc", trace.size(), 42, trace);
+        const auto loaded = cache.load("176.gcc", trace.size(), 42);
+        benchmark::DoNotOptimize(loaded->branchView().size());
         ops += 2 * trace.size();
     }
     std::filesystem::remove_all(dir);
@@ -372,6 +438,8 @@ BENCHMARK(bpsim::BM_CellPoolSuiteAccuracy)
 BENCHMARK(bpsim::BM_TraceCacheCold)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TraceCacheWarm)->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_TraceCacheCompressed)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bpsim::BM_TraceCacheColumnar)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bpsim::BM_OooCoreStallSkip)
     ->Arg(0)

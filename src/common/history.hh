@@ -49,6 +49,20 @@ class HistoryRegister
     shiftIn(bool taken)
     {
         std::uint64_t carry = taken ? 1 : 0;
+        if (length_ <= 64) {
+            // Single-word fast path. Histories of <= 64 bits keep
+            // words_[1..] zero by construction (maskTop, setBit's
+            // bounds assert), so only the low word moves. Every
+            // two-level component in the factory configurations
+            // lands here, and the full four-word ripple was the
+            // single largest cost in the multi-component replay
+            // loop (three shifts per branch).
+            std::uint64_t w = (words_[0] << 1) | carry;
+            if (length_ < 64)
+                w &= loMask(length_);
+            words_[0] = w;
+            return;
+        }
         for (auto &w : words_) {
             const std::uint64_t out = w >> 63;
             w = (w << 1) | carry;
@@ -104,6 +118,22 @@ class HistoryRegister
     std::uint64_t
     fold(unsigned out_bits) const
     {
+        if (out_bits == 0)
+            return 0;
+        if (length_ <= 64) {
+            // Fixed-trip-count fold for single-word histories (every
+            // factory configuration that folds lands here). The
+            // generic foldBits loop exits when the remaining value
+            // is zero, so its trip count follows the history
+            // contents — a branch the host mispredicts constantly in
+            // replay loops. Walking to length_ instead does the same
+            // XORs with a trip count that never changes.
+            const std::uint64_t v = words_[0];
+            std::uint64_t r = v & loMask(out_bits);
+            for (unsigned s = out_bits; s < length_; s += out_bits)
+                r ^= (v >> s) & loMask(out_bits);
+            return r & loMask(out_bits);
+        }
         std::uint64_t r = 0;
         for (unsigned w = 0; w * 64 < length_; ++w)
             r ^= foldBits(words_[w], out_bits);

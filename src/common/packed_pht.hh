@@ -145,9 +145,16 @@ class PackedSatStorage
         const std::size_t bitpos = i * bits_;
         const std::size_t w = bitpos >> 6;
         const unsigned off = bitpos & 63;
-        std::uint64_t v = words_[w] >> off;
-        if (off + bits_ > 64)
-            v |= words_[w + 1] << (64 - off);
+        // Unconditional straddle merge: the double shift is
+        // (64 - off) split as 1 + (63 - off) so off == 0 stays
+        // defined, and when the counter does not straddle the
+        // contribution lands above bits_ and the & max_ drops it.
+        // The branchy form mispredicted constantly — off is
+        // index-derived, effectively random in replay loops — and
+        // the pad word makes words_[w + 1] always readable.
+        const std::uint64_t v =
+            (words_[w] >> off) |
+            ((words_[w + 1] << 1) << (63 - off));
         return static_cast<std::uint8_t>(v & max_);
     }
 
@@ -181,14 +188,14 @@ class PackedSatStorage
         const std::size_t w = bitpos >> 6;
         const unsigned off = bitpos & 63;
         const std::uint64_t m = std::uint64_t{max_};
-        words_[w] = (words_[w] & ~(m << off)) |
-                    (static_cast<std::uint64_t>(v & max_) << off);
-        if (off + bits_ > 64) {
-            const unsigned hi = off + bits_ - 64; // bits in next word
-            words_[w + 1] =
-                (words_[w + 1] & ~loMask(hi)) |
-                (static_cast<std::uint64_t>(v & max_) >> (64 - off));
-        }
+        const std::uint64_t vv = v & max_;
+        words_[w] = (words_[w] & ~(m << off)) | (vv << off);
+        // Unconditional straddle write-back (same double-shift trick
+        // as value()): when nothing straddles, mhi is zero and the
+        // read-modify-write leaves the pad/next word untouched.
+        const std::uint64_t mhi = (m >> 1) >> (63 - off);
+        words_[w + 1] =
+            (words_[w + 1] & ~mhi) | ((vv >> 1) >> (63 - off));
     }
 
     std::size_t storageBits() const { return entries_ * bits_; }

@@ -14,6 +14,16 @@
  * Saturation note: inputs are ±1 and @p dir is ±1, so a single
  * clamped add per element is exactly SignedWeight::train()'s
  * increment/decrement-with-saturation.
+ *
+ * Two flavors: the inline versions below, which the serial
+ * perceptron calls once per branch (inlining into its predict/update
+ * lets the compiler blend the loop with fillInputs), and the *Wide
+ * versions in vec_kernels.cc under target_clones("avx2", "default")
+ * for the ensemble batch kernel, which issues one call per member
+ * per branch over shared inputs — there the ifunc dispatch picks the
+ * 256-bit clone at load time (the baseline x86-64 build only
+ * vectorizes at SSE2 width) and the call overhead is amortized
+ * across the group's row loads.
  */
 
 #ifndef BPSIM_COMMON_VEC_KERNELS_HH
@@ -48,6 +58,13 @@ trainSignedI16(std::int16_t *w, const std::int16_t *x, std::size_t n,
         w[i] = static_cast<std::int16_t>(v);
     }
 }
+
+/** Same kernels, out of line and multiversioned (AVX2 ifunc clone on
+ *  hardware that has it) — see the header comment. */
+int dotSignedI16Wide(const std::int16_t *w, const std::int16_t *x,
+                     std::size_t n);
+void trainSignedI16Wide(std::int16_t *w, const std::int16_t *x,
+                        std::size_t n, int dir, int lo, int hi);
 
 } // namespace bpsim
 

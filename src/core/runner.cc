@@ -2,9 +2,12 @@
 
 #include <cstdlib>
 #include <limits>
+#include <map>
+#include <typeindex>
 
 #include "common/stats.hh"
 #include "core/dispatch.hh"
+#include "core/ensemble.hh"
 #include "parallel/cell_pool.hh"
 #include "trace/shared_trace_pool.hh"
 #include "workloads/registry.hh"
@@ -296,6 +299,8 @@ publishCacheStats(obs::MetricRegistry &reg, const SuiteTraces &suite)
         .set(static_cast<double>(suite.cacheHits()));
     reg.gauge("trace.cache.misses")
         .set(static_cast<double>(suite.cacheMisses()));
+    reg.gauge("trace.cache.format_version")
+        .set(static_cast<double>(suite.cacheFormatVersion()));
 }
 
 } // namespace
@@ -338,6 +343,141 @@ suiteAccuracyReport(const SuiteTraces &suite,
     if (mean_percent)
         *mean_percent = arithmeticMean(percents);
     return results;
+}
+
+EnsembleStats
+suiteAccuracyReportEnsemble(const SuiteTraces &suite,
+                            std::vector<AccuracyCellConfig> &configs,
+                            obs::RunReport &report,
+                            obs::MetricRegistry *metrics,
+                            parallel::CellPool *pool)
+{
+    suite.describe(report);
+    if (metrics)
+        publishCacheStats(*metrics, suite);
+    const std::size_t nc = configs.size();
+    const std::size_t nw = suite.size();
+
+    // Group configs by concrete predictor type using one probe
+    // instance per config (construction is cheap next to replay; the
+    // probes never see a branch). A group is batched when the
+    // ensemble engine accepts its probes — same known concrete type,
+    // width >= 2 — and the escape hatch is off. Everything else runs
+    // one (config, workload) cell at a time, exactly like
+    // suiteAccuracyReport. FaultInjected/Protected wrappers land on
+    // the serial path here: ensembleBatchable refuses types the
+    // monomorphic dispatcher does not know.
+    std::vector<std::vector<std::size_t>> groups;
+    {
+        std::vector<std::unique_ptr<DirectionPredictor>> probes(nc);
+        std::vector<DirectionPredictor *> probePtrs(nc);
+        for (std::size_t c = 0; c < nc; ++c) {
+            probes[c] = configs[c].make();
+            probePtrs[c] = probes[c].get();
+        }
+        std::map<std::type_index, std::size_t> byType;
+        std::vector<std::vector<std::size_t>> candidates;
+        for (std::size_t c = 0; c < nc; ++c) {
+            const std::type_index t(typeid(*probePtrs[c]));
+            const auto it = byType.find(t);
+            if (it == byType.end()) {
+                byType.emplace(t, candidates.size());
+                candidates.push_back({c});
+            } else {
+                candidates[it->second].push_back(c);
+            }
+        }
+        const bool enabled = ensembleEnabled();
+        for (auto &g : candidates) {
+            std::vector<DirectionPredictor *> ptrs;
+            for (std::size_t c : g)
+                ptrs.push_back(probePtrs[c]);
+            if (enabled && ensembleBatchable(ptrs)) {
+                groups.push_back(std::move(g));
+            } else {
+                for (std::size_t c : g)
+                    groups.push_back({c});
+            }
+        }
+    }
+
+    EnsembleStats stats;
+    for (const auto &g : groups) {
+        if (g.size() >= 2) {
+            ++stats.groups;
+            stats.batchedCells += g.size() * nw;
+            stats.batchWidth = std::max(stats.batchWidth, g.size());
+        } else {
+            stats.serialCells += nw;
+        }
+    }
+
+    // Compute phase: one cell per (group, workload), fanned out on
+    // the pool when one is passed. Each cell builds its own member
+    // predictors, so cells stay independent; predictors are kept
+    // until the emission phase publishes their describeStats().
+    std::vector<std::vector<std::unique_ptr<DirectionPredictor>>>
+        preds(nc);
+    for (auto &row : preds)
+        row.resize(nw);
+    for (auto &cfg : configs)
+        cfg.results.assign(nw, AccuracyResult{});
+    const std::size_t cellCount = groups.size() * nw;
+    forEachCell(
+        pool, cellCount,
+        [&](std::size_t cell) {
+            const std::vector<std::size_t> &g =
+                groups[cell / nw];
+            const std::size_t w = cell % nw;
+            std::vector<DirectionPredictor *> members;
+            members.reserve(g.size());
+            for (std::size_t c : g) {
+                preds[c][w] = configs[c].make();
+                members.push_back(preds[c][w].get());
+            }
+            if (g.size() >= 2 && ensembleBatchable(members)) {
+                const auto results =
+                    runAccuracyEnsemble(members, suite.trace(w));
+                for (std::size_t k = 0; k < g.size(); ++k)
+                    configs[g[k]].results[w] = results[k];
+            } else {
+                for (std::size_t k = 0; k < g.size(); ++k)
+                    configs[g[k]].results[w] = runAccuracy(
+                        *members[k], suite.trace(w));
+            }
+        },
+        [](std::size_t) {});
+
+    // Emission phase, config-major / workload-minor: byte-identical
+    // report rows and metrics to N sequential suiteAccuracyReport
+    // calls in list order.
+    for (std::size_t c = 0; c < nc; ++c) {
+        std::vector<double> percents(nw);
+        for (std::size_t w = 0; w < nw; ++w) {
+            percents[w] = configs[c].results[w].percent();
+            report.rows.push_back(
+                reportRow(suite.name(w), configs[c].name,
+                          configs[c].budgetBytes,
+                          configs[c].results[w]));
+            if (metrics)
+                publishPredictorStats(*metrics, *preds[c][w],
+                                      suite.name(w));
+            preds[c][w].reset();
+        }
+        configs[c].meanPercent = arithmeticMean(percents);
+    }
+
+    if (metrics) {
+        metrics->gauge("core.ensemble.batched_cells")
+            .set(static_cast<double>(stats.batchedCells));
+        metrics->gauge("core.ensemble.serial_cells")
+            .set(static_cast<double>(stats.serialCells));
+        metrics->gauge("core.ensemble.groups")
+            .set(static_cast<double>(stats.groups));
+        metrics->gauge("core.ensemble.batch_width")
+            .set(static_cast<double>(stats.batchWidth));
+    }
+    return stats;
 }
 
 std::vector<SimResult>

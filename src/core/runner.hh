@@ -161,6 +161,10 @@ class SuiteTraces
     /** Workloads generated (and stored when a cache is enabled). */
     Counter cacheMisses() const { return cacheMisses_; }
 
+    /** On-disk entry format version of the suite's trace cache
+     *  (surfaced as trace.cache.format_version in RunReports). */
+    int cacheFormatVersion() const { return cache_.formatVersion(); }
+
     /** Stamp generation parameters into @p report 's header. */
     void describe(obs::RunReport &report) const;
 
@@ -218,6 +222,64 @@ suiteAccuracyReport(const SuiteTraces &suite,
                     std::size_t budget_bytes,
                     obs::MetricRegistry *metrics = nullptr,
                     parallel::CellPool *pool = nullptr);
+
+/**
+ * One cell of a batched accuracy sweep: a predictor configuration
+ * plus its per-workload outputs. The sweep drivers (fig1/fig5/fig6)
+ * build one of these per (kind, budget) and hand the whole list to
+ * suiteAccuracyReportEnsemble, which groups same-family configs and
+ * replays each group in one pass over every trace.
+ */
+struct AccuracyCellConfig
+{
+    /** Factory for this configuration (fresh instance per workload;
+     *  must be callable from pool workers). */
+    std::function<std::unique_ptr<DirectionPredictor>()> make;
+    /** Predictor name for report rows. */
+    std::string name;
+    /** Hardware budget for report rows. */
+    std::size_t budgetBytes = 0;
+
+    // Outputs, filled by suiteAccuracyReportEnsemble:
+    /** Arithmetic-mean misprediction percent across the suite. */
+    double meanPercent = 0.0;
+    /** Per-workload results, in suite workload order. */
+    std::vector<AccuracyResult> results;
+};
+
+/** How a batched sweep executed (published as core.ensemble.*). */
+struct EnsembleStats
+{
+    /** (config x workload) cells replayed inside a batched group. */
+    std::size_t batchedCells = 0;
+    /** Cells replayed one-at-a-time (unbatchable or lone configs). */
+    std::size_t serialCells = 0;
+    /** Batched groups formed. */
+    std::size_t groups = 0;
+    /** Widest batched group (member count). */
+    std::size_t batchWidth = 0;
+};
+
+/**
+ * Run every configuration in @p configs over @p suite, batching
+ * same-family groups through the ensemble engine (core/ensemble.hh)
+ * so each group streams every trace once instead of once per config.
+ *
+ * Equivalence contract: the appended report rows, the published
+ * metrics (bar the extra core.ensemble.* gauges) and each config's
+ * results/meanPercent are byte-identical to calling
+ * suiteAccuracyReport once per config in list order — rows are
+ * emitted config-major, workload-minor after all cells compute.
+ * Configurations whose predictors the ensemble probe rejects
+ * (wrapped, user-defined, or mixed types) and all configs when
+ * BPSIM_ENSEMBLE=0 run through the serial path, with identical
+ * output.
+ */
+EnsembleStats suiteAccuracyReportEnsemble(
+    const SuiteTraces &suite,
+    std::vector<AccuracyCellConfig> &configs,
+    obs::RunReport &report, obs::MetricRegistry *metrics = nullptr,
+    parallel::CellPool *pool = nullptr);
 
 /**
  * suiteTiming plus reporting: appends one row per workload to

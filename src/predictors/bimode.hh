@@ -39,17 +39,23 @@ class BiModePredictor final : public DirectionPredictor
     bool
     predict(Addr pc) override
     {
-        lastChoiceTaken_ = choice_.taken(choiceIndex(pc));
-        const std::size_t di = directionIndex(pc);
-        lastPrediction_ = lastChoiceTaken_ ? takenBank_.taken(di)
-                                           : notTakenBank_.taken(di);
+        lastChoiceIndex_ = choiceIndex(pc);
+        lastChoiceTaken_ = choice_.taken(lastChoiceIndex_);
+        lastDirIndex_ = directionIndex(pc);
+        lastPrediction_ = lastChoiceTaken_
+                              ? takenBank_.taken(lastDirIndex_)
+                              : notTakenBank_.taken(lastDirIndex_);
         return lastPrediction_;
     }
 
     void
-    update(Addr pc, bool taken) override
+    update(Addr /*pc*/, bool taken) override
     {
-        const std::size_t di = directionIndex(pc);
+        // Both indices carry over from predict(): update() is always
+        // paired with the predict() for the same pc, and the history
+        // has not shifted in between, so recomputing them (with the
+        // possible history fold) would give the same values.
+        const std::size_t di = lastDirIndex_;
         // Only the bank that made the prediction is trained,
         // preserving each bank's bias.
         if (lastChoiceTaken_)
@@ -62,7 +68,7 @@ class BiModePredictor final : public DirectionPredictor
         // outcome but the selected bank still predicted correctly.
         const bool selected_correct = lastPrediction_ == taken;
         if (!(lastChoiceTaken_ != taken && selected_correct))
-            choice_.update(choiceIndex(pc), taken);
+            choice_.update(lastChoiceIndex_, taken);
 
         history_.shiftIn(taken);
     }
@@ -92,6 +98,8 @@ class BiModePredictor final : public DirectionPredictor
     HistoryRegister history_;
 
     // predict() -> update() carried state
+    std::size_t lastDirIndex_ = 0;
+    std::size_t lastChoiceIndex_ = 0;
     bool lastChoiceTaken_ = false;
     bool lastPrediction_ = false;
 };

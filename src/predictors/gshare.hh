@@ -38,12 +38,21 @@ class GsharePredictor final : public DirectionPredictor
     // template at the concrete type, and the whole per-branch step
     // only collapses into straight-line code when the bodies are
     // visible at that call site.
-    bool predict(Addr pc) override { return pht_.taken(index(pc)); }
+    bool
+    predict(Addr pc) override
+    {
+        lastIndex_ = index(pc);
+        return pht_.taken(lastIndex_);
+    }
 
     void
-    update(Addr pc, bool taken) override
+    update(Addr /*pc*/, bool taken) override
     {
-        pht_.update(index(pc), taken);
+        // lastIndex_ carries predict()'s index: update() is always
+        // paired with the predict() for the same pc, and the
+        // history has not shifted in between, so the index (and its
+        // possible history fold) would come out identical anyway.
+        pht_.update(lastIndex_, taken);
         history_.shiftIn(taken);
     }
 
@@ -69,6 +78,9 @@ class GsharePredictor final : public DirectionPredictor
     std::size_t mask_;
     unsigned indexBits_;
     HistoryRegister history_;
+
+    // predict() -> update() carried state
+    std::size_t lastIndex_ = 0;
 };
 
 } // namespace bpsim

@@ -1,5 +1,6 @@
 #include "predictors/gshare_fast.hh"
 
+#include <bit>
 #include <cassert>
 
 #include "common/bitutil.hh"
@@ -35,7 +36,8 @@ GshareFastPredictor::GshareFastPredictor(std::size_t entries,
       // with huge lags clamp), or row bits would be skipped.
       rowLag_(std::min(row_lag, selectWidthFor(entries, row_lag))),
       updateDelay_(update_delay),
-      historyRing_(rowLag_ + 1, 0)
+      historyRing_(std::bit_ceil(std::size_t{rowLag_} + 1), 0),
+      ringMask_(historyRing_.size() - 1)
 {
     assert(isPowerOfTwo(entries));
     assert(historyBits_ <= 64 &&

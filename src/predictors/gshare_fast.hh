@@ -62,26 +62,40 @@ class GshareFastPredictor final : public DirectionPredictor
         return pht_.size() * 2 + historyBits_;
     }
     // Inline bodies: see the note in gshare.hh.
-    bool predict(Addr pc) override { return pht_.taken(indexFor(pc)); }
+    bool
+    predict(Addr pc) override
+    {
+        lastIndex_ = indexFor(pc);
+        return pht_.taken(lastIndex_);
+    }
 
     void
-    update(Addr pc, bool taken) override
+    update(Addr /*pc*/, bool taken) override
     {
-        // Non-speculative PHT update, possibly applied slowly:
-        // enqueue now, retire once updateDelay_ younger branches
-        // have passed.
-        pending_.emplace_back(indexFor(pc), taken);
-        while (pending_.size() > updateDelay_) {
-            const auto [idx, dir] = pending_.front();
-            pending_.pop_front();
-            pht_.update(idx, dir);
+        // lastIndex_ carries predict()'s index: update() is always
+        // paired with the predict() for the same pc, and neither the
+        // history nor the ring has advanced in between.
+        if (updateDelay_ == 0) {
+            // Immediate update: the pending queue would be emptied
+            // right after the push anyway, so skip it entirely.
+            pht_.update(lastIndex_, taken);
+        } else {
+            // Non-speculative PHT update applied slowly: enqueue
+            // now, retire once updateDelay_ younger branches have
+            // passed.
+            pending_.emplace_back(lastIndex_, taken);
+            while (pending_.size() > updateDelay_) {
+                const auto [idx, dir] = pending_.front();
+                pending_.pop_front();
+                pht_.update(idx, dir);
+            }
         }
 
         // Speculative history update with perfect recovery == shift
         // in the actual outcome (see predictor.hh).
         history_ = ((history_ << 1) | (taken ? 1 : 0)) &
                    loMask(historyBits_);
-        ringPos_ = (ringPos_ + 1) % historyRing_.size();
+        ringPos_ = (ringPos_ + 1) & ringMask_;
         historyRing_[ringPos_] = history_;
     }
 
@@ -114,8 +128,8 @@ class GshareFastPredictor final : public DirectionPredictor
         // current history and the only difference from gshare is that
         // PC bits stop at bit selBits.
         const std::uint64_t lagged =
-            historyRing_[(ringPos_ + historyRing_.size() - rowLag_) %
-                         historyRing_.size()];
+            historyRing_[(ringPos_ + historyRing_.size() - rowLag_) &
+                         ringMask_];
         const std::uint64_t row =
             (lagged >> (selBits_ - rowLag_)) &
             loMask(historyBits_ - selBits_);
@@ -132,9 +146,15 @@ class GshareFastPredictor final : public DirectionPredictor
     unsigned updateDelay_;
 
     std::uint64_t history_ = 0;
-    /** Ring of past history values; [0] is current. */
+    /** Ring of past history values, power-of-two capacity (>= the
+     *  rowLag_+1 live entries) so position arithmetic is a mask
+     *  instead of a division; [ringPos_] is current. */
     std::vector<std::uint64_t> historyRing_;
+    std::size_t ringMask_;
     std::size_t ringPos_ = 0;
+
+    // predict() -> update() carried state
+    std::size_t lastIndex_ = 0;
 
     /** Pending delayed PHT updates: (index, taken). */
     std::deque<std::pair<std::size_t, bool>> pending_;

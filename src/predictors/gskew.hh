@@ -49,7 +49,7 @@ class GskewPredictor final : public DirectionPredictor
     bool
     predict(Addr pc) override
     {
-        const Indices idx = indices(pc);
+        const Indices idx = lastIdx_ = indices(pc);
         pBim_ = bim_.taken(idx.bim);
         pG0_ = g0_.taken(idx.g0);
         pG1_ = g1_.taken(idx.g1);
@@ -62,9 +62,14 @@ class GskewPredictor final : public DirectionPredictor
     }
 
     void
-    update(Addr pc, bool taken) override
+    update(Addr /*pc*/, bool taken) override
     {
-        const Indices idx = indices(pc);
+        // The four bank indices carry over from predict(): update()
+        // is always paired with the predict() for the same pc, and
+        // the history has not shifted in between, so the skewing
+        // hashes and the history fold would come out identical —
+        // recomputing them cost more than the bank updates below.
+        const Indices idx = lastIdx_;
         const bool correct = pFinal_ == taken;
 
         if (correct) {
@@ -162,6 +167,7 @@ class GskewPredictor final : public DirectionPredictor
     HistoryRegister history_;
 
     // predict() -> update() carried state
+    Indices lastIdx_ = {0, 0, 0, 0};
     bool pBim_ = false, pG0_ = false, pG1_ = false;
     bool pEgskew_ = false, pMetaGskew_ = false, pFinal_ = false;
 };

@@ -41,13 +41,25 @@ class LocalPredictor final : public DirectionPredictor
                pht_.size() * counterBits_;
     }
     // Inline bodies: see the note in gshare.hh.
-    bool predict(Addr pc) override { return pht_.taken(phtIndex(pc)); }
+    bool
+    predict(Addr pc) override
+    {
+        lastHistIndex_ = historyIndex(pc);
+        lastPhtIndex_ = static_cast<std::size_t>(
+                            histories_[lastHistIndex_]) &
+                        phtMask_;
+        return pht_.taken(lastPhtIndex_);
+    }
 
     void
-    update(Addr pc, bool taken) override
+    update(Addr /*pc*/, bool taken) override
     {
-        pht_.update(phtIndex(pc), taken);
-        auto &h = histories_[historyIndex(pc)];
+        // Both indices carry over from predict(): update() is always
+        // paired with the predict() for the same pc, and the local
+        // history entry only shifts below, after the PHT index has
+        // been consumed — exactly the order the recompute preserved.
+        pht_.update(lastPhtIndex_, taken);
+        auto &h = histories_[lastHistIndex_];
         h = ((h << 1) | (taken ? 1 : 0)) & loMask(historyBits_);
     }
 
@@ -81,6 +93,10 @@ class LocalPredictor final : public DirectionPredictor
     unsigned counterBits_;
     std::size_t histMask_;
     std::size_t phtMask_;
+
+    // predict() -> update() carried state
+    std::size_t lastHistIndex_ = 0;
+    std::size_t lastPhtIndex_ = 0;
 };
 
 } // namespace bpsim

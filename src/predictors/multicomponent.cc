@@ -12,29 +12,37 @@ MultiComponentPredictor::MultiComponentPredictor(
     std::vector<ComponentSpec> global_specs,
     std::size_t selector_entries, std::size_t local_entries,
     std::size_t bimodal_entries)
-    : selectorMask_(selector_entries - 1)
+    : bimodal_(std::max<std::size_t>(bimodal_entries, 64)),
+      selectorMask_(selector_entries - 1)
 {
     assert(isPowerOfTwo(selector_entries));
     assert(!global_specs.empty());
 
-    // The bimodal component covers biased branches cheaply.
-    components_.push_back(std::make_unique<BimodalPredictor>(
-        std::max<std::size_t>(bimodal_entries, 64)));
-    // A local-history two-level component catches self-correlated
-    // branches no global-history component sees.
+    // Component 0 is the bimodal one (covers biased branches
+    // cheaply); a local-history two-level component catches
+    // self-correlated branches no global-history component sees.
     if (local_entries > 0)
-        components_.push_back(std::make_unique<LocalPredictor>(
-            local_entries, 10, 1024, 3));
+        local_ = std::make_unique<LocalPredictor>(local_entries, 10,
+                                                  1024, 3);
+    globals_.reserve(global_specs.size());
     for (const ComponentSpec &spec : global_specs)
-        components_.push_back(std::make_unique<GsharePredictor>(
-            spec.entries, spec.historyBits));
+        globals_.emplace_back(spec.entries, spec.historyBits);
+
+    // The slot view is built after globals_ is complete — it points
+    // into the vector, which must not reallocate afterwards.
+    components_.push_back(&bimodal_);
+    if (local_)
+        components_.push_back(local_.get());
+    for (GsharePredictor &g : globals_)
+        components_.push_back(&g);
 
     // Start fully confident so cold branches use the longest-history
     // component only once it proves itself; ties resolve toward the
     // *later* (longer-history) component below.
+    assert(components_.size() <= kMaxComponents);
     selector_.assign(selector_entries * components_.size(),
                      SatCounter(2, 3));
-    componentPreds_.resize(components_.size());
+    componentPreds_.fill(false);
     chosenCounts_.assign(components_.size(), 0);
 }
 
@@ -42,63 +50,9 @@ std::size_t
 MultiComponentPredictor::storageBits() const
 {
     std::size_t bits = selector_.size() * 2;
-    for (const auto &c : components_)
+    for (const auto *c : components_)
         bits += c->storageBits();
     return bits;
-}
-
-std::size_t
-MultiComponentPredictor::selectorIndex(Addr pc) const
-{
-    return (static_cast<std::size_t>(indexPc(pc)) & selectorMask_) *
-           components_.size();
-}
-
-bool
-MultiComponentPredictor::predict(Addr pc)
-{
-    const std::size_t base = selectorIndex(pc);
-    std::size_t best = 0;
-    std::uint8_t best_conf = 0;
-    for (std::size_t c = 0; c < components_.size(); ++c) {
-        componentPreds_[c] = components_[c]->predict(pc);
-        const std::uint8_t conf = selector_[base + c].value();
-        // >= so that ties pick the longest-history component, which
-        // Evers found captures the most correlation when confident.
-        if (conf >= best_conf) {
-            best_conf = conf;
-            best = c;
-        }
-    }
-    chosen_ = best;
-    lastPrediction_ = componentPreds_[chosen_];
-    ++predicts_;
-    ++chosenCounts_[chosen_];
-    return lastPrediction_;
-}
-
-void
-MultiComponentPredictor::update(Addr pc, bool taken)
-{
-    const std::size_t base = selectorIndex(pc);
-    const bool hybrid_correct = lastPrediction_ == taken;
-    for (std::size_t c = 0; c < components_.size(); ++c) {
-        const bool correct = componentPreds_[c] == taken;
-        if (!hybrid_correct) {
-            // The selection failed: re-rank every component so a
-            // component that handles this branch takes over.
-            if (correct)
-                selector_[base + c].increment();
-            else
-                selector_[base + c].decrement();
-        } else if (c == chosen_) {
-            // Reinforce a working choice; leave the others alone
-            // (Evers' rule — demoting them on every success makes
-            // the selector thrash on noisy branches).
-            selector_[base + c].increment();
-        }
-        components_[c]->update(pc, taken);
-    }
 }
 
 void

@@ -54,6 +54,12 @@ class PerceptronPredictor final : public DirectionPredictor
     int threshold() const { return threshold_; }
 
   private:
+    /** The batched ensemble kernel (core/ensemble.cc) reads the
+     *  geometry and weight rows directly and writes the final
+     *  history state back, so same-family members can share one
+     *  input-vector computation per branch. */
+    friend struct PerceptronBatch;
+
     std::size_t rowIndex(Addr pc) const;
     std::size_t localIndex(Addr pc) const;
     void fillInputs(Addr pc);

@@ -1,2 +1,165 @@
-// TraceBuffer is header-only; see trace_buffer.hh.
 #include "trace/trace_buffer.hh"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace bpsim {
+
+namespace {
+
+/**
+ * One mutex for all lazy op materializations. Materialization is a
+ * once-per-buffer event (usually once per *process* per workload via
+ * SharedTracePool), so contention is irrelevant; a shared mutex
+ * keeps TraceBuffer copyable, which a per-instance std::once_flag
+ * would not.
+ */
+std::mutex &
+materializeMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+void
+TraceBuffer::materializeOps() const
+{
+    std::lock_guard<std::mutex> lock(materializeMutex());
+    if (opsReady_.load(std::memory_order_relaxed))
+        return;
+    std::vector<MicroOp> decoded = backing_->decodeOps();
+    if (decoded.size() != opCount_)
+        throw std::runtime_error(
+            "trace backing decoded wrong op count");
+    ops_ = std::move(decoded);
+    opsReady_.store(true, std::memory_order_release);
+}
+
+void
+TraceBuffer::adoptBacking(std::shared_ptr<const TraceBacking> backing)
+{
+    clear();
+    opCount_ = backing->opCount();
+    condBranches_ = static_cast<Counter>(backing->branchCount());
+    backing_ = std::move(backing);
+    branchesFromBacking_ = true;
+    opsReady_.store(false, std::memory_order_release);
+}
+
+void
+TraceBuffer::detachFromBacking()
+{
+    opsVec(); // materialize before the backing reference goes away
+    if (branchesFromBacking_) {
+        branchPcs_.assign(backing_->branchPc(),
+                          backing_->branchPc() +
+                              backing_->branchCount());
+        branchTaken_.assign(backing_->branchTaken(),
+                            backing_->branchTaken() +
+                                backing_->branchCount());
+        branchesFromBacking_ = false;
+    }
+    backing_.reset();
+}
+
+void
+TraceBuffer::rebuildBranchView()
+{
+    const std::vector<MicroOp> &ops = opsVec();
+    branchPcs_.clear();
+    branchTaken_.clear();
+    for (const MicroOp &op : ops) {
+        if (op.cls == InstClass::CondBranch) {
+            branchPcs_.push_back(op.pc);
+            branchTaken_.push_back(op.taken ? 1 : 0);
+        }
+    }
+    branchesFromBacking_ = false;
+    branchesDirty_ = false;
+    condBranches_ = static_cast<Counter>(branchPcs_.size());
+}
+
+void
+TraceBuffer::clear()
+{
+    ops_.clear();
+    branchPcs_.clear();
+    branchTaken_.clear();
+    backing_.reset();
+    opCount_ = 0;
+    branchesFromBacking_ = false;
+    branchesDirty_ = false;
+    condBranches_ = 0;
+    opsReady_.store(true, std::memory_order_release);
+}
+
+void
+TraceBuffer::copyFrom(const TraceBuffer &other)
+{
+    // Snapshot the flag first. When the source has not materialized
+    // yet, its ops_ is empty by contract and may be written by a
+    // concurrent materialization — skip it entirely and
+    // re-materialize later from the shared backing.
+    const bool ready = other.opsReady_.load(std::memory_order_acquire);
+    if (ready)
+        ops_ = other.ops_;
+    else
+        ops_.clear();
+    branchPcs_ = other.branchPcs_;
+    branchTaken_ = other.branchTaken_;
+    backing_ = other.backing_;
+    opCount_ = other.opCount_;
+    branchesFromBacking_ = other.branchesFromBacking_;
+    branchesDirty_ = other.branchesDirty_;
+    condBranches_ = other.condBranches_;
+    opsReady_.store(ready, std::memory_order_release);
+}
+
+void
+TraceBuffer::moveFrom(TraceBuffer &&other) noexcept
+{
+    const bool ready = other.opsReady_.load(std::memory_order_acquire);
+    if (ready)
+        ops_ = std::move(other.ops_);
+    else
+        ops_.clear();
+    branchPcs_ = std::move(other.branchPcs_);
+    branchTaken_ = std::move(other.branchTaken_);
+    backing_ = std::move(other.backing_);
+    opCount_ = other.opCount_;
+    branchesFromBacking_ = other.branchesFromBacking_;
+    branchesDirty_ = other.branchesDirty_;
+    condBranches_ = other.condBranches_;
+    opsReady_.store(ready, std::memory_order_release);
+    other.clear();
+}
+
+TraceBuffer::TraceBuffer(const TraceBuffer &other)
+{
+    copyFrom(other);
+}
+
+TraceBuffer::TraceBuffer(TraceBuffer &&other) noexcept
+{
+    moveFrom(std::move(other));
+}
+
+TraceBuffer &
+TraceBuffer::operator=(const TraceBuffer &other)
+{
+    if (this != &other)
+        copyFrom(other);
+    return *this;
+}
+
+TraceBuffer &
+TraceBuffer::operator=(TraceBuffer &&other) noexcept
+{
+    if (this != &other)
+        moveFrom(std::move(other));
+    return *this;
+}
+
+} // namespace bpsim

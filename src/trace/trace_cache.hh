@@ -11,10 +11,16 @@
  *
  * keyed by workload name, trace length, generation seed and the cache
  * format version (bumped whenever trace generation or the trace file
- * format changes meaning). Entries are compressed trace_io files
- * (writeTraceCompressed: delta+varint records with a trailing
- * checksum), so read-back reuses the trace_io validation; a corrupt
- * entry surfaces as TraceIoError and is treated as a miss. load()
+ * format changes meaning). Entries are columnar v3 trace_io files
+ * (writeTraceV3), which load memory-mapped: branchView() is served
+ * zero-copy from the file and micro-ops decode lazily, so a warm
+ * accuracy run never pays a decode at all. Read-back reuses the
+ * trace_io validation; a corrupt entry surfaces as TraceIoError and
+ * is treated as a miss. A v2 (compressed) entry left by an older
+ * build migrates transparently: the first v3 miss probes the v2
+ * path, decodes it, re-stores it as v3 and serves it as a hit —
+ * nothing is regenerated and the v2 file is left alone for any older
+ * binaries still running. load()
  * never unlinks — deleting by path would race other processes that
  * may have already replaced the entry with a good one (classic
  * check-then-act). Instead the following regeneration store()
@@ -49,8 +55,10 @@ class TraceCache
   public:
     /** Layout/meaning version of cache entries. Bump to invalidate
      *  every existing cache when generation semantics change.
-     *  v2: entries switched from raw to compressed trace files. */
-    static constexpr int kFormatVersion = 2;
+     *  v2: entries switched from raw to compressed trace files.
+     *  v3: columnar mmap-able entries (zero-copy branch replay);
+     *      v2 entries migrate in place on first load. */
+    static constexpr int kFormatVersion = 3;
 
     /** A disabled cache (all lookups miss, stores are no-ops). */
     TraceCache() = default;
@@ -69,6 +77,11 @@ class TraceCache
     /** Entry path for a key (valid even when disabled, for tests). */
     std::string entryPath(const std::string &workload, Counter ops,
                           std::uint64_t seed) const;
+
+    /** Entry path for a key under an explicit format version (the
+     *  migration probe and tests). */
+    std::string entryPath(const std::string &workload, Counter ops,
+                          std::uint64_t seed, int version) const;
 
     /**
      * Load the cached trace for a key. Returns nullopt on a miss or

@@ -4,12 +4,12 @@
  *
  * Traces can be expensive to generate at paper scale, and external
  * traces (e.g. converted ChampSim/SimpleScalar traces) are the other
- * way to feed this simulator. Two little-endian formats share one
+ * way to feed this simulator. Three little-endian formats share one
  * header; readTrace() dispatches on the version field:
  *
  *   offset  size  field
  *   0       8     magic "BPSTRACE"
- *   8       4     version (1 = raw, 2 = compressed)
+ *   8       4     version (1 = raw, 2 = compressed, 3 = columnar)
  *   12      4     reserved (0)
  *   16      8     record count
  *
@@ -21,7 +21,7 @@
  * spare flag bits (srcB carries a 7th bit).
  *
  * Version 2 (writeTraceCompressed) delta+varint encodes the same
- * field domain — the trace cache's on-disk format. Per record:
+ * field domain — a compact archival/interchange format. Per record:
  *   4 packed bytes: class (3b), taken (1b), dst (8b), srcA (6b),
  *                   srcB (7b); the top 7 bits must be zero
  *   LEB128 varint:  zigzag(pc - previous pc)
@@ -32,6 +32,31 @@
  * so truncation and bit flips surface as TraceIoError instead of a
  * silently wrong trace; decode also rejects non-canonical spare
  * bits, oversized varints and trailing garbage.
+ *
+ * Version 3 (writeTraceV3) is columnar and mmap-able — the trace
+ * cache's on-disk format. After the common header, a directory
+ * (branch count, section table, FNV-1a-64 directory checksum) names
+ * six sections, each at a 64-byte-aligned offset, zero-padded
+ * between:
+ *
+ *   0  branchPc     raw u64 LE per conditional branch
+ *   1  branchTaken  one byte (0/1) per conditional branch
+ *   2  opMeta       4 packed bytes per op (v2's packing)
+ *   3  opPcDelta    LEB128 zigzag(pc delta) stream
+ *   4  opExtraDelta LEB128 zigzag(per-class extra delta) stream
+ *   5  blockSums    64-bit block hash per 64 KiB block of sections
+ *                   0-4 (four-lane word-wise multiply-rotate — see
+ *                   blockHash64 in trace_io.cc; FNV-1a would cost
+ *                   one multiply per byte on every warm cache load)
+ *
+ * Sections 0-1 duplicate the conditional-branch columns of the op
+ * stream so accuracy replay never decodes ops at all: readTrace()
+ * memory-maps the file, validates structure, padding and every block
+ * checksum, and returns a TraceBuffer whose branchView() points
+ * straight into the mapping (zero copy, zero decode). The op stream
+ * (sections 2-4) is decoded lazily, only when a consumer touches
+ * micro-ops. The encoding is canonical: re-encoding a decoded trace
+ * reproduces the file byte for byte.
  */
 
 #ifndef BPSIM_TRACE_TRACE_IO_HH
@@ -61,8 +86,29 @@ void writeTrace(const TraceBuffer &trace, const std::string &path);
 void writeTraceCompressed(const TraceBuffer &trace,
                           const std::string &path);
 
-/** Read a trace written by either writer; throws TraceIoError. */
-TraceBuffer readTrace(const std::string &path);
+/** Write @p trace in the columnar mmap-able v3 layout (see file
+ *  comment); throws TraceIoError on failure. Reading it back yields
+ *  a bit-identical trace served zero-copy. */
+void writeTraceV3(const TraceBuffer &trace, const std::string &path);
+
+/**
+ * How readTrace may back the returned buffer.
+ *
+ * ZeroCopy memory-maps a v3 file: branchView() is served from the
+ * file and the op stream decodes lazily on first use. That is only
+ * safe for files the caller owns for the buffer's lifetime — a
+ * mapping's pages track the inode, so an external in-place truncate
+ * (a stomping writer in a shared cache directory) turns every later
+ * access into SIGBUS, not an error return. PrivateCopy reads the
+ * bytes into an owned buffer instead: a concurrent truncation
+ * surfaces as a short read and throws TraceIoError, which shared
+ * consumers (the trace cache) heal by regenerating.
+ */
+enum class TraceReadMode { ZeroCopy, PrivateCopy };
+
+/** Read a trace written by any writer; throws TraceIoError. */
+TraceBuffer readTrace(const std::string &path,
+                      TraceReadMode mode = TraceReadMode::ZeroCopy);
 
 } // namespace bpsim
 

@@ -207,12 +207,54 @@ TEST(TraceCache, UnsupportedVersionEntryIsIgnoredAndHealed)
     fs::remove_all(dir);
 }
 
-TEST(TraceCache, CompressedEntriesShrinkSuiteAtLeast2x)
+TEST(TraceCache, V2EntryMigratesToV3OnFirstLoad)
 {
-    // The headline compression claim, measured on the real
-    // 12-workload suite: v2 (delta+varint) entries must be at least
-    // half the size of the same traces in the v1 fixed-record
-    // format.
+    // An entry left by an older (v2-format) build: the first load
+    // under the current version decodes it, re-stores it as v3 and
+    // serves it as a hit — no regeneration, and the v2 file stays
+    // for older binaries sharing the cache dir.
+    const std::string dir = freshCacheDir("trace_cache_migrate");
+    TraceCache old(dir, 2);
+    ASSERT_TRUE(old.store("wl", 90, 4, syntheticTrace(90, 4)));
+
+    TraceCache cache(dir);
+    ASSERT_GE(cache.formatVersion(), 3);
+    ASSERT_FALSE(fs::exists(cache.entryPath("wl", 90, 4)));
+
+    int generated = 0;
+    bool hit = false;
+    const TraceBuffer migrated = cache.fetch(
+        "wl", 90, 4,
+        [&] {
+            ++generated;
+            return syntheticTrace(90, 4);
+        },
+        &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(generated, 0);
+
+    const TraceBuffer expect = syntheticTrace(90, 4);
+    ASSERT_EQ(migrated.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(migrated[i].pc, expect[i].pc);
+        EXPECT_EQ(migrated[i].taken, expect[i].taken);
+    }
+
+    // Both entries exist now; the next load maps the v3 one.
+    EXPECT_TRUE(fs::exists(cache.entryPath("wl", 90, 4)));
+    EXPECT_TRUE(fs::exists(cache.entryPath("wl", 90, 4, 2)));
+    const auto warm = cache.load("wl", 90, 4);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_FALSE(warm->opsMaterialized()); // v3: mapped, not decoded
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, CacheEntriesShrinkSuiteAtLeast2x)
+{
+    // The compression claim, measured on the real 12-workload suite:
+    // cache entries (columnar v3: delta+varint op stream plus the
+    // raw branch columns) must be at least half the size of the same
+    // traces in the v1 fixed-record format.
     const std::string dir = freshCacheDir("trace_cache_shrink");
     const Counter ops = 20000;
     const SuiteTraces suite(ops, 42, nullptr, TraceCache(dir));

@@ -269,6 +269,151 @@ TEST(TraceIoCompressed, FuzzSeededBitFlipsNeverCorruptData)
     std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// v3 (columnar, mmap-able) format
+
+TEST(TraceIoColumnar, RoundTripsBitIdentically)
+{
+    const auto w = makeWorkload("186.crafty");
+    const TraceBuffer original = generateTrace(*w, 40000, 7);
+    const std::string path = tempPath("crafty_v3.bpt");
+    const std::string path2 = tempPath("crafty_v3b.bpt");
+
+    writeTraceV3(original, path);
+    const TraceBuffer loaded = readTrace(path);
+    expectTracesEqual(original, loaded);
+    EXPECT_EQ(loaded.condBranches(), original.condBranches());
+
+    // Canonical encoding, same contract as v2: re-encoding the
+    // decoded trace reproduces the file byte for byte.
+    writeTraceV3(loaded, path2);
+    EXPECT_EQ(slurp(path), slurp(path2));
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(TraceIoColumnar, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty_v3.bpt");
+    writeTraceV3(TraceBuffer{}, path);
+    const TraceBuffer loaded = readTrace(path);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded.condBranches(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoColumnar, ServesBranchViewWithoutDecodingOps)
+{
+    // The whole point of v3: accuracy replay walks branchView()
+    // straight out of the mapped file, never decoding the op stream.
+    const auto w = makeWorkload("164.gzip");
+    const TraceBuffer original = generateTrace(*w, 20000, 3);
+    const std::string path = tempPath("zerocopy_v3.bpt");
+    writeTraceV3(original, path);
+
+    const TraceBuffer loaded = readTrace(path);
+    EXPECT_FALSE(loaded.opsMaterialized());
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.condBranches(), original.condBranches());
+
+    const BranchSpan a = original.branchView();
+    const BranchSpan b = loaded.branchView();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.pc(i), b.pc(i)) << "branch " << i;
+        ASSERT_EQ(a.taken(i), b.taken(i)) << "branch " << i;
+    }
+    // Replaying the branch columns must not have forced a decode.
+    EXPECT_FALSE(loaded.opsMaterialized());
+
+    // First op access decodes lazily, and correctly.
+    EXPECT_EQ(loaded[0].pc, original[0].pc);
+    EXPECT_TRUE(loaded.opsMaterialized());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoColumnar, MutationDetachesFromMapping)
+{
+    // Fault injection rewrites ops in place; on a mapped buffer that
+    // must copy out of the file, not write through it.
+    const auto w = makeWorkload("164.gzip");
+    const TraceBuffer original = generateTrace(*w, 2000, 5);
+    const std::string path = tempPath("mutate_v3.bpt");
+    writeTraceV3(original, path);
+
+    TraceBuffer loaded = readTrace(path);
+    std::size_t firstBranch = 0;
+    while (loaded[firstBranch].cls != InstClass::CondBranch)
+        ++firstBranch;
+    MicroOp &op = loaded.mutableOp(firstBranch);
+    op.taken = !op.taken;
+    loaded.rebuildBranchView();
+
+    EXPECT_EQ(loaded.branchView().taken(0), op.taken);
+    // The file itself is untouched.
+    const TraceBuffer reloaded = readTrace(path);
+    expectTracesEqual(original, reloaded);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoColumnar, FuzzTruncationAtEveryBoundary)
+{
+    // Any prefix of a valid columnar file must produce TraceIoError:
+    // the directory checksum, recomputed section layout, exact
+    // file-end check and per-block sums leave no unvalidated byte.
+    const auto w = makeWorkload("164.gzip");
+    const TraceBuffer original = generateTrace(*w, 40, 11);
+    const std::string path = tempPath("fuzz_trunc_v3.bpt");
+    writeTraceV3(original, path);
+
+    const long size = static_cast<long>(slurp(path).size());
+    ASSERT_GT(size, 192);
+    for (long cut = 0; cut < size; ++cut) {
+        writeTraceV3(original, path);
+        ASSERT_EQ(0, truncate(path.c_str(), cut));
+        EXPECT_THROW(readTrace(path), TraceIoError)
+            << "truncated to " << cut << " of " << size << " bytes";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoColumnar, FuzzSeededBitFlipsNeverCorruptData)
+{
+    // Same contract as v2: a flipped bit either throws TraceIoError
+    // or decodes the exact original trace — silently different data
+    // is the one forbidden outcome. v3 checksums every region
+    // (directory FNV, per-block payload sums, zero-checked padding),
+    // so rejection should be near-total.
+    const auto w = makeWorkload("164.gzip");
+    const TraceBuffer original = generateTrace(*w, 300, 13);
+    const std::string path = tempPath("fuzz_flip_v3.bpt");
+
+    Rng rng(0xf1b3);
+    std::size_t parsed = 0, rejected = 0;
+    for (int round = 0; round < 200; ++round) {
+        writeTraceV3(original, path);
+        ASSERT_EQ(1u, robust::corruptFileBytes(path, 1, rng));
+        try {
+            const TraceBuffer t = readTrace(path);
+            expectTracesEqual(original, t);
+            // Branch columns are part of the contract too.
+            const BranchSpan a = original.branchView();
+            const BranchSpan b = t.branchView();
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                ASSERT_EQ(a.pc(i), b.pc(i));
+                ASSERT_EQ(a.taken(i), b.taken(i));
+            }
+            ++parsed;
+        } catch (const TraceIoError &) {
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 150u);
+    EXPECT_EQ(parsed + rejected, 200u);
+    std::remove(path.c_str());
+}
+
 TEST(TraceIo, FuzzSeededBitFlips)
 {
     // Seeded single-bit corruption anywhere in the file: the reader

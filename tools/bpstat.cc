@@ -269,8 +269,9 @@ cmdSummary(const char *dir)
             paths.push_back(entry.path().string());
     std::sort(paths.begin(), paths.end());
 
-    std::printf("%-28s %8s %12s %12s %8s %7s  %s\n", "artifact",
-                "rows", "wall ms", "cache hits", "steals", "peak q",
+    std::printf("%-28s %8s %12s %12s %8s %7s %13s %11s  %s\n",
+                "artifact", "rows", "wall ms", "cache hits",
+                "steals", "peak q", "batched-cells", "batch-width",
                 "file");
     std::size_t reports = 0;
     for (const auto &path : paths) {
@@ -313,6 +314,21 @@ cmdSummary(const char *dir)
             std::printf(" %7s", "-");
         else
             std::printf(" %7.0f", peakq);
+        // Stamped by suiteAccuracyReportEnsemble: how many cells
+        // rode a batched group, and the widest group formed. "-"
+        // for artifacts that never route through the engine.
+        const double batched =
+            metricValue(r, "core.ensemble.batched_cells");
+        if (std::isnan(batched))
+            std::printf(" %13s", "-");
+        else
+            std::printf(" %13.0f", batched);
+        const double bwidth =
+            metricValue(r, "core.ensemble.batch_width");
+        if (std::isnan(bwidth))
+            std::printf(" %11s", "-");
+        else
+            std::printf(" %11.0f", bwidth);
         std::printf("  %s\n", file.c_str());
 
         // Resilience view: artifacts that model protected state
