@@ -36,28 +36,38 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         DelayMode::Stall,
     };
 
+    // Cells in the serial row order (budget, mode); each mode's
+    // series batches across the three budgets.
+    const std::size_t budgets[] = {64u * 1024, 256u * 1024,
+                                   512u * 1024};
+    std::vector<TimingCellConfig> cells;
+    for (const std::size_t budget : budgets)
+        for (auto m : modes)
+            cells.push_back(
+                {[budget, m] {
+                     return makeFetchPredictor(
+                         PredictorKind::Perceptron, budget, m);
+                 },
+                 kindName(PredictorKind::Perceptron),
+                 delayModeName(m),
+                 budget,
+                 cfg});
+    suiteTimingReportEnsemble(suite, cells, ctx.report(),
+                              ctx.metricsIfEnabled(), ctx.tracer(),
+                              ctx.pool());
+
     ctx.printf("%-8s %6s", "budget", "lat");
     for (auto m : modes)
         ctx.printf("%14s", delayModeName(m).c_str());
     ctx.printf("\n");
 
-    for (std::size_t budget : {64u * 1024, 256u * 1024, 512u * 1024}) {
+    std::size_t cell = 0;
+    for (const std::size_t budget : budgets) {
         ctx.printf("%-8s %6u", budgetLabel(budget).c_str(),
                    predictorLatencyCycles(PredictorKind::Perceptron,
                                           budget));
-        for (auto m : modes) {
-            double hm = 0;
-            suiteTimingReport(
-                suite, cfg,
-                [&] {
-                    return makeFetchPredictor(PredictorKind::Perceptron,
-                                              budget, m);
-                },
-                &hm, ctx.report(), kindName(PredictorKind::Perceptron),
-                delayModeName(m), budget, ctx.metricsIfEnabled(),
-                ctx.tracer(), ctx.pool());
-            ctx.printf("%14.3f", hm);
-        }
+        for (std::size_t m = 0; m < modes.size(); ++m)
+            ctx.printf("%14.3f", cells[cell++].harmonicMeanIpc);
         ctx.printf("\n");
     }
 

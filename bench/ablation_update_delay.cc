@@ -36,32 +36,39 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
     const std::size_t entries = budget * 4;
     const unsigned row_lag = 6; // ~the 256KB access latency - 1
 
-    ctx.printf("%-12s %-18s %-18s\n", "updateDelay", "mean misp (%)",
-               "harmonic IPC");
-
-    for (unsigned delay : {0u, 4u, 16u, 64u, 256u, 1024u}) {
-        auto make = [&] {
+    // Accuracy cells first, then timing cells, each list batching
+    // the whole delay sweep into one trace pass per workload (every
+    // delay point is the same gshare.fast family).
+    const unsigned delays[] = {0u, 4u, 16u, 64u, 256u, 1024u};
+    std::vector<AccuracyCellConfig> accCells;
+    std::vector<TimingCellConfig> timCells;
+    for (const unsigned delay : delays) {
+        const std::string name =
+            "gshare.fast(upd=" + std::to_string(delay) + ")";
+        auto make = [entries, row_lag, delay] {
             return std::make_unique<GshareFastPredictor>(
                 entries, row_lag, delay);
         };
-        const std::string name =
-            "gshare.fast(upd=" + std::to_string(delay) + ")";
-        double mean = 0;
-        suiteAccuracyReport(suite, make, &mean, ctx.report(), name,
-                            budget, ctx.metricsIfEnabled(),
-                            ctx.pool());
-
-        double hm = 0;
-        suiteTimingReport(
-            suite, cfg,
-            [&] {
-                return std::make_unique<SingleCycleFetchPredictor>(
-                    make());
-            },
-            &hm, ctx.report(), name, delayModeName(DelayMode::Ideal),
-            budget, ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
-        ctx.printf("%-12u %-18.3f %-18.3f\n", delay, mean, hm);
+        accCells.push_back({make, name, budget});
+        timCells.push_back(
+            {[make] {
+                 return std::make_unique<SingleCycleFetchPredictor>(
+                     make());
+             },
+             name, delayModeName(DelayMode::Ideal), budget, cfg});
     }
+    suiteAccuracyReportEnsemble(suite, accCells, ctx.report(),
+                                ctx.metricsIfEnabled(), ctx.pool());
+    suiteTimingReportEnsemble(suite, timCells, ctx.report(),
+                              ctx.metricsIfEnabled(), ctx.tracer(),
+                              ctx.pool());
+
+    ctx.printf("%-12s %-18s %-18s\n", "updateDelay", "mean misp (%)",
+               "harmonic IPC");
+    for (std::size_t d = 0; d < std::size(delays); ++d)
+        ctx.printf("%-12u %-18.3f %-18.3f\n", delays[d],
+                   accCells[d].meanPercent,
+                   timCells[d].harmonicMeanIpc);
 
     ctx.printf("\nPaper reference: delay 64 moves 4.03%% -> 4.07%% "
                "misprediction, <1%% IPC loss.\n");

@@ -33,6 +33,26 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         PredictorKind::MultiComponent,
     };
 
+    // Cells in the serial row order (budget, kind, ideal then
+    // overriding); each kind's ideal and overriding series batch
+    // across budgets into one trace pass per workload.
+    std::vector<TimingCellConfig> cells;
+    for (std::size_t budget : largeBudgetsBytes())
+        for (auto k : kinds)
+            for (const DelayMode mode :
+                 {DelayMode::Ideal, DelayMode::Overriding})
+                cells.push_back(
+                    {[k, budget, mode] {
+                         return makeFetchPredictor(k, budget, mode);
+                     },
+                     kindName(k),
+                     delayModeName(mode),
+                     budget,
+                     cfg});
+    suiteTimingReportEnsemble(suite, cells, ctx.report(),
+                              ctx.metricsIfEnabled(), ctx.tracer(),
+                              ctx.pool());
+
     ctx.printf("%-8s", "budget");
     for (auto k : kinds) {
         ctx.printf(" %21s", (kindName(k) + " (ideal)").c_str());
@@ -41,28 +61,12 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
     }
     ctx.printf("\n");
 
+    std::size_t cell = 0;
     for (std::size_t budget : largeBudgetsBytes()) {
         ctx.printf("%-8s", budgetLabel(budget).c_str());
         for (auto k : kinds) {
-            double ideal = 0, over = 0;
-            suiteTimingReport(
-                suite, cfg,
-                [&] {
-                    return makeFetchPredictor(k, budget,
-                                              DelayMode::Ideal);
-                },
-                &ideal, ctx.report(), kindName(k),
-                delayModeName(DelayMode::Ideal), budget,
-                ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
-            suiteTimingReport(
-                suite, cfg,
-                [&] {
-                    return makeFetchPredictor(k, budget,
-                                              DelayMode::Overriding);
-                },
-                &over, ctx.report(), kindName(k),
-                delayModeName(DelayMode::Overriding), budget,
-                ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
+            const double ideal = cells[cell++].harmonicMeanIpc;
+            const double over = cells[cell++].harmonicMeanIpc;
             ctx.printf(" %21.3f %21.3f %5u", ideal, over,
                        predictorLatencyCycles(k, budget));
         }

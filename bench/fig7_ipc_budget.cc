@@ -18,31 +18,6 @@ namespace bpsim {
 
 namespace {
 
-void
-sweep(SweepContext &ctx, const SuiteTraces &suite,
-      const CoreConfig &cfg, DelayMode mode, const char *title)
-{
-    ctx.printf("\n-- %s --\n", title);
-    ctx.printf("%-8s", "budget");
-    for (auto k : largePredictorKinds())
-        ctx.printf("%16s", kindName(k).c_str());
-    ctx.printf("\n");
-    for (std::size_t budget : largeBudgetsBytes()) {
-        ctx.printf("%-8s", budgetLabel(budget).c_str());
-        for (auto k : largePredictorKinds()) {
-            double hm = 0;
-            suiteTimingReport(
-                suite, cfg,
-                [&] { return makeFetchPredictor(k, budget, mode); },
-                &hm, ctx.report(), kindName(k), delayModeName(mode),
-                budget, ctx.metricsIfEnabled(), ctx.tracer(),
-                ctx.pool());
-            ctx.printf("%16.3f", hm);
-        }
-        ctx.printf("\n");
-    }
-}
-
 int
 run(const ArtifactSpec &spec, SweepContext &ctx)
 {
@@ -52,10 +27,46 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
     SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
     CoreConfig cfg;
 
-    sweep(ctx, suite, cfg, DelayMode::Ideal,
-          "left graph: 1-cycle (ideal) prediction");
-    sweep(ctx, suite, cfg, DelayMode::Overriding,
-          "right graph: overriding prediction (gshare.fast pipelined)");
+    // Both graphs' cells in the serial row order (mode-major,
+    // budget, kind); the ensemble engine batches each (mode, kind)
+    // series across budgets into one trace pass per workload.
+    const DelayMode modes[] = {DelayMode::Ideal,
+                               DelayMode::Overriding};
+    std::vector<TimingCellConfig> cells;
+    for (const DelayMode mode : modes)
+        for (std::size_t budget : largeBudgetsBytes())
+            for (auto k : largePredictorKinds())
+                cells.push_back(
+                    {[k, budget, mode] {
+                         return makeFetchPredictor(k, budget, mode);
+                     },
+                     kindName(k),
+                     delayModeName(mode),
+                     budget,
+                     cfg});
+    suiteTimingReportEnsemble(suite, cells, ctx.report(),
+                              ctx.metricsIfEnabled(), ctx.tracer(),
+                              ctx.pool());
+
+    const char *titles[] = {
+        "left graph: 1-cycle (ideal) prediction",
+        "right graph: overriding prediction (gshare.fast pipelined)"};
+    std::size_t cell = 0;
+    for (const char *title : titles) {
+        ctx.printf("\n-- %s --\n", title);
+        ctx.printf("%-8s", "budget");
+        for (auto k : largePredictorKinds())
+            ctx.printf("%16s", kindName(k).c_str());
+        ctx.printf("\n");
+        for (std::size_t budget : largeBudgetsBytes()) {
+            ctx.printf("%-8s", budgetLabel(budget).c_str());
+            for (std::size_t k = 0;
+                 k < largePredictorKinds().size(); ++k)
+                ctx.printf("%16.3f",
+                           cells[cell++].harmonicMeanIpc);
+            ctx.printf("\n");
+        }
+    }
     return 0;
 }
 

@@ -37,21 +37,26 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         {PredictorKind::GshareFast, 64 * 1024},
     };
 
+    // One TimingCellConfig per column. The four kinds are distinct,
+    // so no batched group forms here — the ensemble call still keeps
+    // this sweep on the same engine (and its gauges) as fig7.
+    std::vector<TimingCellConfig> cells;
+    for (const auto &[k, b] : configs)
+        cells.push_back({[k = k, b = b] {
+                             return makeFetchPredictor(
+                                 k, b, DelayMode::Overriding);
+                         },
+                         kindName(k),
+                         delayModeName(DelayMode::Overriding),
+                         b,
+                         cfg});
+    suiteTimingReportEnsemble(suite, cells, ctx.report(),
+                              ctx.metricsIfEnabled(), ctx.tracer(),
+                              ctx.pool());
     std::vector<std::vector<double>> ipc(configs.size());
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const auto res = suiteTimingReport(
-            suite, cfg,
-            [&] {
-                return makeFetchPredictor(configs[c].first,
-                                          configs[c].second,
-                                          DelayMode::Overriding);
-            },
-            nullptr, ctx.report(), kindName(configs[c].first),
-            delayModeName(DelayMode::Overriding), configs[c].second,
-            ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
-        for (const auto &r : res)
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        for (const auto &r : cells[c].results)
             ipc[c].push_back(r.ipc());
-    }
 
     ctx.printf("%-12s", "benchmark");
     for (const auto &[k, b] : configs)

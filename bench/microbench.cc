@@ -211,6 +211,52 @@ BM_EnsembleReplay(benchmark::State &state, PredictorKind kind)
                    std::to_string(standardBudgets().size()));
 }
 
+/**
+ * Batched timing-ensemble replay vs the same members run serially:
+ * a fig7-shaped group (one perceptron overriding core per standard
+ * budget) either replayed in one pass over the shared trace
+ * (EnsembleTimingReplay, arg 1) or simulated one core at a time
+ * (runTiming, arg 0). Per-member SimResults are byte-identical
+ * either way — test_ensemble.cc — so the ratio is pure trace-stream
+ * amortization across the member cores.
+ */
+void
+BM_EnsembleTiming(benchmark::State &state, bool batched)
+{
+    const auto &trace = sharedTrace();
+    CoreConfig cfg;
+    Counter insts = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<std::unique_ptr<FetchPredictor>> owned;
+        for (const std::size_t budget : standardBudgets())
+            owned.push_back(makeFetchPredictor(
+                PredictorKind::Perceptron, budget,
+                DelayMode::Overriding));
+        state.ResumeTiming();
+        if (batched) {
+            std::vector<EnsembleTimingReplay::Member> members;
+            for (const auto &fp : owned)
+                members.push_back({cfg, fp.get()});
+            EnsembleTimingReplay replay(std::move(members));
+            const auto results = replay.run(trace);
+            benchmark::DoNotOptimize(results.data());
+            for (const auto &r : results)
+                insts += r.instructions;
+        } else {
+            for (const auto &fp : owned) {
+                const auto r = runTiming(cfg, *fp, trace);
+                benchmark::DoNotOptimize(r.cycles);
+                insts += r.instructions;
+            }
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel(
+        std::string(batched ? "batched" : "serial") + " width=" +
+        std::to_string(standardBudgets().size()));
+}
+
 /** Register the per-kind replay-kernel benchmarks. Called from main
  *  (name/closure registration needs runtime values). */
 void
@@ -232,6 +278,14 @@ registerKernelBenchmarks()
             [kind](benchmark::State &s) { BM_EnsembleReplay(s, kind); })
             ->Unit(benchmark::kMillisecond);
     }
+    benchmark::RegisterBenchmark(
+        "BM_EnsembleTiming/serial",
+        [](benchmark::State &s) { BM_EnsembleTiming(s, false); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        "BM_EnsembleTiming/batched",
+        [](benchmark::State &s) { BM_EnsembleTiming(s, true); })
+        ->Unit(benchmark::kMillisecond);
     const std::pair<const char *, SpanMode> spanModes[] = {
         {"BM_SpanOverhead/none", SpanMode::None},
         {"BM_SpanOverhead/disabled", SpanMode::Disabled},

@@ -13,6 +13,8 @@
  */
 
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "artifact_registry.hh"
 
@@ -28,50 +30,47 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
                 "512KB predictors vs front-end depth", ops);
     SuiteTraces suite(ops, 42, ctx.pool(), /*shared_pool=*/true);
 
+    // Cells in the serial row order (depth, then the three series).
+    // The core config differs per depth, but TimingCellConfig
+    // carries it per cell, so each series still batches across all
+    // five depths in one trace pass per workload.
+    const unsigned depths[] = {6u, 10u, 15u, 20u, 25u};
+    const std::tuple<PredictorKind, DelayMode> series[] = {
+        {PredictorKind::Perceptron, DelayMode::Ideal},
+        {PredictorKind::Perceptron, DelayMode::Overriding},
+        {PredictorKind::GshareFast, DelayMode::Pipelined},
+    };
+    std::vector<TimingCellConfig> cells;
+    for (const unsigned depth : depths) {
+        CoreConfig cfg;
+        cfg.frontEndDepth = depth;
+        // The swept axis (front-end depth) is folded into the mode
+        // string so RunReport row keys stay unique across the sweep.
+        const std::string depth_tag =
+            "@depth" + std::to_string(depth);
+        for (const auto &[kind, mode] : series)
+            cells.push_back({[kind, mode] {
+                                 return makeFetchPredictor(
+                                     kind, 512 * 1024, mode);
+                             },
+                             kindName(kind),
+                             delayModeName(mode) + depth_tag,
+                             512 * 1024,
+                             cfg});
+    }
+    suiteTimingReportEnsemble(suite, cells, ctx.report(),
+                              ctx.metricsIfEnabled(), ctx.tracer(),
+                              ctx.pool());
+
     ctx.printf("%-12s %18s %18s %16s %12s\n", "front-end",
                "perceptron ideal", "perceptron overr.",
                "gshare.fast", "overr. loss");
 
-    for (unsigned depth : {6u, 10u, 15u, 20u, 25u}) {
-        CoreConfig cfg;
-        cfg.frontEndDepth = depth;
-
-        // The swept axis (front-end depth) is folded into the mode
-        // string so RunReport row keys stay unique across the sweep.
-        const std::string depth_tag = "@depth" + std::to_string(depth);
-        double ideal = 0, over = 0, fast = 0;
-        suiteTimingReport(
-            suite, cfg,
-            [] {
-                return makeFetchPredictor(PredictorKind::Perceptron,
-                                          512 * 1024, DelayMode::Ideal);
-            },
-            &ideal, ctx.report(), kindName(PredictorKind::Perceptron),
-            delayModeName(DelayMode::Ideal) + depth_tag, 512 * 1024,
-            ctx.metricsIfEnabled(), ctx.tracer(), ctx.pool());
-        suiteTimingReport(
-            suite, cfg,
-            [] {
-                return makeFetchPredictor(PredictorKind::Perceptron,
-                                          512 * 1024,
-                                          DelayMode::Overriding);
-            },
-            &over, ctx.report(), kindName(PredictorKind::Perceptron),
-            delayModeName(DelayMode::Overriding) + depth_tag,
-            512 * 1024, ctx.metricsIfEnabled(), ctx.tracer(),
-            ctx.pool());
-        suiteTimingReport(
-            suite, cfg,
-            [] {
-                return makeFetchPredictor(PredictorKind::GshareFast,
-                                          512 * 1024,
-                                          DelayMode::Pipelined);
-            },
-            &fast, ctx.report(), kindName(PredictorKind::GshareFast),
-            delayModeName(DelayMode::Pipelined) + depth_tag,
-            512 * 1024, ctx.metricsIfEnabled(), ctx.tracer(),
-            ctx.pool());
-
+    std::size_t cell = 0;
+    for (const unsigned depth : depths) {
+        const double ideal = cells[cell++].harmonicMeanIpc;
+        const double over = cells[cell++].harmonicMeanIpc;
+        const double fast = cells[cell++].harmonicMeanIpc;
         ctx.printf("%-12u %18.3f %18.3f %16.3f %11.1f%%\n", depth,
                    ideal, over, fast, 100.0 * (ideal - over) / ideal);
     }

@@ -8,6 +8,8 @@
 #include "common/bitutil.hh"
 #include "common/vec_kernels.hh"
 #include "core/dispatch.hh"
+#include "pipeline/alt_delay_hiding.hh"
+#include "predictors/multicomponent.hh"
 #include "predictors/perceptron.hh"
 
 namespace bpsim {
@@ -300,6 +302,79 @@ struct PerceptronBatch
     }
 };
 
+/**
+ * Specialized multi-component group kernel (friend of
+ * MultiComponentPredictor and its typed components).
+ *
+ * MC's per-branch cost is dominated by scattered table probes — the
+ * selector row plus one PHT row per component, five-plus dependent
+ * cache accesses whose addresses the hardware prefetcher cannot
+ * guess. Unlike the perceptron there is no shared input vector to
+ * amortize, but the *next* branch's indices are fully computable the
+ * moment this branch's updates land (updates use the actual trace
+ * outcome, so every component's history after branch i is exactly
+ * its state when branch i+1 is predicted). The kernel exploits that:
+ * the member-major block loop calls the same inline predict/update
+ * pair the generic loop would, then issues one software prefetch per
+ * table for branch i+1 — selector row, bimodal row, local history
+ * word, every global component's PHT row — overlapping the miss
+ * latency with the current branch's selection scan. Prefetches are
+ * side-effect-free, so counters and final state stay bit-identical
+ * to the serial run (golden-tested in tests/test_ensemble.cc).
+ */
+struct MulticomponentBatch
+{
+    static std::vector<AccuracyResult>
+    run(const std::vector<MultiComponentPredictor *> &members,
+        const BranchSpan &view)
+    {
+        constexpr std::size_t kBlock = 16384;
+        const std::size_t width = members.size();
+        const std::size_t n = view.size();
+        const Addr *pcs = view.pcData();
+        const std::uint8_t *takens = view.takenData();
+        std::vector<Counter> misp(width, 0);
+        for (std::size_t base = 0; base < n; base += kBlock) {
+            const std::size_t end = std::min(n, base + kBlock);
+            for (std::size_t j = 0; j < width; ++j) {
+                MultiComponentPredictor *const p = members[j];
+                Counter m = 0;
+                for (std::size_t i = base; i < end; ++i) {
+                    const bool taken = takens[i] != 0;
+                    const bool predicted = p->predict(pcs[i]);
+                    p->update(pcs[i], taken);
+                    m += predicted != taken ? 1 : 0;
+                    if (i + 1 < end)
+                        prefetchNext(*p, pcs[i + 1]);
+                }
+                misp[j] += m;
+            }
+        }
+        std::vector<AccuracyResult> results(width);
+        for (std::size_t j = 0; j < width; ++j) {
+            results[j].branches = static_cast<Counter>(n);
+            results[j].mispredictions = misp[j];
+        }
+        return results;
+    }
+
+  private:
+    static void
+    prefetchNext(MultiComponentPredictor &p, Addr pc)
+    {
+        // Valid post-update: every component's index function reads
+        // state already advanced past the current branch.
+        __builtin_prefetch(&p.selector_[p.selectorIndex(pc)]);
+        p.bimodal_.pht_.prefetch(p.bimodal_.index(pc));
+        if (p.local_) {
+            LocalPredictor &l = *p.local_;
+            __builtin_prefetch(&l.histories_[l.historyIndex(pc)]);
+        }
+        for (GsharePredictor &g : p.globals_)
+            g.pht_.prefetch(g.index(pc));
+    }
+};
+
 bool
 ensembleBatchable(const std::vector<DirectionPredictor *> &members)
 {
@@ -343,6 +418,11 @@ runAccuracyEnsemble(const std::vector<DirectionPredictor *> &members,
                     return;
                 }
             }
+            if constexpr (std::is_same_v<P,
+                                         MultiComponentPredictor>) {
+                results = MulticomponentBatch::run(typed, view);
+                return;
+            }
             results = genericEnsembleLoop(typed, view);
         });
     if (!matched)
@@ -355,6 +435,116 @@ ensembleEnabled()
 {
     const char *env = std::getenv("BPSIM_ENSEMBLE");
     return !(env && env[0] == '0' && env[1] == '\0');
+}
+
+namespace {
+
+/**
+ * Collect the direction predictors inside a stock delay wrapper, in
+ * a fixed per-wrapper order. Returns false for unknown wrapper types
+ * (protected fetch predictors, user wrappers) — those cells must
+ * stay serial, mirroring the accuracy probe's refusal of wrapped
+ * direction predictors.
+ */
+bool
+innerPredictorsOf(FetchPredictor &fp,
+                  std::vector<DirectionPredictor *> &out)
+{
+    if (auto *p = dynamic_cast<SingleCycleFetchPredictor *>(&fp)) {
+        out.push_back(&p->inner());
+        return true;
+    }
+    if (auto *p = dynamic_cast<OverridingFetchPredictor *>(&fp)) {
+        out.push_back(&p->quick());
+        out.push_back(&p->slow());
+        return true;
+    }
+    if (auto *p = dynamic_cast<DelayedFetchPredictor *>(&fp)) {
+        out.push_back(&p->inner());
+        return true;
+    }
+    if (auto *p = dynamic_cast<DualPathFetchPredictor *>(&fp)) {
+        out.push_back(&p->slow());
+        return true;
+    }
+    if (auto *p = dynamic_cast<CascadingFetchPredictor *>(&fp)) {
+        out.push_back(&p->quick());
+        out.push_back(&p->slow());
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::type_index>
+ensembleTimingGroupKey(FetchPredictor &member)
+{
+    std::vector<DirectionPredictor *> inner;
+    if (!innerPredictorsOf(member, inner))
+        return {};
+    for (DirectionPredictor *p : inner)
+        if (!withConcretePredictor(*p, [](auto &) {}))
+            return {};
+    std::vector<std::type_index> key;
+    key.reserve(1 + inner.size());
+    key.emplace_back(typeid(member));
+    for (DirectionPredictor *p : inner)
+        key.emplace_back(typeid(*p));
+    return key;
+}
+
+bool
+ensembleTimingBatchable(const std::vector<FetchPredictor *> &members)
+{
+    if (members.size() < 2 || members[0] == nullptr)
+        return false;
+    const std::vector<std::type_index> key =
+        ensembleTimingGroupKey(*members[0]);
+    if (key.empty())
+        return false;
+    for (FetchPredictor *fp : members)
+        if (fp == nullptr || ensembleTimingGroupKey(*fp) != key)
+            return false;
+    return true;
+}
+
+EnsembleTimingReplay::EnsembleTimingReplay(std::vector<Member> members)
+    : members_(std::move(members))
+{
+    // One private core per member — OooCore holds the predictor by
+    // reference, so the cores live behind stable heap slots.
+    cores_.reserve(members_.size());
+    for (Member &m : members_)
+        cores_.push_back(
+            std::make_unique<OooCore>(m.cfg, *m.predictor));
+}
+
+EnsembleTimingReplay::~EnsembleTimingReplay() = default;
+
+std::vector<SimResult>
+EnsembleTimingReplay::run(const TraceBuffer &trace)
+{
+    // 8K trace ops per block: the slice of the op stream every
+    // member re-decodes stays L2-resident across the whole group,
+    // while each member's table/cache working set is touched once
+    // per block instead of once per cell-sized pass.
+    constexpr std::size_t kOpBlock = 8192;
+    const std::size_t n = trace.size();
+    for (auto &core : cores_)
+        core->begin(trace);
+    for (std::size_t target = kOpBlock;; target += kOpBlock) {
+        const std::size_t t = std::min(target, n);
+        for (auto &core : cores_)
+            core->advance(trace, t);
+        if (t >= n)
+            break; // final advance drained every member
+    }
+    std::vector<SimResult> results;
+    results.reserve(cores_.size());
+    for (auto &core : cores_)
+        results.push_back(core->finish());
+    return results;
 }
 
 } // namespace bpsim

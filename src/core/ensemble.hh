@@ -40,10 +40,15 @@
 #ifndef BPSIM_CORE_ENSEMBLE_HH
 #define BPSIM_CORE_ENSEMBLE_HH
 
+#include <memory>
+#include <typeindex>
 #include <vector>
 
 #include "core/runner.hh"
+#include "pipeline/fetch_predictor.hh"
 #include "predictors/predictor.hh"
+#include "sim/core_config.hh"
+#include "sim/ooo_core.hh"
 #include "trace/trace_buffer.hh"
 
 namespace bpsim {
@@ -73,6 +78,68 @@ runAccuracyEnsemble(const std::vector<DirectionPredictor *> &members,
 /** False when BPSIM_ENSEMBLE=0 — the escape hatch that forces every
  *  suite sweep down the serial path (A/B identity testing). */
 bool ensembleEnabled();
+
+/**
+ * True when @p members — fetch-side predictors this time — can be
+ * replayed as one batched *timing* group: at least two, all wrapped
+ * by the same stock delay wrapper (SingleCycle / Overriding / Stall /
+ * DualPath / Cascading), and every wrapped direction predictor of a
+ * known concrete type, matching position-wise across members. Null
+ * entries, unknown wrappers (protected fetch predictors, user types)
+ * or mismatched inner families return false — those cells must run
+ * serially, exactly like the accuracy probe refuses
+ * FaultInjected/Protected direction predictors.
+ */
+bool ensembleTimingBatchable(
+    const std::vector<FetchPredictor *> &members);
+
+/**
+ * Grouping key for timing ensembles: the delay wrapper's type
+ * followed by each wrapped direction predictor's concrete type, in
+ * wrapper order. Two cells with equal keys are "same-kind" and may
+ * share a batched pass. Empty when the wrapper is not a stock delay
+ * wrapper or an inner predictor's type is unknown to the monomorphic
+ * dispatcher (fault injection, protection, user types) — such cells
+ * run serially.
+ */
+std::vector<std::type_index>
+ensembleTimingGroupKey(FetchPredictor &member);
+
+/**
+ * Batched timing replay: N (fetch predictor, OooCore) cells of one
+ * workload advanced through a single pass over the trace's op
+ * stream. Each member owns a full private core (fetch wake state,
+ * completion heap, ROB occupancy, stall attribution counters, cache
+ * and BTB images) and is advanced member-major in fetch-index
+ * blocks, so one block of trace ops is decoded from memory once per
+ * group instead of once per cell while every member still executes
+ * its exact serial cycle loop — cycleSkip fast-forwarding included,
+ * per member. Results are byte-identical to runTiming() per member
+ * by construction (see OooCore::advance).
+ */
+class EnsembleTimingReplay
+{
+  public:
+    /** One member cell: a core configuration plus its fetch
+     *  predictor (not owned; one predictor per member). */
+    struct Member
+    {
+        CoreConfig cfg;
+        FetchPredictor *predictor = nullptr;
+    };
+
+    explicit EnsembleTimingReplay(std::vector<Member> members);
+    ~EnsembleTimingReplay();
+
+    /** Replay @p trace through every member; one SimResult per
+     *  member, in member order, each identical to what
+     *  runTiming(member.cfg, *member.predictor, trace) returns. */
+    std::vector<SimResult> run(const TraceBuffer &trace);
+
+  private:
+    std::vector<Member> members_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+};
 
 } // namespace bpsim
 

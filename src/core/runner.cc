@@ -8,6 +8,7 @@
 #include "common/stats.hh"
 #include "core/dispatch.hh"
 #include "core/ensemble.hh"
+#include "obs/span_trace.hh"
 #include "parallel/cell_pool.hh"
 #include "trace/shared_trace_pool.hh"
 #include "workloads/registry.hh"
@@ -522,6 +523,172 @@ suiteTimingReport(const SuiteTraces &suite, const CoreConfig &cfg,
     if (harmonic_mean_ipc)
         *harmonic_mean_ipc = harmonicMean(ipcs);
     return results;
+}
+
+namespace {
+
+/** core.ensemble.timing.* gauges — the one metrics difference the
+ *  timing-equivalence contract allows. */
+void
+publishTimingEnsembleGauges(obs::MetricRegistry *metrics,
+                            const EnsembleStats &stats)
+{
+    if (!metrics)
+        return;
+    metrics->gauge("core.ensemble.timing.batched_cells")
+        .set(static_cast<double>(stats.batchedCells));
+    metrics->gauge("core.ensemble.timing.serial_cells")
+        .set(static_cast<double>(stats.serialCells));
+    metrics->gauge("core.ensemble.timing.groups")
+        .set(static_cast<double>(stats.groups));
+    metrics->gauge("core.ensemble.timing.batch_width")
+        .set(static_cast<double>(stats.batchWidth));
+}
+
+} // namespace
+
+EnsembleStats
+suiteTimingReportEnsemble(const SuiteTraces &suite,
+                          std::vector<TimingCellConfig> &configs,
+                          obs::RunReport &report,
+                          obs::MetricRegistry *metrics,
+                          obs::EventTracer *tracer,
+                          parallel::CellPool *pool)
+{
+    EnsembleStats stats;
+    const std::size_t nc = configs.size();
+    const std::size_t nw = suite.size();
+
+    // An event tracer records a single ordered stream: delegate the
+    // whole sweep, config by config, to the serial path (which also
+    // refuses the pool) — byte-identical by definition.
+    if (tracer) {
+        for (TimingCellConfig &c : configs)
+            c.results = suiteTimingReport(
+                suite, c.cfg, c.make, &c.harmonicMeanIpc, report,
+                c.name, c.mode, c.budgetBytes, metrics, tracer, pool);
+        stats.serialCells = nc * nw;
+        publishTimingEnsembleGauges(metrics, stats);
+        return stats;
+    }
+
+    suite.describe(report);
+    if (metrics)
+        publishCacheStats(*metrics, suite);
+
+    // Group configs by timing key — wrapper type plus inner concrete
+    // predictor types — using one probe instance per config.
+    // Protected fetch predictors and unknown wrappers produce an
+    // empty key and stay serial; so does everything when the escape
+    // hatch is on.
+    std::vector<std::vector<std::size_t>> groups;
+    {
+        std::vector<std::unique_ptr<FetchPredictor>> probes(nc);
+        std::map<std::vector<std::type_index>, std::size_t> byKey;
+        std::vector<std::vector<std::size_t>> candidates;
+        std::vector<std::size_t> serialConfigs;
+        const bool enabled = ensembleEnabled();
+        for (std::size_t c = 0; c < nc; ++c) {
+            probes[c] = configs[c].make();
+            const auto key = ensembleTimingGroupKey(*probes[c]);
+            if (!enabled || key.empty()) {
+                groups.push_back({c});
+                continue;
+            }
+            const auto it = byKey.find(key);
+            if (it == byKey.end()) {
+                byKey.emplace(key, candidates.size());
+                candidates.push_back({c});
+            } else {
+                candidates[it->second].push_back(c);
+            }
+        }
+        for (auto &g : candidates) {
+            if (g.size() >= 2)
+                groups.push_back(std::move(g));
+            else
+                for (std::size_t c : g)
+                    groups.push_back({c});
+        }
+    }
+
+    for (const auto &g : groups) {
+        if (g.size() >= 2) {
+            ++stats.groups;
+            stats.batchedCells += g.size() * nw;
+            stats.batchWidth = std::max(stats.batchWidth, g.size());
+        } else {
+            stats.serialCells += nw;
+        }
+    }
+
+    // Compute phase: one cell per (group, workload) on the pool.
+    // Predictors are kept until emission publishes describeStats().
+    std::vector<std::vector<std::unique_ptr<FetchPredictor>>> preds(
+        nc);
+    for (auto &row : preds)
+        row.resize(nw);
+    for (TimingCellConfig &c : configs)
+        c.results.assign(nw, SimResult{});
+    forEachCell(
+        pool, groups.size() * nw,
+        [&](std::size_t cell) {
+            const std::vector<std::size_t> &g = groups[cell / nw];
+            const std::size_t w = cell % nw;
+            std::vector<FetchPredictor *> members;
+            members.reserve(g.size());
+            for (std::size_t c : g) {
+                preds[c][w] = configs[c].make();
+                members.push_back(preds[c][w].get());
+            }
+            if (g.size() >= 2 && ensembleTimingBatchable(members)) {
+                // Nested inside the pool's "cell" span so bpstat
+                // timeline can label batched timing cells.
+                obs::SpanScope span("cell.batched",
+                                    configs[g[0]].name, "width",
+                                    g.size());
+                std::vector<EnsembleTimingReplay::Member> ms;
+                ms.reserve(g.size());
+                for (std::size_t k = 0; k < g.size(); ++k)
+                    ms.push_back(
+                        {configs[g[k]].cfg, members[k]});
+                EnsembleTimingReplay replay(std::move(ms));
+                const auto results = replay.run(suite.trace(w));
+                for (std::size_t k = 0; k < g.size(); ++k)
+                    configs[g[k]].results[w] = results[k];
+            } else {
+                for (std::size_t k = 0; k < g.size(); ++k)
+                    configs[g[k]].results[w] =
+                        runTiming(configs[g[k]].cfg, *members[k],
+                                  suite.trace(w));
+            }
+        },
+        [](std::size_t) {});
+
+    // Emission phase, config-major / workload-minor: byte-identical
+    // report rows and metrics to N sequential suiteTimingReport
+    // calls in list order.
+    for (std::size_t c = 0; c < nc; ++c) {
+        std::vector<double> ipcs(nw);
+        for (std::size_t w = 0; w < nw; ++w) {
+            ipcs[w] = configs[c].results[w].ipc();
+            report.rows.push_back(reportRow(
+                suite.name(w), configs[c].name, configs[c].mode,
+                configs[c].budgetBytes, configs[c].cfg,
+                configs[c].results[w]));
+            if (metrics) {
+                configs[c].results[w].publishMetrics(*metrics,
+                                                     suite.name(w));
+                publishPredictorStats(*metrics, *preds[c][w],
+                                      suite.name(w));
+            }
+            preds[c][w].reset();
+        }
+        configs[c].harmonicMeanIpc = harmonicMean(ipcs);
+    }
+
+    publishTimingEnsembleGauges(metrics, stats);
+    return stats;
 }
 
 Counter

@@ -232,6 +232,16 @@ suiteAccuracyReport(const SuiteTraces &suite,
  */
 struct AccuracyCellConfig
 {
+    AccuracyCellConfig() = default;
+    /** Input-only construction, the form the sweep drivers use
+     *  (output members start empty). */
+    AccuracyCellConfig(
+        std::function<std::unique_ptr<DirectionPredictor>()> make_,
+        std::string name_, std::size_t budget_bytes)
+        : make(std::move(make_)), name(std::move(name_)),
+          budgetBytes(budget_bytes)
+    {}
+
     /** Factory for this configuration (fresh instance per workload;
      *  must be callable from pool workers). */
     std::function<std::unique_ptr<DirectionPredictor>()> make;
@@ -279,6 +289,69 @@ EnsembleStats suiteAccuracyReportEnsemble(
     const SuiteTraces &suite,
     std::vector<AccuracyCellConfig> &configs,
     obs::RunReport &report, obs::MetricRegistry *metrics = nullptr,
+    parallel::CellPool *pool = nullptr);
+
+/**
+ * One cell of a batched timing sweep: a fetch-predictor
+ * configuration plus core parameters and per-workload outputs. The
+ * timing sweep drivers (fig2/fig7/fig8 and the pipeline/delay
+ * ablations) build one per (kind, mode, budget) — in the exact row
+ * order their serial loops used — and hand the whole list to
+ * suiteTimingReportEnsemble.
+ */
+struct TimingCellConfig
+{
+    TimingCellConfig() = default;
+    /** Input-only construction, the form the sweep drivers use
+     *  (output members start empty). */
+    TimingCellConfig(
+        std::function<std::unique_ptr<FetchPredictor>()> make_,
+        std::string name_, std::string mode_,
+        std::size_t budget_bytes, CoreConfig cfg_)
+        : make(std::move(make_)), name(std::move(name_)),
+          mode(std::move(mode_)), budgetBytes(budget_bytes),
+          cfg(cfg_)
+    {}
+
+    /** Factory for this configuration (fresh instance per workload;
+     *  must be callable from pool workers). */
+    std::function<std::unique_ptr<FetchPredictor>()> make;
+    /** Predictor name for report rows. */
+    std::string name;
+    /** Delay-mode string for report rows. */
+    std::string mode;
+    /** Hardware budget for report rows. */
+    std::size_t budgetBytes = 0;
+    /** Core parameters for this cell (per-cell: the pipeline-depth
+     *  study batches cells whose cores differ). */
+    CoreConfig cfg;
+
+    // Outputs, filled by suiteTimingReportEnsemble:
+    /** Harmonic-mean IPC across the suite (Figure 7/8 reduction). */
+    double harmonicMeanIpc = 0.0;
+    /** Per-workload results, in suite workload order. */
+    std::vector<SimResult> results;
+};
+
+/**
+ * Run every timing configuration in @p configs over @p suite,
+ * batching same-kind groups (equal wrapper + inner predictor types,
+ * see ensembleTimingGroupKey) through EnsembleTimingReplay so each
+ * group streams every trace once instead of once per config.
+ *
+ * Equivalence contract: the appended report rows, the published
+ * metrics (bar the extra core.ensemble.timing.* gauges) and each
+ * config's results/harmonicMeanIpc are byte-identical to calling
+ * suiteTimingReport once per config in list order. A non-null
+ * @p tracer forces the whole sweep down the serial path (the event
+ * stream is ordered), as does BPSIM_ENSEMBLE=0; configurations whose
+ * predictors the timing probe rejects (protected/wrapped, mixed
+ * kinds, lone configs) run serially with identical output.
+ */
+EnsembleStats suiteTimingReportEnsemble(
+    const SuiteTraces &suite, std::vector<TimingCellConfig> &configs,
+    obs::RunReport &report, obs::MetricRegistry *metrics = nullptr,
+    obs::EventTracer *tracer = nullptr,
     parallel::CellPool *pool = nullptr);
 
 /**

@@ -73,6 +73,7 @@ class DualPathFetchPredictor : public FetchPredictor
     }
 
     unsigned slowLatency() const { return slowLatency_; }
+    DirectionPredictor &slow() { return *slow_; }
 
   private:
     std::unique_ptr<DirectionPredictor> slow_;
@@ -139,6 +140,9 @@ class CascadingFetchPredictor : public FetchPredictor
 
     /** Fraction of predictions served by the banked slow result. */
     const RateStat &slowUsed() const { return slowUsed_; }
+
+    DirectionPredictor &quick() { return *quick_; }
+    DirectionPredictor &slow() { return *slow_; }
 
   private:
     struct Banked

@@ -238,6 +238,8 @@ class DelayedFetchPredictor : public FetchPredictor
         pred_->visitState(v);
     }
 
+    DirectionPredictor &inner() { return *pred_; }
+
   private:
     std::unique_ptr<DirectionPredictor> pred_;
     unsigned latency_;

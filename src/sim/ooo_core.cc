@@ -1,6 +1,8 @@
 #include "sim/ooo_core.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 
 namespace bpsim {
 
@@ -54,6 +56,9 @@ OooCore::OooCore(const CoreConfig &cfg, FetchPredictor &predictor)
       rob_(cfg.robEntries),
       regProducer_(64)
 {
+    // Completion-heap keys reserve 16 bits for the ROB slot.
+    assert(rob_.size() <= (std::size_t{1} << 16));
+    completeHeap_.reserve(rob_.size());
 }
 
 OooCore::Producer
@@ -307,8 +312,12 @@ OooCore::issueStage(const TraceBuffer &trace)
         ++issued;
         ++issuedNotDone_;
         --unissuedCount_;
-        if (issuedNotDone_ == 1 || e.completeCycle < nextCompleteCycle_)
-            nextCompleteCycle_ = e.completeCycle;
+        completeHeap_.push_back(
+            (static_cast<std::uint64_t>(e.completeCycle) << 16) |
+            static_cast<std::uint64_t>(slot));
+        std::push_heap(completeHeap_.begin(), completeHeap_.end(),
+                       std::greater<>{});
+        nextCompleteCycle_ = completeHeap_.front() >> 16;
     }
 }
 
@@ -318,34 +327,37 @@ OooCore::completeStage(const TraceBuffer &trace)
     (void)trace; // used only when a tracer is attached
     if (issuedNotDone_ == 0 || cycle_ < nextCompleteCycle_)
         return;
-    Cycle next_min = ~Cycle{0};
-    std::size_t slot = robHead_;
-    for (std::size_t k = 0; k < robCount_;
-         ++k, slot = (slot + 1) % rob_.size()) {
+    // Pop every due completion off the min-heap. Heap entries can
+    // only be issued-and-not-done (see the member comment), so no
+    // liveness re-checks are needed.
+    while (!completeHeap_.empty() &&
+           (completeHeap_.front() >> 16) <= cycle_) {
+        const std::size_t slot =
+            static_cast<std::size_t>(completeHeap_.front() & 0xffff);
+        std::pop_heap(completeHeap_.begin(), completeHeap_.end(),
+                      std::greater<>{});
+        completeHeap_.pop_back();
         RobEntry &e = rob_[slot];
-        if (e.issued && !e.done && e.completeCycle > cycle_ &&
-            e.completeCycle < next_min)
-            next_min = e.completeCycle;
-        if (e.issued && !e.done && e.completeCycle <= cycle_) {
-            e.done = true;
-            --issuedNotDone_;
-            if (e.mispredictedBranch) {
-                // Branch resolution redirects fetch next cycle; the
-                // redirect gap is part of the misprediction cost.
-                if (tracer_)
-                    tracer_->record(cycle_,
-                                    obs::SimEvent::MispredictResolve,
-                                    trace[e.traceIndex].pc);
-                fetchBlocked_ = false;
-                if (fetchStallUntil_ <= cycle_)
-                    fetchStallUntil_ = cycle_ + 1;
-                stallReason_ = StallReason::Redirect;
-                // The refetched path starts a new cache line.
-                lastFetchLine_ = ~Addr{0};
-            }
+        e.done = true;
+        --issuedNotDone_;
+        if (e.mispredictedBranch) {
+            // Branch resolution redirects fetch next cycle; the
+            // redirect gap is part of the misprediction cost.
+            if (tracer_)
+                tracer_->record(cycle_,
+                                obs::SimEvent::MispredictResolve,
+                                trace[e.traceIndex].pc);
+            fetchBlocked_ = false;
+            if (fetchStallUntil_ <= cycle_)
+                fetchStallUntil_ = cycle_ + 1;
+            stallReason_ = StallReason::Redirect;
+            // The refetched path starts a new cache line.
+            lastFetchLine_ = ~Addr{0};
         }
     }
-    nextCompleteCycle_ = next_min;
+    nextCompleteCycle_ = completeHeap_.empty()
+                             ? ~Cycle{0}
+                             : completeHeap_.front() >> 16;
 }
 
 void
@@ -445,18 +457,26 @@ OooCore::skipIdleCycles(const TraceBuffer &trace, Cycle max_cycles)
     return true;
 }
 
-SimResult
-OooCore::run(const TraceBuffer &trace)
+void
+OooCore::begin(const TraceBuffer &trace)
 {
     result_ = SimResult{};
     // Guard against a livelocked configuration ever looping forever.
-    const Cycle max_cycles =
-        static_cast<Cycle>(trace.size()) * 64 + 100000;
+    maxCycles_ = static_cast<Cycle>(trace.size()) * 64 + 100000;
+}
 
+void
+OooCore::advance(const TraceBuffer &trace, std::size_t fetch_target)
+{
+    const bool drain = fetch_target >= trace.size();
     while ((fetchIndex_ < trace.size() || robCount_ > 0 ||
             !fetchBuffer_.empty()) &&
-           cycle_ < max_cycles) {
-        if (cfg_.cycleSkip && skipIdleCycles(trace, max_cycles))
+           cycle_ < maxCycles_) {
+        // Pause only at an iteration boundary: the check has no side
+        // effects, so pausing cannot perturb what the stages do.
+        if (!drain && fetchIndex_ >= fetch_target)
+            return;
+        if (cfg_.cycleSkip && skipIdleCycles(trace, maxCycles_))
             continue;
         commitStage(trace);
         completeStage(trace);
@@ -465,13 +485,25 @@ OooCore::run(const TraceBuffer &trace)
         fetchStage(trace);
         ++cycle_;
     }
+}
 
+SimResult
+OooCore::finish()
+{
     result_.cycles = cycle_;
     result_.l1iMissRate = l1i_.missRate();
     result_.l1dMissRate = l1d_.missRate();
     result_.l2MissRate = l2_.missRate();
     result_.btbHitRate = btb_.hitRate();
     return result_;
+}
+
+SimResult
+OooCore::run(const TraceBuffer &trace)
+{
+    begin(trace);
+    advance(trace, trace.size());
+    return finish();
 }
 
 } // namespace bpsim

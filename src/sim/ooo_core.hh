@@ -125,6 +125,30 @@ class OooCore
     /** Run the whole @p trace to completion and return the stats. */
     SimResult run(const TraceBuffer &trace);
 
+    // Incremental interface: run() is exactly
+    //   begin(t); advance(t, t.size()); finish();
+    // and the ensemble timing engine (core/ensemble.cc) interleaves
+    // the middle step across members in fetch-index blocks. The
+    // pause point only decides *when* advance() returns, never what
+    // any stage executes, so a blocked member-major replay performs
+    // the same per-member iteration sequence as a serial run —
+    // byte-identical SimResults by construction.
+
+    /** Reset per-run stats and arm the livelock guard for @p trace.
+     *  Must precede the first advance() on a fresh core. */
+    void begin(const TraceBuffer &trace);
+
+    /**
+     * Simulate until @p fetch_target trace ops have been fetched
+     * (pausing at the cycle boundary where `fetchIndex_` first
+     * reaches it) or, when @p fetch_target >= trace.size(), until
+     * the pipeline fully drains.
+     */
+    void advance(const TraceBuffer &trace, std::size_t fetch_target);
+
+    /** Stamp final cycle count and cache/BTB rates; returns stats. */
+    SimResult finish();
+
     /**
      * Attach an event tracer (not owned; may be nullptr to detach).
      * When attached, the core records per-cycle pipeline events —
@@ -213,6 +237,23 @@ class OooCore
     std::size_t issuedNotDone_ = 0;
     Cycle nextCompleteCycle_ = 0;
     std::size_t unissuedCount_ = 0;
+
+    /**
+     * Min-heap of in-flight completions, keyed
+     * `(completeCycle << 16) | robSlot`. Pushed once at issue,
+     * popped when due, so completeStage touches only the entries
+     * that actually finish instead of scanning the whole ROB every
+     * completion cycle (the scan was ~half of timing-cell wall
+     * clock). Entries are never stale: a slot can only be reused
+     * after commit, and commit requires done, which requires the
+     * pop. Keeping the slot in the low bits makes keys unique, so
+     * pop order within a cycle is (cycle, slot) — benign, because
+     * marking done is commutative and at most one unresolved
+     * mispredicted branch is ever in flight.
+     */
+    std::vector<std::uint64_t> completeHeap_;
+    /** Livelock guard captured by begin() for advance(). */
+    Cycle maxCycles_ = 0;
 
     obs::EventTracer *tracer_ = nullptr;
     SimResult result_;
