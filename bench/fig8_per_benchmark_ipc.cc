@@ -37,9 +37,11 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         {PredictorKind::GshareFast, 64 * 1024},
     };
 
-    // One TimingCellConfig per column. The four kinds are distinct,
-    // so no batched group forms here — the ensemble call still keeps
-    // this sweep on the same engine (and its gauges) as fig7.
+    // One TimingCellConfig per column. The four kinds are distinct
+    // but each owns a private core paused at side-effect-free
+    // boundaries, so the engine merges them into ONE heterogeneous
+    // group per workload: one trace pass for the whole figure
+    // (core.ensemble.timing.hetero_* gauges report the merge).
     std::vector<TimingCellConfig> cells;
     for (const auto &[k, b] : configs)
         cells.push_back({[k = k, b = b] {

@@ -101,10 +101,85 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
     const std::size_t timing_budget = 64 * 1024;
     const std::vector<double> timing_rates = {0.0, 1e-3};
 
-    // One cell per point so resume granularity matches report
-    // granularity. The injector fires every 256 updates; scrubbing
-    // sweeps every 2048, so eight injection events ride inside one
-    // scrub window.
+    robust::HardenedRunSummary summary;
+    if (ctx.manifestPath().empty()) {
+        // No manifest, no resume granularity to honour: run the
+        // whole surface through the batched ensemble engines. Every
+        // (budget, rate, policy) cell is a protected gshare variant
+        // of the same inner kind, so the engine forms one
+        // mixed-wrapper group per budget and streams each workload's
+        // branch columns once per group instead of once per cell
+        // (rows stay byte-identical — BPSIM_ENSEMBLE=0 A/B-tested).
+        // The injector fires every 256 updates; scrubbing sweeps
+        // every 2048, so eight injection events ride inside one
+        // scrub window.
+        std::vector<AccuracyCellConfig> acc;
+        for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
+            for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+                for (std::size_t pi = 0; pi < policies.size();
+                     ++pi) {
+                    const std::size_t budget = budgets[bi];
+                    const double rate = rates[ri];
+                    const robust::ProtectionPolicy policy =
+                        policies[pi];
+                    AccuracyCellConfig c;
+                    c.makeForWorkload = [kind, rate, policy, budget,
+                                         bi, ri, pi](std::size_t wi) {
+                        robust::FaultPlan plan;
+                        plan.upsetRatePerBit = rate;
+                        plan.intervalBranches = 256;
+                        plan.seed = cellSeed(bi, ri, pi, wi);
+                        return std::unique_ptr<DirectionPredictor>(
+                            makeProtectedPredictor(kind, budget,
+                                                   configFor(policy),
+                                                   plan));
+                    };
+                    c.name = cellLabel(kind, rate, policy);
+                    c.budgetBytes = budget;
+                    acc.push_back(std::move(c));
+                }
+            }
+        }
+        std::vector<TimingCellConfig> tim;
+        for (std::size_t ri = 0; ri < timing_rates.size(); ++ri) {
+            for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+                const double rate = timing_rates[ri];
+                const robust::ProtectionPolicy policy = policies[pi];
+                TimingCellConfig c;
+                c.makeForWorkload = [kind, rate, policy,
+                                     timing_budget, ri,
+                                     pi](std::size_t wi) {
+                    robust::FaultPlan plan;
+                    plan.upsetRatePerBit = rate;
+                    plan.intervalBranches = 256;
+                    plan.seed = cellSeed(77, ri, pi, wi);
+                    return std::unique_ptr<FetchPredictor>(
+                        makeProtectedFetchPredictor(
+                            kind, timing_budget, DelayMode::Overriding,
+                            configFor(policy), plan));
+                };
+                c.name = cellLabel(kind, rate, policy);
+                c.mode = delayModeName(DelayMode::Overriding);
+                c.budgetBytes = timing_budget;
+                c.cfg = cfg;
+                tim.push_back(std::move(c));
+            }
+        }
+        suiteAccuracyReportEnsemble(suite, acc, ctx.report(),
+                                    ctx.metricsIfEnabled(),
+                                    ctx.pool());
+        suiteTimingReportEnsemble(suite, tim, ctx.report(),
+                                  ctx.metricsIfEnabled(), nullptr,
+                                  ctx.pool());
+        summary.completed =
+            (acc.size() + tim.size()) * suite.size();
+    } else {
+    // A manifest was passed: keep the serial HardenedSuiteRunner
+    // path, whose one-cell-per-point granularity is what resume
+    // depends on. One cell per point so resume granularity matches
+    // report granularity. The injector fires every 256 updates;
+    // scrubbing sweeps every 2048, so eight injection events ride
+    // inside one scrub window.
     std::vector<robust::SuiteCell> cells;
     for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
         for (std::size_t ri = 0; ri < rates.size(); ++ri) {
@@ -183,8 +258,8 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
                                        robust::RetryPolicy{},
                                        std::chrono::minutes{5},
                                        ctx.pool());
-    const robust::HardenedRunSummary summary =
-        runner.run(cells, ctx.report());
+    summary = runner.run(cells, ctx.report());
+    }
 
     // Reduce report rows back to the surface tables. Keys:
     // (label, budget) for accuracy, label for the timing slice.

@@ -76,10 +76,75 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
         PredictorKind::Gskew,
     };
 
-    // One cell per (workload, predictor, rate) so resume granularity
-    // matches report granularity. Accuracy cells for all five
-    // predictors; timing cells for the pipelined gshare.fast only
-    // (the timing core dominates runtime).
+    robust::HardenedRunSummary summary;
+    if (ctx.manifestPath().empty()) {
+        // No manifest, no resume granularity to honour: run the
+        // sweep through the batched ensemble engines. All five rates
+        // of one kind are fault-injected wrappers of the same inner
+        // type, so each kind's rates replay as one mixed-wrapper
+        // group per workload; the gshare.fast timing slice batches
+        // its five rates as one group too. Rows stay byte-identical
+        // (BPSIM_ENSEMBLE=0 A/B-tested).
+        std::vector<AccuracyCellConfig> acc;
+        for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+            for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+                const PredictorKind kind = kinds[ki];
+                const double rate = rates[ri];
+                AccuracyCellConfig c;
+                c.makeForWorkload = [kind, rate, budget, ki,
+                                     ri](std::size_t wi) {
+                    robust::FaultPlan plan;
+                    plan.upsetRatePerBit = rate;
+                    plan.intervalBranches = 256;
+                    plan.seed = cellSeed(ki, ri, wi);
+                    return std::unique_ptr<DirectionPredictor>(
+                        std::make_unique<
+                            robust::FaultInjectingPredictor>(
+                            makePredictor(kind, budget), plan));
+                };
+                c.name = cellLabel(kind, rate);
+                c.budgetBytes = budget;
+                acc.push_back(std::move(c));
+            }
+        }
+        std::vector<TimingCellConfig> tim;
+        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+            const double rate = rates[ri];
+            TimingCellConfig c;
+            c.makeForWorkload = [rate, budget, ri](std::size_t wi) {
+                robust::FaultPlan plan;
+                plan.upsetRatePerBit = rate;
+                plan.intervalBranches = 256;
+                plan.seed = cellSeed(99, ri, wi);
+                return std::unique_ptr<FetchPredictor>(
+                    std::make_unique<
+                        robust::FaultInjectingFetchPredictor>(
+                        makeFetchPredictor(PredictorKind::GshareFast,
+                                           budget,
+                                           DelayMode::Pipelined),
+                        plan));
+            };
+            c.name = cellLabel(PredictorKind::GshareFast, rate);
+            c.mode = delayModeName(DelayMode::Pipelined);
+            c.budgetBytes = budget;
+            c.cfg = cfg;
+            tim.push_back(std::move(c));
+        }
+        suiteAccuracyReportEnsemble(suite, acc, ctx.report(),
+                                    ctx.metricsIfEnabled(),
+                                    ctx.pool());
+        suiteTimingReportEnsemble(suite, tim, ctx.report(),
+                                  ctx.metricsIfEnabled(), nullptr,
+                                  ctx.pool());
+        summary.completed =
+            (acc.size() + tim.size()) * suite.size();
+    } else {
+    // A manifest was passed: keep the serial HardenedSuiteRunner
+    // path, whose one-cell-per-point granularity is what resume
+    // depends on. One cell per (workload, predictor, rate) so resume
+    // granularity matches report granularity. Accuracy cells for all
+    // five predictors; timing cells for the pipelined gshare.fast
+    // only (the timing core dominates runtime).
     std::vector<robust::SuiteCell> cells;
     for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
         for (std::size_t ri = 0; ri < rates.size(); ++ri) {
@@ -151,8 +216,8 @@ run(const ArtifactSpec &spec, SweepContext &ctx)
                                        robust::RetryPolicy{},
                                        std::chrono::minutes{5},
                                        ctx.pool());
-    const robust::HardenedRunSummary summary =
-        runner.run(cells, ctx.report());
+    summary = runner.run(cells, ctx.report());
+    }
 
     // Reduce report rows back to the study tables.
     std::map<std::string, std::vector<double>> misp, ipcs;

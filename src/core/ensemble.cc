@@ -11,10 +11,70 @@
 #include "pipeline/alt_delay_hiding.hh"
 #include "predictors/multicomponent.hh"
 #include "predictors/perceptron.hh"
+#include "robust/fault_injector.hh"
+#include "robust/protection.hh"
 
 namespace bpsim {
 
 namespace {
+
+/**
+ * One wrapper's post-update tail, to be re-fired per member inside
+ * the batched loop. Kept std::function-free: a two-way kind switch
+ * over the stock robustness decorators, both resolved to direct
+ * (inlineable) calls on the concrete wrapper type.
+ */
+struct ReplayHook
+{
+    enum class Kind : std::uint8_t { Fault, Protect };
+
+    Kind kind;
+    void *wrapper;
+
+    void
+    fire() const
+    {
+        if (kind == Kind::Fault)
+            static_cast<robust::FaultInjectingPredictor *>(wrapper)
+                ->afterInnerUpdate();
+        else
+            static_cast<robust::ProtectedPredictor *>(wrapper)
+                ->afterInnerUpdate();
+    }
+};
+
+/**
+ * Peel the stock robustness decorators off @p p and return the
+ * innermost predictor. Each peeled wrapper appends its post-update
+ * hook to @p hooks (outermost first — callers fire them in reverse,
+ * matching the nested update() call order: innermost tail first) and
+ * its dynamic type to @p chain, when either is non-null.
+ */
+DirectionPredictor *
+unwrapDirection(DirectionPredictor *p, std::vector<ReplayHook> *hooks,
+                std::vector<std::type_index> *chain)
+{
+    for (;;) {
+        if (auto *f =
+                dynamic_cast<robust::FaultInjectingPredictor *>(p)) {
+            if (hooks)
+                hooks->push_back({ReplayHook::Kind::Fault, f});
+            if (chain)
+                chain->emplace_back(typeid(*f));
+            p = &f->inner();
+            continue;
+        }
+        if (auto *pr = dynamic_cast<robust::ProtectedPredictor *>(p)) {
+            if (hooks)
+                hooks->push_back({ReplayHook::Kind::Protect, pr});
+            if (chain)
+                chain->emplace_back(typeid(*pr));
+            p = &pr->inner();
+            continue;
+        }
+        return p;
+    }
+}
 
 /**
  * The generic batched loop, blocked member-major: each member
@@ -54,6 +114,68 @@ genericEnsembleLoop(const std::vector<Pred *> &members,
                 const bool predicted = p->predict(pcs[i]);
                 p->update(pcs[i], taken);
                 m += predicted != taken ? 1 : 0;
+            }
+            misp[j] += m;
+        }
+    }
+    std::vector<AccuracyResult> results(width);
+    for (std::size_t j = 0; j < width; ++j) {
+        results[j].branches = static_cast<Counter>(n);
+        results[j].mispredictions = misp[j];
+    }
+    return results;
+}
+
+/**
+ * The mixed-wrapper variant of the generic loop: members share one
+ * inner concrete type (predict/update inline as usual) but may carry
+ * per-member wrapper hooks, fired after every update exactly where
+ * the serial wrapper.update() would have fired them. A member's
+ * hooks read and mutate only that member's own wrapper state
+ * (injector RNG, update counters, protection ledger) and the
+ * member's own inner predictor, so the member-major block order
+ * produces the identical flip/repair stream per member as a serial
+ * run. Members without hooks (bare cells sharing a group with
+ * protected siblings) take the plain tight loop per block.
+ */
+template <typename Pred>
+std::vector<AccuracyResult>
+hookedEnsembleLoop(const std::vector<Pred *> &inners,
+                   const std::vector<std::vector<ReplayHook>> &hooks,
+                   const BranchSpan &view)
+{
+    constexpr std::size_t kBlock = 16384;
+    const std::size_t width = inners.size();
+    const std::size_t n = view.size();
+    const Addr *pcs = view.pcData();
+    const std::uint8_t *takens = view.takenData();
+    std::vector<Counter> misp(width, 0);
+    for (std::size_t base = 0; base < n; base += kBlock) {
+        const std::size_t end = std::min(n, base + kBlock);
+        for (std::size_t j = 0; j < width; ++j) {
+            Pred *const p = inners[j];
+            const ReplayHook *hb = hooks[j].data();
+            const std::size_t nh = hooks[j].size();
+            Counter m = 0;
+            if (nh == 0) {
+                for (std::size_t i = base; i < end; ++i) {
+                    const bool taken = takens[i] != 0;
+                    const bool predicted = p->predict(pcs[i]);
+                    p->update(pcs[i], taken);
+                    m += predicted != taken ? 1 : 0;
+                }
+            } else {
+                for (std::size_t i = base; i < end; ++i) {
+                    const bool taken = takens[i] != 0;
+                    const bool predicted = p->predict(pcs[i]);
+                    p->update(pcs[i], taken);
+                    // Innermost wrapper's tail first (hooks are
+                    // collected outermost-first), matching the
+                    // nested update() unwind order.
+                    for (std::size_t k = nh; k-- > 0;)
+                        hb[k].fire();
+                    m += predicted != taken ? 1 : 0;
+                }
             }
             misp[j] += m;
         }
@@ -375,19 +497,31 @@ struct MulticomponentBatch
     }
 };
 
+const std::type_info *
+ensembleAccuracyInnerType(DirectionPredictor &member)
+{
+    DirectionPredictor *inner =
+        unwrapDirection(&member, nullptr, nullptr);
+    if (!withConcretePredictor(*inner, [](auto &) {}))
+        return nullptr;
+    return &typeid(*inner);
+}
+
 bool
 ensembleBatchable(const std::vector<DirectionPredictor *> &members)
 {
     if (members.size() < 2 || members[0] == nullptr)
         return false;
-    const std::type_info &t = typeid(*members[0]);
+    // Members may differ in wrapper chains but must share one known
+    // concrete inner type; unknown user predictors fail here and
+    // stay on the serial path.
+    const std::type_info *t = ensembleAccuracyInnerType(*members[0]);
+    if (t == nullptr)
+        return false;
     for (DirectionPredictor *p : members)
-        if (p == nullptr || typeid(*p) != t)
+        if (p == nullptr || ensembleAccuracyInnerType(*p) != t)
             return false;
-    // Only types the monomorphic dispatcher knows are batched;
-    // wrappers (fault injection, protection) and user predictors
-    // fail here and stay on the serial path.
-    return withConcretePredictor(*members[0], [](auto &) {});
+    return true;
 }
 
 std::vector<AccuracyResult>
@@ -397,21 +531,41 @@ runAccuracyEnsemble(const std::vector<DirectionPredictor *> &members,
     if (members.empty())
         return {};
     const BranchSpan view = trace.branchView();
-    // The monomorphizing cast below requires a uniform concrete
+    // The monomorphizing cast below requires a uniform known inner
     // type; re-verify instead of trusting the caller (a mixed group
-    // would be undefined behaviour, not just slow).
-    const std::type_info &t0 = typeid(*members[0]);
-    for (DirectionPredictor *p : members)
-        if (p == nullptr || typeid(*p) != t0)
+    // would be undefined behaviour, not just slow). Anything the
+    // probe refuses falls back to the virtual loop on the original
+    // wrapped members, which is always correct.
+    const std::size_t width = members.size();
+    std::vector<DirectionPredictor *> inners(width);
+    std::vector<std::vector<ReplayHook>> hooks(width);
+    bool anyHooks = false;
+    for (std::size_t j = 0; j < width; ++j) {
+        if (members[j] == nullptr)
+            return genericEnsembleLoop(members, view);
+        inners[j] = unwrapDirection(members[j], &hooks[j], nullptr);
+        anyHooks = anyHooks || !hooks[j].empty();
+    }
+    const std::type_info &t0 = typeid(*inners[0]);
+    for (DirectionPredictor *p : inners)
+        if (typeid(*p) != t0)
             return genericEnsembleLoop(members, view);
     std::vector<AccuracyResult> results;
     const bool matched =
-        withConcretePredictor(*members[0], [&](auto &firstMember) {
-            using P = std::decay_t<decltype(firstMember)>;
+        withConcretePredictor(*inners[0], [&](auto &firstInner) {
+            using P = std::decay_t<decltype(firstInner)>;
             std::vector<P *> typed;
-            typed.reserve(members.size());
-            for (DirectionPredictor *p : members)
+            typed.reserve(width);
+            for (DirectionPredictor *p : inners)
                 typed.push_back(static_cast<P *>(p));
+            if (anyHooks) {
+                // Wrapped members get the hooked loop: the
+                // specialized kernels below share history state
+                // across members, which an injected flip would
+                // desynchronize, so they serve all-bare groups only.
+                results = hookedEnsembleLoop(typed, hooks, view);
+                return;
+            }
             if constexpr (std::is_same_v<P, PerceptronPredictor>) {
                 if (auto r = PerceptronBatch::tryRun(typed, view)) {
                     results = std::move(*r);
@@ -480,31 +634,44 @@ innerPredictorsOf(FetchPredictor &fp,
 std::vector<std::type_index>
 ensembleTimingGroupKey(FetchPredictor &member)
 {
-    std::vector<DirectionPredictor *> inner;
-    if (!innerPredictorsOf(member, inner))
-        return {};
-    for (DirectionPredictor *p : inner)
-        if (!withConcretePredictor(*p, [](auto &) {}))
-            return {};
     std::vector<std::type_index> key;
-    key.reserve(1 + inner.size());
-    key.emplace_back(typeid(member));
-    for (DirectionPredictor *p : inner)
-        key.emplace_back(typeid(*p));
+    // Peel fetch-side fault decorators (study_soft_error's timing
+    // slice): their injection cadence reads only the member's own
+    // update count, so they batch like any other member state.
+    FetchPredictor *fp = &member;
+    while (auto *fi =
+               dynamic_cast<robust::FaultInjectingFetchPredictor *>(
+                   fp)) {
+        key.emplace_back(typeid(*fi));
+        fp = &fi->inner();
+    }
+    std::vector<DirectionPredictor *> inner;
+    if (!innerPredictorsOf(*fp, inner))
+        return {};
+    key.emplace_back(typeid(*fp));
+    for (DirectionPredictor *p : inner) {
+        // Direction-side decorators (protected slow predictors in
+        // the protection-surface timing slice) join the key; the
+        // innermost type must still be dispatcher-known.
+        DirectionPredictor *in = unwrapDirection(p, nullptr, &key);
+        if (!withConcretePredictor(*in, [](auto &) {}))
+            return {};
+        key.emplace_back(typeid(*in));
+    }
     return key;
 }
 
 bool
 ensembleTimingBatchable(const std::vector<FetchPredictor *> &members)
 {
-    if (members.size() < 2 || members[0] == nullptr)
+    if (members.size() < 2)
         return false;
-    const std::vector<std::type_index> key =
-        ensembleTimingGroupKey(*members[0]);
-    if (key.empty())
-        return false;
+    // Heterogeneous keys are fine — each member owns a private core
+    // and pauses at side-effect-free boundaries — but every member
+    // must be individually batchable (known wrapper chain and inner
+    // types).
     for (FetchPredictor *fp : members)
-        if (fp == nullptr || ensembleTimingGroupKey(*fp) != key)
+        if (fp == nullptr || ensembleTimingGroupKey(*fp).empty())
             return false;
     return true;
 }
@@ -520,6 +687,12 @@ EnsembleTimingReplay::EnsembleTimingReplay(std::vector<Member> members)
             std::make_unique<OooCore>(m.cfg, *m.predictor));
 }
 
+EnsembleTimingReplay::EnsembleTimingReplay(
+    std::vector<std::unique_ptr<CoreDriver>> drivers)
+    : drivers_(std::move(drivers))
+{
+}
+
 EnsembleTimingReplay::~EnsembleTimingReplay() = default;
 
 std::vector<SimResult>
@@ -531,6 +704,28 @@ EnsembleTimingReplay::run(const TraceBuffer &trace)
     // per block instead of once per cell-sized pass.
     constexpr std::size_t kOpBlock = 8192;
     const std::size_t n = trace.size();
+    if (!drivers_.empty()) {
+        // Virtual-capable member loop for caller-supplied cores;
+        // the vtable dispatch is per block, not per op, so it costs
+        // nothing next to the simulation itself.
+        for (auto &d : drivers_)
+            d->begin(trace);
+        for (std::size_t target = kOpBlock;; target += kOpBlock) {
+            const std::size_t t = std::min(target, n);
+            for (auto &d : drivers_)
+                d->advance(trace, t);
+            if (t >= n)
+                break; // final advance drained every member
+        }
+        std::vector<SimResult> results;
+        results.reserve(drivers_.size());
+        for (auto &d : drivers_)
+            results.push_back(d->finish());
+        return results;
+    }
+    // Stock-core fast path: the member loop stays monomorphic over
+    // OooCore (heterogeneity lives behind the FetchPredictor
+    // interface inside each core).
     for (auto &core : cores_)
         core->begin(trace);
     for (std::size_t target = kOpBlock;; target += kOpBlock) {

@@ -28,13 +28,18 @@
  * back to the generic loop otherwise, preserving the same contract.
  *
  * Grouping rules (the capability probe): a member list is batchable
- * when it has at least two members, all of the same concrete dynamic
- * type, and that type is one the monomorphic dispatcher knows.
- * Wrapped predictors — FaultInjectedPredictor, ProtectedPredictor,
- * user types — fail the probe and run serially: a fault plan or
- * protection policy targets one cell's state, and batching such
- * members would let an injector observe (or corrupt) state mid-pass
- * in an order the serial path never produces.
+ * when it has at least two members and every member resolves — after
+ * unwrapping the stock robustness decorators (FaultInjectingPredictor
+ * and ProtectedPredictor, in any nesting) — to the *same* concrete
+ * inner type, one the monomorphic dispatcher knows. Wrapped members
+ * replay through the inner fast path plus a per-member hook chain
+ * that re-fires each wrapper's post-update tail (injection cadence,
+ * parity/SEC-DED check, scrub) at exactly the per-member update
+ * counts the serial path would have used; since each wrapper's
+ * cadence reads only its own member's counters and state, the
+ * member-major interleaving is invisible to it and results stay
+ * bit-identical. Unknown user subclasses still fail the probe and
+ * run serially.
  */
 
 #ifndef BPSIM_CORE_ENSEMBLE_HH
@@ -55,13 +60,25 @@ namespace bpsim {
 
 /**
  * True when @p members can be replayed as one batched group: at
- * least two, all the same concrete type, and that type known to the
- * monomorphic dispatcher. Null entries or mixed/wrapped types
- * (fault injection, protection, user predictors) return false — the
- * caller must run those serially.
+ * least two, and every member — bare, or wrapped in any nesting of
+ * the stock FaultInjecting/Protected decorators — unwrapping to the
+ * same concrete inner type known to the monomorphic dispatcher.
+ * Null entries, mixed inner families or unknown user subclasses
+ * return false — the caller must run those serially.
  */
 bool ensembleBatchable(
     const std::vector<DirectionPredictor *> &members);
+
+/**
+ * Accuracy grouping key: the concrete inner predictor type @p member
+ * resolves to after unwrapping the stock robustness decorators, or
+ * nullptr when the member is not batchable (unknown wrapper or inner
+ * type). Two members with the same key may share a batched group
+ * even when their wrapper chains differ — the mixed-wrapper case the
+ * protection-surface studies sweep.
+ */
+const std::type_info *
+ensembleAccuracyInnerType(DirectionPredictor &member);
 
 /**
  * Replay every conditional branch of @p trace through all
@@ -81,29 +98,57 @@ bool ensembleEnabled();
 
 /**
  * True when @p members — fetch-side predictors this time — can be
- * replayed as one batched *timing* group: at least two, all wrapped
- * by the same stock delay wrapper (SingleCycle / Overriding / Stall /
- * DualPath / Cascading), and every wrapped direction predictor of a
- * known concrete type, matching position-wise across members. Null
- * entries, unknown wrappers (protected fetch predictors, user types)
- * or mismatched inner families return false — those cells must run
- * serially, exactly like the accuracy probe refuses
- * FaultInjected/Protected direction predictors.
+ * replayed as one batched *timing* group: at least two, and every
+ * member individually batchable (non-empty ensembleTimingGroupKey).
+ * Members need NOT share one key: each owns a private core and
+ * advances at fetch-index boundaries that are side-effect-free, so
+ * heterogeneous kinds and wrapper classes interleave without
+ * observing each other (fig8's four distinct predictors form one
+ * group). Null entries or members with unknown wrappers / inner
+ * types return false — those cells must run serially.
  */
 bool ensembleTimingBatchable(
     const std::vector<FetchPredictor *> &members);
 
 /**
- * Grouping key for timing ensembles: the delay wrapper's type
- * followed by each wrapped direction predictor's concrete type, in
- * wrapper order. Two cells with equal keys are "same-kind" and may
- * share a batched pass. Empty when the wrapper is not a stock delay
- * wrapper or an inner predictor's type is unknown to the monomorphic
- * dispatcher (fault injection, protection, user types) — such cells
+ * Per-member timing key: the wrapper chain's types followed by each
+ * wrapped direction predictor's decorator chain and concrete type,
+ * in wrapper order. A non-empty key means the member may join a
+ * batched group; two equal keys mean "same-kind" (a group whose
+ * members' keys all match is uniform, otherwise heterogeneous —
+ * reported via core.ensemble.timing.hetero_*). The stock delay
+ * wrappers (SingleCycle / Overriding / Stall / DualPath / Cascading)
+ * are accepted, optionally under a FaultInjectingFetchPredictor, and
+ * inner direction predictors may be wrapped in the stock
+ * FaultInjecting/Protected decorators. Empty when any wrapper or
+ * innermost predictor type is unknown (user subclasses) — such cells
  * run serially.
  */
 std::vector<std::type_index>
 ensembleTimingGroupKey(FetchPredictor &member);
+
+/**
+ * One member of a batched timing replay, as the engine drives it:
+ * the incremental OooCore API behind a small vtable so user-supplied
+ * core types can join a batched pass. advance() must pause at the
+ * given fetch-index boundary without observable side effects (the
+ * OooCore::begin/advance/finish contract), so member-major
+ * interleaving stays bit-identical to a serial run per member.
+ */
+class CoreDriver
+{
+  public:
+    virtual ~CoreDriver() = default;
+
+    /** Reset and arm the member for one pass over @p trace. */
+    virtual void begin(const TraceBuffer &trace) = 0;
+    /** Simulate until @p fetch_target ops are fetched (or the trace
+     *  ends); pausing must be side-effect-free. */
+    virtual void advance(const TraceBuffer &trace,
+                         std::size_t fetch_target) = 0;
+    /** Drain and return the member's final SimResult. */
+    virtual SimResult finish() = 0;
+};
 
 /**
  * Batched timing replay: N (fetch predictor, OooCore) cells of one
@@ -114,8 +159,17 @@ ensembleTimingGroupKey(FetchPredictor &member);
  * blocks, so one block of trace ops is decoded from memory once per
  * group instead of once per cell while every member still executes
  * its exact serial cycle loop — cycleSkip fast-forwarding included,
- * per member. Results are byte-identical to runTiming() per member
- * by construction (see OooCore::advance).
+ * per member. Members may mix predictor kinds, wrapper classes and
+ * core configurations freely: the fetch predictor is a virtual
+ * interface inside each private core, so a heterogeneous group
+ * advances exactly like a uniform one. Results are byte-identical to
+ * runTiming() per member by construction (see OooCore::advance).
+ *
+ * Two construction forms: the Member form builds one stock OooCore
+ * per member and runs them through the monomorphic member loop (the
+ * fast path every suite sweep takes); the CoreDriver form accepts
+ * user-supplied core types behind the vtable and advances them
+ * member-major through the same block schedule.
  */
 class EnsembleTimingReplay
 {
@@ -129,16 +183,21 @@ class EnsembleTimingReplay
     };
 
     explicit EnsembleTimingReplay(std::vector<Member> members);
+    /** Virtual-capable form: drive caller-supplied cores. */
+    explicit EnsembleTimingReplay(
+        std::vector<std::unique_ptr<CoreDriver>> drivers);
     ~EnsembleTimingReplay();
 
     /** Replay @p trace through every member; one SimResult per
      *  member, in member order, each identical to what
-     *  runTiming(member.cfg, *member.predictor, trace) returns. */
+     *  runTiming(member.cfg, *member.predictor, trace) returns (or
+     *  to driving that member's CoreDriver alone). */
     std::vector<SimResult> run(const TraceBuffer &trace);
 
   private:
     std::vector<Member> members_;
     std::vector<std::unique_ptr<OooCore>> cores_;
+    std::vector<std::unique_ptr<CoreDriver>> drivers_;
 };
 
 } // namespace bpsim

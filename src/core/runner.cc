@@ -359,27 +359,45 @@ suiteAccuracyReportEnsemble(const SuiteTraces &suite,
     const std::size_t nc = configs.size();
     const std::size_t nw = suite.size();
 
-    // Group configs by concrete predictor type using one probe
-    // instance per config (construction is cheap next to replay; the
-    // probes never see a branch). A group is batched when the
-    // ensemble engine accepts its probes — same known concrete type,
-    // width >= 2 — and the escape hatch is off. Everything else runs
-    // one (config, workload) cell at a time, exactly like
-    // suiteAccuracyReport. FaultInjected/Protected wrappers land on
-    // the serial path here: ensembleBatchable refuses types the
-    // monomorphic dispatcher does not know.
+    // Per-cell predictor factory: the per-workload form wins when a
+    // config carries one (fault-injection studies seed each cell's
+    // plan by workload index).
+    const auto makePred = [&configs](std::size_t c, std::size_t w) {
+        return configs[c].makeForWorkload
+                   ? configs[c].makeForWorkload(w)
+                   : configs[c].make();
+    };
+
+    // Group configs by concrete *inner* predictor type using one
+    // probe instance per config (construction is cheap next to
+    // replay; the probes never see a branch). Wrapper chains may
+    // differ inside a group — protected / fault-injecting variants
+    // batch with their bare siblings via per-member hooks — so a
+    // group is batched when every member unwraps to one known inner
+    // type, width >= 2, and the escape hatch is off. Everything else
+    // runs one (config, workload) cell at a time, exactly like
+    // suiteAccuracyReport.
     std::vector<std::vector<std::size_t>> groups;
+    std::vector<char> mixedFlags; // aligned with groups
     {
         std::vector<std::unique_ptr<DirectionPredictor>> probes(nc);
         std::vector<DirectionPredictor *> probePtrs(nc);
         for (std::size_t c = 0; c < nc; ++c) {
-            probes[c] = configs[c].make();
+            probes[c] = makePred(c, 0);
             probePtrs[c] = probes[c].get();
         }
         std::map<std::type_index, std::size_t> byType;
         std::vector<std::vector<std::size_t>> candidates;
+        const bool enabled = ensembleEnabled();
         for (std::size_t c = 0; c < nc; ++c) {
-            const std::type_index t(typeid(*probePtrs[c]));
+            const std::type_info *inner =
+                ensembleAccuracyInnerType(*probePtrs[c]);
+            if (!enabled || inner == nullptr) {
+                groups.push_back({c});
+                mixedFlags.push_back(0);
+                continue;
+            }
+            const std::type_index t(*inner);
             const auto it = byType.find(t);
             if (it == byType.end()) {
                 byType.emplace(t, candidates.size());
@@ -388,26 +406,40 @@ suiteAccuracyReportEnsemble(const SuiteTraces &suite,
                 candidates[it->second].push_back(c);
             }
         }
-        const bool enabled = ensembleEnabled();
         for (auto &g : candidates) {
             std::vector<DirectionPredictor *> ptrs;
             for (std::size_t c : g)
                 ptrs.push_back(probePtrs[c]);
-            if (enabled && ensembleBatchable(ptrs)) {
+            if (g.size() >= 2 && ensembleBatchable(ptrs)) {
+                // Mixed-wrapper when the members' dynamic types
+                // differ (bare next to protected, say).
+                bool mixed = false;
+                for (DirectionPredictor *p : ptrs)
+                    mixed = mixed || typeid(*p) != typeid(*ptrs[0]);
                 groups.push_back(std::move(g));
+                mixedFlags.push_back(mixed ? 1 : 0);
             } else {
-                for (std::size_t c : g)
+                for (std::size_t c : g) {
                     groups.push_back({c});
+                    mixedFlags.push_back(0);
+                }
             }
         }
     }
 
     EnsembleStats stats;
-    for (const auto &g : groups) {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &g = groups[gi];
         if (g.size() >= 2) {
             ++stats.groups;
             stats.batchedCells += g.size() * nw;
             stats.batchWidth = std::max(stats.batchWidth, g.size());
+            if (mixedFlags[gi]) {
+                ++stats.heteroGroups;
+                stats.heteroCells += g.size() * nw;
+                stats.heteroWidth =
+                    std::max(stats.heteroWidth, g.size());
+            }
         } else {
             stats.serialCells += nw;
         }
@@ -433,7 +465,7 @@ suiteAccuracyReportEnsemble(const SuiteTraces &suite,
             std::vector<DirectionPredictor *> members;
             members.reserve(g.size());
             for (std::size_t c : g) {
-                preds[c][w] = configs[c].make();
+                preds[c][w] = makePred(c, w);
                 members.push_back(preds[c][w].get());
             }
             if (g.size() >= 2 && ensembleBatchable(members)) {
@@ -543,6 +575,58 @@ publishTimingEnsembleGauges(obs::MetricRegistry *metrics,
         .set(static_cast<double>(stats.groups));
     metrics->gauge("core.ensemble.timing.batch_width")
         .set(static_cast<double>(stats.batchWidth));
+    metrics->gauge("core.ensemble.timing.hetero_groups")
+        .set(static_cast<double>(stats.heteroGroups));
+    metrics->gauge("core.ensemble.timing.hetero_cells")
+        .set(static_cast<double>(stats.heteroCells));
+    metrics->gauge("core.ensemble.timing.hetero_width")
+        .set(static_cast<double>(stats.heteroWidth));
+}
+
+/** Serial sweep of one timing config, honouring the per-workload
+ *  factory form that suiteTimingReport's free-function signature
+ *  cannot express. Row/metric order matches suiteTimingReport. */
+void
+serialTimingSweepOne(const SuiteTraces &suite, TimingCellConfig &c,
+                     obs::RunReport &report,
+                     obs::MetricRegistry *metrics,
+                     obs::EventTracer *tracer,
+                     parallel::CellPool *pool)
+{
+    if (!c.makeForWorkload) {
+        c.results = suiteTimingReport(suite, c.cfg, c.make,
+                                      &c.harmonicMeanIpc, report,
+                                      c.name, c.mode, c.budgetBytes,
+                                      metrics, tracer, pool);
+        return;
+    }
+    suite.describe(report);
+    if (metrics)
+        publishCacheStats(*metrics, suite);
+    c.results.assign(suite.size(), SimResult{});
+    std::vector<double> ipcs(suite.size());
+    std::vector<std::unique_ptr<FetchPredictor>> preds(suite.size());
+    parallel::CellPool *effPool = tracer ? nullptr : pool;
+    forEachCell(
+        effPool, suite.size(),
+        [&](std::size_t i) {
+            preds[i] = c.makeForWorkload(i);
+            c.results[i] =
+                runTiming(c.cfg, *preds[i], suite.trace(i), tracer);
+            ipcs[i] = c.results[i].ipc();
+        },
+        [&](std::size_t i) {
+            report.rows.push_back(reportRow(suite.name(i), c.name,
+                                            c.mode, c.budgetBytes,
+                                            c.cfg, c.results[i]));
+            if (metrics) {
+                c.results[i].publishMetrics(*metrics, suite.name(i));
+                publishPredictorStats(*metrics, *preds[i],
+                                      suite.name(i));
+            }
+            preds[i].reset();
+        });
+    c.harmonicMeanIpc = harmonicMean(ipcs);
 }
 
 } // namespace
@@ -564,9 +648,8 @@ suiteTimingReportEnsemble(const SuiteTraces &suite,
     // refuses the pool) — byte-identical by definition.
     if (tracer) {
         for (TimingCellConfig &c : configs)
-            c.results = suiteTimingReport(
-                suite, c.cfg, c.make, &c.harmonicMeanIpc, report,
-                c.name, c.mode, c.budgetBytes, metrics, tracer, pool);
+            serialTimingSweepOne(suite, c, report, metrics, tracer,
+                                 pool);
         stats.serialCells = nc * nw;
         publishTimingEnsembleGauges(metrics, stats);
         return stats;
@@ -576,39 +659,46 @@ suiteTimingReportEnsemble(const SuiteTraces &suite,
     if (metrics)
         publishCacheStats(*metrics, suite);
 
-    // Group configs by timing key — wrapper type plus inner concrete
-    // predictor types — using one probe instance per config.
-    // Protected fetch predictors and unknown wrappers produce an
-    // empty key and stay serial; so does everything when the escape
-    // hatch is on.
+    // Per-cell predictor factory (per-workload form wins, as on the
+    // accuracy side).
+    const auto makePred = [&configs](std::size_t c, std::size_t w) {
+        return configs[c].makeForWorkload
+                   ? configs[c].makeForWorkload(w)
+                   : configs[c].make();
+    };
+
+    // Probe each config's timing key — wrapper chain plus inner
+    // concrete predictor types — and merge every config with a
+    // non-empty key into ONE group per workload: members own private
+    // cores and pause at side-effect-free boundaries, so
+    // heterogeneous kinds interleave freely and one merged group
+    // means one trace pass instead of one per kind. The group is
+    // heterogeneous when two members' exact keys differ. Protected
+    // fetch predictors and unknown wrappers produce an empty key and
+    // stay serial; so does everything when the escape hatch is on.
     std::vector<std::vector<std::size_t>> groups;
+    bool merged_hetero = false;
     {
         std::vector<std::unique_ptr<FetchPredictor>> probes(nc);
-        std::map<std::vector<std::type_index>, std::size_t> byKey;
-        std::vector<std::vector<std::size_t>> candidates;
-        std::vector<std::size_t> serialConfigs;
+        std::vector<std::size_t> batchable;
+        std::vector<std::vector<std::type_index>> keys(nc);
         const bool enabled = ensembleEnabled();
         for (std::size_t c = 0; c < nc; ++c) {
-            probes[c] = configs[c].make();
-            const auto key = ensembleTimingGroupKey(*probes[c]);
-            if (!enabled || key.empty()) {
+            probes[c] = makePred(c, 0);
+            keys[c] = ensembleTimingGroupKey(*probes[c]);
+            if (!enabled || keys[c].empty())
                 groups.push_back({c});
-                continue;
-            }
-            const auto it = byKey.find(key);
-            if (it == byKey.end()) {
-                byKey.emplace(key, candidates.size());
-                candidates.push_back({c});
-            } else {
-                candidates[it->second].push_back(c);
-            }
-        }
-        for (auto &g : candidates) {
-            if (g.size() >= 2)
-                groups.push_back(std::move(g));
             else
-                for (std::size_t c : g)
-                    groups.push_back({c});
+                batchable.push_back(c);
+        }
+        if (batchable.size() >= 2) {
+            for (std::size_t c : batchable)
+                merged_hetero =
+                    merged_hetero || keys[c] != keys[batchable[0]];
+            groups.push_back(std::move(batchable));
+        } else {
+            for (std::size_t c : batchable)
+                groups.push_back({c});
         }
     }
 
@@ -617,6 +707,12 @@ suiteTimingReportEnsemble(const SuiteTraces &suite,
             ++stats.groups;
             stats.batchedCells += g.size() * nw;
             stats.batchWidth = std::max(stats.batchWidth, g.size());
+            if (merged_hetero) {
+                ++stats.heteroGroups;
+                stats.heteroCells += g.size() * nw;
+                stats.heteroWidth =
+                    std::max(stats.heteroWidth, g.size());
+            }
         } else {
             stats.serialCells += nw;
         }
@@ -638,13 +734,16 @@ suiteTimingReportEnsemble(const SuiteTraces &suite,
             std::vector<FetchPredictor *> members;
             members.reserve(g.size());
             for (std::size_t c : g) {
-                preds[c][w] = configs[c].make();
+                preds[c][w] = makePred(c, w);
                 members.push_back(preds[c][w].get());
             }
             if (g.size() >= 2 && ensembleTimingBatchable(members)) {
                 // Nested inside the pool's "cell" span so bpstat
-                // timeline can label batched timing cells.
-                obs::SpanScope span("cell.batched",
+                // timeline can label batched timing cells — the
+                // hetero category marks cross-kind groups.
+                obs::SpanScope span(merged_hetero
+                                        ? "cell.batched.hetero"
+                                        : "cell.batched",
                                     configs[g[0]].name, "width",
                                     g.size());
                 std::vector<EnsembleTimingReplay::Member> ms;

@@ -245,6 +245,15 @@ struct AccuracyCellConfig
     /** Factory for this configuration (fresh instance per workload;
      *  must be callable from pool workers). */
     std::function<std::unique_ptr<DirectionPredictor>()> make;
+    /**
+     * Optional per-workload factory, taking the suite workload
+     * index; wins over @c make when set. The fault-injection studies
+     * use this to give every (config, workload) cell its own seeded
+     * FaultPlan. The built type must not depend on the index — the
+     * grouping probe keys on workload 0's instance.
+     */
+    std::function<std::unique_ptr<DirectionPredictor>(std::size_t)>
+        makeForWorkload;
     /** Predictor name for report rows. */
     std::string name;
     /** Hardware budget for report rows. */
@@ -268,6 +277,14 @@ struct EnsembleStats
     std::size_t groups = 0;
     /** Widest batched group (member count). */
     std::size_t batchWidth = 0;
+    /** Batched groups whose members mix kinds or wrapper chains
+     *  (timing: distinct ensembleTimingGroupKeys; accuracy: distinct
+     *  dynamic member types around one inner kind). */
+    std::size_t heteroGroups = 0;
+    /** Cells replayed inside heterogeneous groups. */
+    std::size_t heteroCells = 0;
+    /** Widest heterogeneous group (member count). */
+    std::size_t heteroWidth = 0;
 };
 
 /**
@@ -280,9 +297,11 @@ struct EnsembleStats
  * results/meanPercent are byte-identical to calling
  * suiteAccuracyReport once per config in list order — rows are
  * emitted config-major, workload-minor after all cells compute.
- * Configurations whose predictors the ensemble probe rejects
- * (wrapped, user-defined, or mixed types) and all configs when
- * BPSIM_ENSEMBLE=0 run through the serial path, with identical
+ * Groups form per concrete *inner* type (ensembleAccuracyInnerType),
+ * so protected / fault-injecting wrapper variants of one kind batch
+ * together with their bare siblings. Configurations whose predictors
+ * the ensemble probe rejects (unknown user types) and all configs
+ * when BPSIM_ENSEMBLE=0 run through the serial path, with identical
  * output.
  */
 EnsembleStats suiteAccuracyReportEnsemble(
@@ -316,6 +335,15 @@ struct TimingCellConfig
     /** Factory for this configuration (fresh instance per workload;
      *  must be callable from pool workers). */
     std::function<std::unique_ptr<FetchPredictor>()> make;
+    /**
+     * Optional per-workload factory, taking the suite workload
+     * index; wins over @c make when set. The fault-injection studies
+     * use this to give every (config, workload) cell its own seeded
+     * FaultPlan. The built type must not depend on the index — the
+     * grouping probe keys on workload 0's instance.
+     */
+    std::function<std::unique_ptr<FetchPredictor>(std::size_t)>
+        makeForWorkload;
     /** Predictor name for report rows. */
     std::string name;
     /** Delay-mode string for report rows. */
@@ -335,9 +363,12 @@ struct TimingCellConfig
 
 /**
  * Run every timing configuration in @p configs over @p suite,
- * batching same-kind groups (equal wrapper + inner predictor types,
- * see ensembleTimingGroupKey) through EnsembleTimingReplay so each
- * group streams every trace once instead of once per config.
+ * batching every batchable config (non-empty ensembleTimingGroupKey)
+ * into one — possibly heterogeneous — group per workload through
+ * EnsembleTimingReplay, so the whole sweep streams every trace once
+ * instead of once per config. Groups whose members mix kinds or
+ * wrapper chains are counted in core.ensemble.timing.hetero_* and
+ * traced under the `cell.batched.hetero` span category.
  *
  * Equivalence contract: the appended report rows, the published
  * metrics (bar the extra core.ensemble.timing.* gauges) and each
@@ -345,8 +376,8 @@ struct TimingCellConfig
  * suiteTimingReport once per config in list order. A non-null
  * @p tracer forces the whole sweep down the serial path (the event
  * stream is ordered), as does BPSIM_ENSEMBLE=0; configurations whose
- * predictors the timing probe rejects (protected/wrapped, mixed
- * kinds, lone configs) run serially with identical output.
+ * predictors the timing probe rejects (unknown user subclasses) and
+ * lone configs run serially with identical output.
  */
 EnsembleStats suiteTimingReportEnsemble(
     const SuiteTraces &suite, std::vector<TimingCellConfig> &configs,

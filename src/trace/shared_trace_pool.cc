@@ -1,5 +1,6 @@
 #include "trace/shared_trace_pool.hh"
 
+#include <cstdlib>
 #include <utility>
 
 #include "obs/span_trace.hh"
@@ -13,6 +14,17 @@ SharedTracePool::Stats::publish(obs::MetricRegistry &reg,
     reg.counter(prefix + ".memory_hits").set(memoryHits);
     reg.counter(prefix + ".disk_hits").set(diskHits);
     reg.counter(prefix + ".generated").set(generated);
+    reg.counter(prefix + ".evictions").set(evictions);
+}
+
+SharedTracePool::SharedTracePool()
+{
+    if (const char *env = std::getenv("BPSIM_TRACE_POOL_MB")) {
+        const long long mb = std::atoll(env);
+        if (mb > 0)
+            budgetBytes_ =
+                static_cast<std::size_t>(mb) * 1024 * 1024;
+    }
 }
 
 SharedTracePool &
@@ -29,12 +41,59 @@ SharedTracePool::stats() const
     return stats_;
 }
 
+std::size_t
+SharedTracePool::pinnedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lruBytes_;
+}
+
 void
 SharedTracePool::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    lru_.clear();
+    lruBytes_ = 0;
     stats_ = Stats();
+}
+
+void
+SharedTracePool::setBudgetBytes(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budgetBytes_ = bytes;
+    while (budgetBytes_ != 0 && lruBytes_ > budgetBytes_ &&
+           !lru_.empty()) {
+        lruBytes_ -= lru_.back().bytes;
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+SharedTracePool::touchLocked(const std::string &key,
+                             const TracePtr &sp)
+{
+    if (budgetBytes_ == 0)
+        return;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->key == key) {
+            lru_.splice(lru_.begin(), lru_, it);
+            return;
+        }
+    }
+    const std::size_t bytes = sp->memoryBytes();
+    lru_.push_front({key, sp, bytes});
+    lruBytes_ += bytes;
+    while (lruBytes_ > budgetBytes_ && !lru_.empty()) {
+        // Least-recently-fetched first; the weak entry stays, so
+        // suites still replaying the trace keep it alive and a
+        // re-fetch before the last ref drops is still a memory hit.
+        lruBytes_ -= lru_.back().bytes;
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
 }
 
 std::shared_ptr<const TraceBuffer>
@@ -52,6 +111,7 @@ SharedTracePool::fetch(const std::string &workload, Counter ops,
         Entry &e = entries_[key];
         if (TracePtr sp = e.cached.lock()) {
             ++stats_.memoryHits;
+            touchLocked(key, sp);
             if (source)
                 *source = Source::Memory;
             obs::spanInstant("pool.hit", workload);
@@ -73,6 +133,7 @@ SharedTracePool::fetch(const std::string &workload, Counter ops,
         }
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.memoryHits;
+        touchLocked(key, sp);
         if (source)
             *source = Source::Memory;
         return sp;
@@ -93,6 +154,7 @@ SharedTracePool::fetch(const std::string &workload, Counter ops,
             Entry &e = entries_[key];
             e.cached = sp;
             e.inflight = std::shared_future<TracePtr>();
+            touchLocked(key, sp);
             if (hit)
                 ++stats_.diskHits;
             else

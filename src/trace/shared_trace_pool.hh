@@ -16,10 +16,21 @@
  *    materialization instead of duplicating it;
  *  - later requesters get the cached buffer for free.
  *
- * Entries are held by weak_ptr: the pool keeps nothing alive. When
- * the last suite using a trace drops it, the memory is reclaimed and
- * a later request re-materializes. Failures propagate to every
- * blocked requester and are not cached — the next request retries.
+ * Entries are held by weak_ptr: the pool itself keeps nothing alive
+ * by default. When the last suite using a trace drops it, the memory
+ * is reclaimed and a later request re-materializes. Failures
+ * propagate to every blocked requester and are not cached — the next
+ * request retries.
+ *
+ * Setting BPSIM_TRACE_POOL_MB adds a bounded strong-reference LRU on
+ * top: the pool pins up to that many megabytes of recently used
+ * traces so a sweep that cycles through more suites than fit in the
+ * weak window stops thrashing re-materialization, while a long
+ * server process keeps its resident set capped. Over-budget traces
+ * are evicted least-recently-fetched first (the weak entry remains,
+ * so suites still holding the buffer are unaffected) and counted in
+ * stats().evictions. Unset or 0 means unlimited (no pinning —
+ * today's behavior).
  *
  * Sharing is opt-in per SuiteTraces (see runner.hh): suites that are
  * byte-compared against a private-copy baseline keep private copies.
@@ -30,6 +41,7 @@
 
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +71,8 @@ class SharedTracePool
         Counter memoryHits = 0;
         Counter diskHits = 0;
         Counter generated = 0;
+        /** Strong LRU entries dropped to stay under the budget. */
+        Counter evictions = 0;
 
         /** Export as `<prefix>.*` counters. */
         void publish(obs::MetricRegistry &reg,
@@ -68,7 +82,7 @@ class SharedTracePool
     /** The process-wide instance. */
     static SharedTracePool &global();
 
-    SharedTracePool() = default;
+    SharedTracePool();
     SharedTracePool(const SharedTracePool &) = delete;
     SharedTracePool &operator=(const SharedTracePool &) = delete;
 
@@ -87,9 +101,18 @@ class SharedTracePool
 
     Stats stats() const;
 
-    /** Drop every entry and zero the stats (test isolation only —
-     *  buffers still referenced elsewhere stay alive). */
+    /** Drop every entry (weak and pinned) and zero the stats (test
+     *  isolation only — buffers still referenced elsewhere stay
+     *  alive). */
     void clear();
+
+    /** Override the BPSIM_TRACE_POOL_MB budget, in bytes (0 =
+     *  unlimited). Evicts immediately if the pinned set is already
+     *  over the new budget. Tests and long-running servers only. */
+    void setBudgetBytes(std::size_t bytes);
+
+    /** Bytes currently pinned by the strong LRU. */
+    std::size_t pinnedBytes() const;
 
   private:
     using TracePtr = std::shared_ptr<const TraceBuffer>;
@@ -101,8 +124,24 @@ class SharedTracePool
         std::shared_future<TracePtr> inflight;
     };
 
+    struct LruEntry
+    {
+        std::string key;
+        TracePtr trace;
+        std::size_t bytes = 0;
+    };
+
+    /** Pin @p sp at the LRU front and evict over-budget tails.
+     *  Caller holds mu_. No-op when the budget is unlimited. */
+    void touchLocked(const std::string &key, const TracePtr &sp);
+
     mutable std::mutex mu_;
     std::map<std::string, Entry> entries_;
+    /** Most recently fetched first; holds strong refs up to
+     *  budgetBytes_. */
+    std::list<LruEntry> lru_;
+    std::size_t lruBytes_ = 0;
+    std::size_t budgetBytes_ = 0;
     Stats stats_;
 };
 

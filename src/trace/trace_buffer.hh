@@ -256,6 +256,24 @@ class TraceBuffer
     auto begin() const { return opsVec().begin(); }
     auto end() const { return opsVec().end(); }
 
+    /**
+     * Resident heap footprint estimate in bytes: op-stream and
+     * owned branch-column capacities. A backed buffer whose ops are
+     * still encoded charges only what is actually materialized —
+     * the mapped file itself is page-cache, not heap, and is not
+     * counted. Used by SharedTracePool's memory budget.
+     */
+    std::size_t
+    memoryBytes() const
+    {
+        std::size_t bytes = 0;
+        if (opsMaterialized())
+            bytes += ops_.capacity() * sizeof(MicroOp);
+        bytes += branchPcs_.capacity() * sizeof(Addr);
+        bytes += branchTaken_.capacity() * sizeof(std::uint8_t);
+        return bytes;
+    }
+
     /** Drop all contents (keeps op capacity). */
     void clear();
 

@@ -5,9 +5,11 @@
  * member per standard budget replayed in one pass must produce
  * byte-identical counts, describeStats() gauges and visitState()
  * dumps to running each member alone. Also pins the grouping rules
- * (wrapped/mixed/lone groups refuse to batch), the BPSIM_ENSEMBLE=0
- * escape hatch, and suiteAccuracyReportEnsemble's contract that its
- * RunReport is byte-identical to serial suiteAccuracyReport calls.
+ * (stock-wrapped members batch with bare siblings of the same inner
+ * kind; heterogeneous timing kinds merge into one group; unknown
+ * user subclasses refuse), the BPSIM_ENSEMBLE=0 escape hatch, and
+ * suiteAccuracyReportEnsemble's contract that its RunReport is
+ * byte-identical to serial suiteAccuracyReport calls.
  */
 
 #include <gtest/gtest.h>
@@ -127,7 +129,16 @@ TEST(EnsembleReplay, BatchedMatchesSerialEverywhere)
     }
 }
 
-TEST(EnsembleReplay, ProbeRejectsWrappedMixedAndLoneGroups)
+/** A predictor the monomorphic dispatcher has never heard of. */
+struct UnknownDirectionPredictor final : DirectionPredictor
+{
+    std::string name() const override { return "unknown"; }
+    std::size_t storageBits() const override { return 8; }
+    bool predict(Addr) override { return false; }
+    void update(Addr, bool) override {}
+};
+
+TEST(EnsembleReplay, ProbeAcceptsWrappersRejectsMixedAndLoneGroups)
 {
     auto g0 = makePredictor(PredictorKind::Gshare, 4 * 1024);
     auto g1 = makePredictor(PredictorKind::Gshare, 16 * 1024);
@@ -141,31 +152,50 @@ TEST(EnsembleReplay, ProbeRejectsWrappedMixedAndLoneGroups)
     EXPECT_FALSE(ensembleBatchable({g0.get(), b0.get()}));
     EXPECT_FALSE(ensembleBatchable({g0.get(), nullptr}));
 
-    // Fault-injection wrappers must stay serial: a fault plan
-    // targets one cell's state and may not be replayed batched.
+    // The stock fault-injection wrapper batches: its injection
+    // cadence reads only its own member's update count, so the
+    // hooked replay re-fires it at exactly the serial points.
     robust::FaultPlan plan;
     plan.upsetRatePerBit = 1e-4;
     auto f0 = std::make_unique<robust::FaultInjectingPredictor>(
         makePredictor(PredictorKind::Gshare, 4 * 1024), plan);
     auto f1 = std::make_unique<robust::FaultInjectingPredictor>(
         makePredictor(PredictorKind::Gshare, 16 * 1024), plan);
-    EXPECT_FALSE(ensembleBatchable({f0.get(), f1.get()}));
+    EXPECT_TRUE(ensembleBatchable({f0.get(), f1.get()}));
 
-    // Protected wrappers likewise.
+    // Protected wrappers likewise, including mixed with bare
+    // siblings of the same inner kind...
     robust::ProtectionConfig prot;
     prot.policy = robust::ProtectionPolicy::ParityInvalidate;
     auto p0 = makeProtectedPredictor(PredictorKind::Gshare, 4 * 1024,
                                      prot, robust::FaultPlan{});
     auto p1 = makeProtectedPredictor(PredictorKind::Gshare, 16 * 1024,
                                      prot, robust::FaultPlan{});
-    EXPECT_FALSE(ensembleBatchable({p0.get(), p1.get()}));
+    EXPECT_TRUE(ensembleBatchable({p0.get(), p1.get()}));
+    EXPECT_TRUE(ensembleBatchable({g0.get(), f0.get(), p0.get()}));
+    EXPECT_EQ(ensembleAccuracyInnerType(*g0),
+              ensembleAccuracyInnerType(*p0));
+
+    // ...but a wrapper over a different inner kind still splits the
+    // group, and an unknown user subclass refuses outright.
+    auto pb = makeProtectedPredictor(PredictorKind::Bimodal, 4 * 1024,
+                                     prot, robust::FaultPlan{});
+    EXPECT_FALSE(ensembleBatchable({g0.get(), pb.get()}));
+    UnknownDirectionPredictor u0;
+    UnknownDirectionPredictor u1;
+    EXPECT_EQ(ensembleAccuracyInnerType(u0), nullptr);
+    EXPECT_FALSE(ensembleBatchable({&u0, &u1}));
+    auto fu = std::make_unique<robust::FaultInjectingPredictor>(
+        std::make_unique<UnknownDirectionPredictor>(), plan);
+    EXPECT_FALSE(ensembleBatchable({fu.get(), g0.get()}));
 }
 
-TEST(EnsembleReplay, WrappedGroupStillReplaysCorrectly)
+TEST(EnsembleReplay, WrappedGroupReplaysViaHooksBitIdentical)
 {
-    // runAccuracyEnsemble on an unbatchable group falls back to the
-    // virtual loop — results must still match serial runs exactly
-    // (same plan + seed => identical flip sequence per member).
+    // A fault-injected pair batches through the hooked monomorphic
+    // loop — results must match serial runs exactly (same plan +
+    // seed => identical flip sequence per member; expectSameState
+    // compares injector flip/event counters via describeStats()).
     const TraceBuffer trace = suiteTrace();
     robust::FaultPlan plan;
     plan.upsetRatePerBit = 1e-4;
@@ -183,12 +213,58 @@ TEST(EnsembleReplay, WrappedGroupStillReplaysCorrectly)
                 makePredictor(PredictorKind::Gshare, budget), plan));
         members.push_back(batched.back().get());
     }
-    EXPECT_FALSE(ensembleBatchable(members));
+    EXPECT_TRUE(ensembleBatchable(members));
 
     const std::vector<AccuracyResult> rb =
         runAccuracyEnsemble(members, trace);
     ASSERT_EQ(rb.size(), members.size());
     for (std::size_t j = 0; j < members.size(); ++j) {
+        const AccuracyResult rs = runAccuracy(*serial[j], trace);
+        EXPECT_EQ(rb[j].branches, rs.branches);
+        EXPECT_EQ(rb[j].mispredictions, rs.mispredictions);
+        expectSameState(*batched[j], *serial[j]);
+    }
+}
+
+TEST(EnsembleReplay, MixedWrapperGroupMatchesSerial)
+{
+    // One group mixing a bare gshare, a fault-injected one and a
+    // protected one: each member replays through the same inner fast
+    // path with its own hook chain, so every wrapper's cadence fires
+    // at the exact serial update counts.
+    const TraceBuffer trace = suiteTrace();
+    robust::FaultPlan plan;
+    plan.upsetRatePerBit = 1e-4;
+    plan.intervalBranches = 512;
+    robust::ProtectionConfig prot;
+    prot.policy = robust::ProtectionPolicy::SecdedCorrect;
+    robust::FaultPlan protPlan;
+    protPlan.upsetRatePerBit = 1e-4;
+    protPlan.intervalBranches = 512;
+
+    const auto build = [&] {
+        std::vector<std::unique_ptr<DirectionPredictor>> v;
+        v.push_back(makePredictor(PredictorKind::Gshare, 16 * 1024));
+        v.push_back(
+            std::make_unique<robust::FaultInjectingPredictor>(
+                makePredictor(PredictorKind::Gshare, 16 * 1024),
+                plan));
+        v.push_back(makeProtectedPredictor(
+            PredictorKind::Gshare, 16 * 1024, prot, protPlan));
+        return v;
+    };
+    auto batched = build();
+    auto serial = build();
+    std::vector<DirectionPredictor *> members;
+    for (const auto &m : batched)
+        members.push_back(m.get());
+    ASSERT_TRUE(ensembleBatchable(members));
+
+    const std::vector<AccuracyResult> rb =
+        runAccuracyEnsemble(members, trace);
+    ASSERT_EQ(rb.size(), members.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+        SCOPED_TRACE("member " + std::to_string(j));
         const AccuracyResult rs = runAccuracy(*serial[j], trace);
         EXPECT_EQ(rb[j].branches, rs.branches);
         EXPECT_EQ(rb[j].mispredictions, rs.mispredictions);
@@ -349,7 +425,16 @@ expectSameSimResult(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.btbHitRate, b.btbHitRate);
 }
 
-TEST(TimingEnsemble, ProbeRejectsWrappedMixedAndLoneGroups)
+/** A fetch predictor the grouping probe has never heard of. */
+struct UnknownFetchPredictor final : FetchPredictor
+{
+    std::string name() const override { return "unknown"; }
+    std::size_t storageBits() const override { return 8; }
+    FetchPrediction predict(Addr) override { return {}; }
+    void update(Addr, bool) override {}
+};
+
+TEST(TimingEnsemble, ProbeAcceptsHeteroRejectsUnknownAndLoneGroups)
 {
     auto p0 = makeFetchPredictor(PredictorKind::Perceptron, 16 * 1024,
                                  DelayMode::Overriding);
@@ -364,18 +449,26 @@ TEST(TimingEnsemble, ProbeRejectsWrappedMixedAndLoneGroups)
     EXPECT_TRUE(ensembleTimingBatchable({p0.get(), p1.get()}));
     // ...including across delay modes that pick the same wrapper
     // (gshare.fast is single-cycle under both ideal and overriding,
-    // which is how fig7 forms a cross-mode group).
+    // which is how fig7 forms a cross-mode group)...
     EXPECT_TRUE(ensembleTimingBatchable({g0.get(), g1.get()}));
-    // ...but lone configs, empty groups and mixed kinds do not.
+    // ...and across *different* kinds and wrapper classes: members
+    // own private cores paused at side-effect-free boundaries, so a
+    // heterogeneous group is as batchable as a uniform one (fig8's
+    // four-kind sweep). Their keys differ — that is what marks the
+    // group heterogeneous.
+    EXPECT_TRUE(ensembleTimingBatchable({p0.get(), g0.get()}));
+    EXPECT_NE(ensembleTimingGroupKey(*p0),
+              ensembleTimingGroupKey(*g0));
+    // Lone configs, empty groups and null members still refuse.
     EXPECT_FALSE(ensembleTimingBatchable({p0.get()}));
     EXPECT_FALSE(ensembleTimingBatchable({}));
-    EXPECT_FALSE(ensembleTimingBatchable({p0.get(), g0.get()}));
     EXPECT_FALSE(
         ensembleTimingBatchable({p0.get(), nullptr}));
 
-    // Protected inners must stay serial: the protection wrapper is
-    // not a concrete table predictor and its scrub/bombard schedule
-    // is per-cell state.
+    // Protected inners batch too: the unwrap probe peels the stock
+    // decorator chain down to the concrete table predictor, and the
+    // wrapper's scrub/bombard schedule is per-member state the
+    // member-major interleaving cannot perturb.
     robust::ProtectionConfig prot;
     prot.policy = robust::ProtectionPolicy::ParityInvalidate;
     auto r0 = makeProtectedFetchPredictor(
@@ -384,8 +477,20 @@ TEST(TimingEnsemble, ProbeRejectsWrappedMixedAndLoneGroups)
     auto r1 = makeProtectedFetchPredictor(
         PredictorKind::Gshare, 64 * 1024, DelayMode::Overriding, prot,
         robust::FaultPlan{});
-    EXPECT_TRUE(ensembleTimingGroupKey(*r0).empty());
-    EXPECT_FALSE(ensembleTimingBatchable({r0.get(), r1.get()}));
+    EXPECT_FALSE(ensembleTimingGroupKey(*r0).empty());
+    EXPECT_TRUE(ensembleTimingBatchable({r0.get(), r1.get()}));
+
+    // Unknown user subclasses produce an empty key and refuse — as
+    // a wrapper, and as a whole fetch predictor.
+    UnknownFetchPredictor u0;
+    UnknownFetchPredictor u1;
+    EXPECT_TRUE(ensembleTimingGroupKey(u0).empty());
+    EXPECT_FALSE(ensembleTimingBatchable({&u0, &u1}));
+    EXPECT_FALSE(ensembleTimingBatchable({p0.get(), &u0}));
+    auto su = std::make_unique<SingleCycleFetchPredictor>(
+        std::make_unique<UnknownDirectionPredictor>());
+    EXPECT_TRUE(ensembleTimingGroupKey(*su).empty());
+    EXPECT_FALSE(ensembleTimingBatchable({su.get(), g0.get()}));
 }
 
 TEST(TimingEnsemble, ReplayMatchesSerialRunTiming)
@@ -422,7 +527,8 @@ TEST(TimingEnsemble, ReplayMatchesSerialRunTiming)
 
 /** The fig7-slice config list used by the suite-level timing tests:
  *  a perceptron overriding family of three budgets, a gshare.fast
- *  family of two, and one protected (refused-to-serial) cell. */
+ *  family of two, and one protected cell — three distinct keys that
+ *  now merge into one heterogeneous group. */
 std::vector<TimingCellConfig>
 timingSweepConfigs()
 {
@@ -489,12 +595,16 @@ TEST(TimingEnsemble, SuiteReportMatchesSerialByteForByte)
     const EnsembleStats stats = suiteTimingReportEnsemble(
         suite, configs, batchedReport, &batchedMetrics);
 
-    // The perceptron trio and the gshare.fast pair batch; the
-    // protected cell is refused to the serial path.
-    EXPECT_EQ(stats.groups, 2u);
-    EXPECT_EQ(stats.batchWidth, 3u);
-    EXPECT_EQ(stats.batchedCells, 5u * suite.size());
-    EXPECT_EQ(stats.serialCells, 1u * suite.size());
+    // All six configs — perceptron trio, gshare.fast pair AND the
+    // protected cell — merge into one heterogeneous group: one trace
+    // pass per workload for the whole sweep.
+    EXPECT_EQ(stats.groups, 1u);
+    EXPECT_EQ(stats.batchWidth, 6u);
+    EXPECT_EQ(stats.batchedCells, 6u * suite.size());
+    EXPECT_EQ(stats.serialCells, 0u);
+    EXPECT_EQ(stats.heteroGroups, 1u);
+    EXPECT_EQ(stats.heteroWidth, 6u);
+    EXPECT_EQ(stats.heteroCells, 6u * suite.size());
 
     std::vector<TimingCellConfig> ref = timingSweepConfigs();
     obs::RunReport serialReport;
@@ -526,6 +636,14 @@ TEST(TimingEnsemble, SuiteReportMatchesSerialByteForByte)
         batchedMetrics.gauge("core.ensemble.timing.batch_width")
             .value(),
         static_cast<double>(stats.batchWidth));
+    EXPECT_EQ(
+        batchedMetrics.gauge("core.ensemble.timing.hetero_groups")
+            .value(),
+        static_cast<double>(stats.heteroGroups));
+    EXPECT_EQ(
+        batchedMetrics.gauge("core.ensemble.timing.hetero_width")
+            .value(),
+        static_cast<double>(stats.heteroWidth));
 }
 
 TEST(TimingEnsemble, PooledSuiteReportMatchesSerial)
@@ -575,6 +693,216 @@ TEST(TimingEnsemble, TracerForcesSerialIdenticalOutput)
                              &serialTracer);
     EXPECT_EQ(tracedReport.toJson().dump(2),
               serialReport.toJson().dump(2));
+}
+
+/** The fig8 shape: four distinct predictor kinds, one per config —
+ *  under the old per-kind grouping none of these batched. */
+std::vector<TimingCellConfig>
+fig8Configs()
+{
+    struct Row
+    {
+        PredictorKind kind;
+        std::size_t budget;
+        DelayMode mode;
+    };
+    const std::vector<Row> rows = {
+        {PredictorKind::MultiComponent, 53 * 1024,
+         DelayMode::Overriding},
+        {PredictorKind::Gskew, 64 * 1024, DelayMode::Overriding},
+        {PredictorKind::Perceptron, 64 * 1024,
+         DelayMode::Overriding},
+        {PredictorKind::GshareFast, 64 * 1024, DelayMode::Ideal},
+    };
+    std::vector<TimingCellConfig> configs;
+    CoreConfig cfg;
+    for (const Row &r : rows)
+        configs.push_back({[r] {
+                               return makeFetchPredictor(
+                                   r.kind, r.budget, r.mode);
+                           },
+                           kindName(r.kind),
+                           delayModeName(r.mode),
+                           r.budget,
+                           cfg});
+    return configs;
+}
+
+TEST(TimingEnsemble, HeteroFig8GroupMatchesSerialByteForByte)
+{
+    const SuiteTraces suite(4000, 13, nullptr, TraceCache());
+
+    std::vector<TimingCellConfig> configs = fig8Configs();
+    obs::RunReport batchedReport;
+    obs::MetricRegistry batchedMetrics;
+    const EnsembleStats stats = suiteTimingReportEnsemble(
+        suite, configs, batchedReport, &batchedMetrics);
+
+    // Four distinct kinds form ONE heterogeneous group.
+    EXPECT_EQ(stats.groups, 1u);
+    EXPECT_EQ(stats.heteroGroups, 1u);
+    EXPECT_EQ(stats.batchWidth, 4u);
+    EXPECT_EQ(stats.heteroWidth, 4u);
+    EXPECT_EQ(stats.batchedCells, 4u * suite.size());
+    EXPECT_EQ(stats.serialCells, 0u);
+    EXPECT_GE(
+        batchedMetrics.gauge("core.ensemble.timing.hetero_groups")
+            .value(),
+        1.0);
+
+    std::vector<TimingCellConfig> ref = fig8Configs();
+    obs::RunReport serialReport;
+    obs::MetricRegistry serialMetrics;
+    runTimingSerialReference(suite, ref, serialReport,
+                             &serialMetrics);
+
+    EXPECT_EQ(batchedReport.toJson().dump(2),
+              serialReport.toJson().dump(2));
+    EXPECT_EQ(metricsSansEnsemble(batchedMetrics),
+              metricsSansEnsemble(serialMetrics));
+    ASSERT_EQ(configs.size(), ref.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE(ref[i].name);
+        EXPECT_EQ(configs[i].harmonicMeanIpc,
+                  ref[i].harmonicMeanIpc);
+        ASSERT_EQ(configs[i].results.size(), ref[i].results.size());
+        for (std::size_t w = 0; w < ref[i].results.size(); ++w)
+            expectSameSimResult(configs[i].results[w],
+                                ref[i].results[w]);
+    }
+}
+
+TEST(TimingEnsemble, PooledHeteroFig8GroupMatchesSerial)
+{
+    const SuiteTraces suite(4000, 13, nullptr, TraceCache());
+
+    std::vector<TimingCellConfig> configs = fig8Configs();
+    obs::RunReport pooledReport;
+    parallel::CellPool pool(4);
+    const EnsembleStats stats = suiteTimingReportEnsemble(
+        suite, configs, pooledReport, nullptr, nullptr, &pool);
+    EXPECT_EQ(stats.heteroGroups, 1u);
+
+    std::vector<TimingCellConfig> ref = fig8Configs();
+    obs::RunReport serialReport;
+    runTimingSerialReference(suite, ref, serialReport, nullptr);
+
+    EXPECT_EQ(pooledReport.toJson().dump(2),
+              serialReport.toJson().dump(2));
+}
+
+TEST(EnsembleReplay, MixedWrapperSuiteReportMatchesSerial)
+{
+    // Protected and fault-injected gshare variants next to a bare
+    // one: all three share the gshare inner type, so the suite
+    // engine forms one mixed-wrapper group — the protection-surface
+    // sweep shape.
+    const SuiteTraces suite(4000, 13, nullptr, TraceCache());
+    robust::ProtectionConfig prot;
+    prot.policy = robust::ProtectionPolicy::SecdedCorrect;
+    robust::FaultPlan plan;
+    plan.upsetRatePerBit = 1e-4;
+    plan.intervalBranches = 256;
+
+    const auto build = [&] {
+        std::vector<AccuracyCellConfig> configs;
+        AccuracyCellConfig bare;
+        bare.make = [] {
+            return makePredictor(PredictorKind::Gshare, 16 * 1024);
+        };
+        bare.name = "gshare";
+        bare.budgetBytes = 16 * 1024;
+        configs.push_back(std::move(bare));
+        AccuracyCellConfig prot_c;
+        prot_c.make = [prot, plan] {
+            return makeProtectedPredictor(PredictorKind::Gshare,
+                                          16 * 1024, prot, plan);
+        };
+        prot_c.name = "gshare.secded";
+        prot_c.budgetBytes = 16 * 1024;
+        configs.push_back(std::move(prot_c));
+        AccuracyCellConfig fault;
+        fault.make = [plan] {
+            return std::make_unique<
+                robust::FaultInjectingPredictor>(
+                makePredictor(PredictorKind::Gshare, 16 * 1024),
+                plan);
+        };
+        fault.name = "gshare.fault";
+        fault.budgetBytes = 16 * 1024;
+        configs.push_back(std::move(fault));
+        return configs;
+    };
+
+    std::vector<AccuracyCellConfig> configs = build();
+    obs::RunReport batchedReport;
+    obs::MetricRegistry batchedMetrics;
+    const EnsembleStats stats = suiteAccuracyReportEnsemble(
+        suite, configs, batchedReport, &batchedMetrics);
+    EXPECT_EQ(stats.groups, 1u);
+    EXPECT_EQ(stats.batchWidth, 3u);
+    EXPECT_EQ(stats.heteroGroups, 1u);
+    EXPECT_EQ(stats.serialCells, 0u);
+
+    std::vector<AccuracyCellConfig> ref = build();
+    obs::RunReport serialReport;
+    obs::MetricRegistry serialMetrics;
+    for (AccuracyCellConfig &c : ref)
+        c.results = suiteAccuracyReport(
+            suite, c.make, &c.meanPercent, serialReport, c.name,
+            c.budgetBytes, &serialMetrics);
+
+    EXPECT_EQ(batchedReport.toJson().dump(2),
+              serialReport.toJson().dump(2));
+    EXPECT_EQ(metricsSansEnsemble(batchedMetrics),
+              metricsSansEnsemble(serialMetrics));
+}
+
+TEST(EnsembleReplay, PerWorkloadFactoryMatchesEscapeHatch)
+{
+    // makeForWorkload lets the soft-error studies seed each cell's
+    // fault plan by workload index; the ensemble path must produce
+    // the same rows as the escape-hatch serial path with identical
+    // per-cell seeds.
+    const SuiteTraces suite(4000, 13, nullptr, TraceCache());
+    const auto build = [] {
+        std::vector<AccuracyCellConfig> configs;
+        for (const std::size_t budget : {4096u, 16384u}) {
+            AccuracyCellConfig c;
+            c.makeForWorkload = [budget](std::size_t w) {
+                robust::FaultPlan plan;
+                plan.upsetRatePerBit = 1e-4;
+                plan.intervalBranches = 512;
+                plan.seed = 1000 + 17 * w;
+                return std::unique_ptr<DirectionPredictor>(
+                    std::make_unique<
+                        robust::FaultInjectingPredictor>(
+                        makePredictor(PredictorKind::Gshare,
+                                      budget),
+                        plan));
+            };
+            c.name = "gshare.fault";
+            c.budgetBytes = budget;
+            configs.push_back(std::move(c));
+        }
+        return configs;
+    };
+
+    std::vector<AccuracyCellConfig> batched = build();
+    obs::RunReport batchedReport;
+    const EnsembleStats stats =
+        suiteAccuracyReportEnsemble(suite, batched, batchedReport);
+    EXPECT_EQ(stats.groups, 1u);
+    EXPECT_EQ(stats.batchedCells, 2u * suite.size());
+
+    ASSERT_EQ(::setenv("BPSIM_ENSEMBLE", "0", 1), 0);
+    std::vector<AccuracyCellConfig> forced = build();
+    obs::RunReport forcedReport;
+    suiteAccuracyReportEnsemble(suite, forced, forcedReport);
+    ::unsetenv("BPSIM_ENSEMBLE");
+
+    EXPECT_EQ(batchedReport.toJson().dump(2),
+              forcedReport.toJson().dump(2));
 }
 
 TEST(TimingEnsemble, EnvEscapeForcesSerialIdenticalOutput)

@@ -20,6 +20,7 @@
 
 #include "core/runner.hh"
 #include "parallel/cell_pool.hh"
+#include "trace/shared_trace_pool.hh"
 #include "trace/trace_buffer.hh"
 #include "trace/trace_io.hh"
 
@@ -461,6 +462,50 @@ TEST(TraceCacheSuite, SuiteTracesCountsHitsAndMisses)
     const SuiteTraces other(4000, 14, nullptr, TraceCache(dir));
     EXPECT_EQ(other.cacheMisses(), other.size());
     fs::remove_all(dir);
+}
+
+TEST(SharedTracePool, BudgetedLruPinsAndEvicts)
+{
+    SharedTracePool pool;
+    TraceCache cache; // disabled: every first fetch generates
+
+    const auto fetchKey = [&](const std::string &wl) {
+        return pool.fetch(wl, 3000, 7, cache,
+                          [] { return syntheticTrace(3000, 7); });
+    };
+
+    // Unlimited budget (default): nothing is pinned, so dropping
+    // the only ref forces re-materialization.
+    auto a = fetchKey("wl-a");
+    EXPECT_EQ(pool.pinnedBytes(), 0u);
+    a.reset();
+    fetchKey("wl-a").reset();
+    EXPECT_EQ(pool.stats().generated, 2u);
+    EXPECT_EQ(pool.stats().evictions, 0u);
+
+    // A budget wide enough for one trace pins the most recent fetch
+    // and evicts the older one.
+    pool.clear();
+    const std::size_t one = fetchKey("wl-a")->memoryBytes();
+    pool.clear();
+    pool.setBudgetBytes(one + one / 2);
+    fetchKey("wl-a").reset();
+    EXPECT_EQ(pool.pinnedBytes(), one);
+    fetchKey("wl-a").reset(); // pinned => memory hit, no regen
+    EXPECT_EQ(pool.stats().memoryHits, 1u);
+    EXPECT_EQ(pool.stats().generated, 1u);
+
+    fetchKey("wl-b").reset(); // over budget: wl-a evicted
+    EXPECT_EQ(pool.stats().evictions, 1u);
+    EXPECT_LE(pool.pinnedBytes(), one + one / 2);
+    fetchKey("wl-a").reset(); // re-materializes, evicting wl-b
+    EXPECT_EQ(pool.stats().generated, 3u);
+    EXPECT_EQ(pool.stats().evictions, 2u);
+
+    // Shrinking the budget evicts immediately.
+    pool.setBudgetBytes(1);
+    EXPECT_EQ(pool.pinnedBytes(), 0u);
+    EXPECT_EQ(pool.stats().evictions, 3u);
 }
 
 } // namespace

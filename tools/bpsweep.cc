@@ -69,7 +69,8 @@ usage(const char *argv0)
                  "usage: %s --list\n"
                  "       %s (--all | NAME...) [--jobs N] "
                  "[--report-dir DIR]\n"
-                 "           [--timeline FILE] [--progress]\n",
+                 "           [--timeline FILE] [--progress] "
+                 "[--ensemble 0|1]\n",
                  argv0, argv0);
     return 2;
 }
@@ -188,6 +189,10 @@ main(int argc, char **argv)
     using bpsim::artifactRegistry;
 
     const unsigned jobs = bpsim::takeJobsFlag(argc, argv);
+    // Sets BPSIM_ENSEMBLE for every artifact body in this process:
+    // --ensemble 0 is the sweep-wide escape hatch for A/B-ing the
+    // batched replay engines against the serial path.
+    bpsim::takeEnsembleFlag(argc, argv);
     const std::string reportDir =
         bpsim::obs::takeFlag(argc, argv, "--report-dir");
     const std::string timelinePath =
@@ -384,10 +389,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(sched.steals),
                 sched.peakActiveQueues);
     std::printf("trace pool: %llu memory hit(s), %llu disk hit(s), "
-                "%llu generated\n",
+                "%llu generated, %llu evicted\n",
                 static_cast<unsigned long long>(pool.memoryHits),
                 static_cast<unsigned long long>(pool.diskHits),
-                static_cast<unsigned long long>(pool.generated));
+                static_cast<unsigned long long>(pool.generated),
+                static_cast<unsigned long long>(pool.evictions));
 
     return failed ? 1 : 0;
 }
